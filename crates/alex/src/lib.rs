@@ -1,0 +1,582 @@
+//! ALEX: an updatable adaptive learned index (Ding et al., SIGMOD '20),
+//! reimplemented as the paper's main learned-index baseline (§2.2, §4).
+//!
+//! Structure: an adaptive RMI whose internal nodes each hold one linear
+//! model over a child-pointer array, and whose data nodes are gapped arrays
+//! with per-node linear models (see [`node::DataNode`]). Searches descend
+//! through one model per level; inserts are model-based with exponential
+//! search; a full data node either *expands* (bigger gapped array, retrained
+//! model) or *splits* (two nodes under the parent), chosen by a size
+//! threshold in place of ALEX's learned cost model (substitution documented
+//! in DESIGN.md §3).
+//!
+//! Bulk loading builds the tree top-down: key ranges larger than the maximum
+//! data-node size get an internal node whose linear model partitions the
+//! CDF among its children — skewed datasets therefore build deeper trees
+//! with more nodes, which is exactly the behaviour the DyTIS paper analyzes
+//! (§4.4).
+
+pub mod node;
+
+use index_traits::{BulkLoad, Key, KvIndex, Value};
+use node::{DataNode, Linear};
+
+/// Tuning knobs of the ALEX reimplementation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlexConfig {
+    /// Maximum keys a data node may hold before it must split.
+    pub max_node_keys: usize,
+    /// Density above which a data node expands.
+    pub density_high: f64,
+    /// Target density after build/expansion.
+    pub density_init: f64,
+    /// Maximum children per internal node during bulk load.
+    pub max_fanout: usize,
+}
+
+impl Default for AlexConfig {
+    fn default() -> Self {
+        AlexConfig {
+            max_node_keys: 16 * 1024,
+            density_high: 0.8,
+            density_init: 0.7,
+            max_fanout: 256,
+        }
+    }
+}
+
+type NodeId = u32;
+
+#[derive(Debug, Clone)]
+struct InternalNode {
+    /// Linear CDF model selecting a child.
+    model: Linear,
+    /// Child boundaries: child `i` covers keys in `[bounds[i], bounds[i+1])`
+    /// (the last child is unbounded above; `bounds[0]` is always 0).
+    bounds: Vec<Key>,
+    children: Vec<NodeId>,
+}
+
+impl InternalNode {
+    /// Child index for `key`: model prediction corrected by an exponential
+    /// search over the boundary array.
+    fn child_of(&self, key: Key) -> usize {
+        let n = self.bounds.len();
+        let pos = self.model.predict(key, n);
+        // Find the last index with bounds <= key.
+        let (wlo, whi) = if self.bounds[pos] <= key {
+            let mut step = 1usize;
+            let mut hi = pos;
+            loop {
+                if hi >= n - 1 {
+                    break (pos, n);
+                }
+                hi = (hi + step).min(n - 1);
+                if self.bounds[hi] > key {
+                    break (pos, hi + 1);
+                }
+                step *= 2;
+            }
+        } else {
+            let mut step = 1usize;
+            let mut lo = pos;
+            loop {
+                if lo == 0 {
+                    break (0, pos);
+                }
+                lo = lo.saturating_sub(step);
+                if self.bounds[lo] <= key {
+                    break (lo, pos);
+                }
+                step *= 2;
+            }
+        };
+        // bounds[0] == 0 <= key guarantees at least one bound <= key.
+        wlo + self.bounds[wlo..whi].partition_point(|&b| b <= key) - 1
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Internal(InternalNode),
+    Data(DataNode),
+}
+
+/// The ALEX index.
+///
+/// # Examples
+///
+/// ```
+/// use alex_index::Alex;
+/// use index_traits::{BulkLoad, KvIndex};
+///
+/// let pairs: Vec<(u64, u64)> = (0..10_000).map(|k| (k * 3, k)).collect();
+/// let mut alex = Alex::bulk_load(&pairs);
+/// alex.insert(1, 1);
+/// assert_eq!(alex.get(1), Some(1));
+/// assert_eq!(alex.get(30), Some(10));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Alex {
+    cfg: AlexConfig,
+    nodes: Vec<Node>,
+    root: NodeId,
+    num_keys: usize,
+    /// Leaf chain in key order for scans.
+    leaf_next: Vec<Option<NodeId>>,
+    /// Number of node splits performed since construction (§4.3 analysis).
+    pub splits: u64,
+    /// Number of node expansions performed since construction.
+    pub expansions: u64,
+}
+
+impl Default for Alex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Alex {
+    /// Creates an empty index with default configuration.
+    pub fn new() -> Self {
+        Self::with_config(AlexConfig::default())
+    }
+
+    /// Creates an empty index with explicit configuration.
+    pub fn with_config(cfg: AlexConfig) -> Self {
+        Alex {
+            cfg,
+            nodes: vec![Node::Data(DataNode::empty(64))],
+            root: 0,
+            num_keys: 0,
+            leaf_next: vec![None],
+            splits: 0,
+            expansions: 0,
+        }
+    }
+
+    /// Bulk loads with explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if `pairs` is unsorted or contains duplicates.
+    pub fn bulk_load_with_config(pairs: &[(Key, Value)], cfg: AlexConfig) -> Self {
+        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0), "unsorted input");
+        if pairs.is_empty() {
+            return Self::with_config(cfg);
+        }
+        let mut alex = Alex {
+            cfg,
+            nodes: Vec::new(),
+            root: 0,
+            num_keys: pairs.len(),
+            leaf_next: Vec::new(),
+            splits: 0,
+            expansions: 0,
+        };
+        let mut leaves = Vec::new();
+        let root = alex.build_recursive(pairs, 0, &mut leaves);
+        alex.root = root;
+        for w in leaves.windows(2) {
+            alex.leaf_next[w[0] as usize] = Some(w[1]);
+        }
+        alex
+    }
+
+    fn alloc(&mut self, n: Node) -> NodeId {
+        self.nodes.push(n);
+        self.leaf_next.push(None);
+        (self.nodes.len() - 1) as NodeId
+    }
+
+    /// Recursive top-down bulk load (ALEX's fanout-tree construction,
+    /// simplified: fanout grows with subtree size, children partitioned by
+    /// the subtree's linear CDF model).
+    fn build_recursive(
+        &mut self,
+        pairs: &[(Key, Value)],
+        depth: u32,
+        leaves: &mut Vec<NodeId>,
+    ) -> NodeId {
+        if pairs.len() <= self.cfg.max_node_keys || depth > 24 {
+            let id = self.alloc(Node::Data(DataNode::build(pairs, self.cfg.density_init)));
+            leaves.push(id);
+            return id;
+        }
+        // Fanout: enough children that an *average* child fits in a data
+        // node, capped; skewed children recurse deeper.
+        let want = pairs.len().div_ceil(self.cfg.max_node_keys);
+        let fanout = want.next_power_of_two().clamp(2, self.cfg.max_fanout);
+        let keys: Vec<Key> = pairs.iter().map(|&(k, _)| k).collect();
+        let model = Linear::train(&keys, fanout);
+        // Partition the sorted pairs by predicted child.
+        let mut cut_points = Vec::with_capacity(fanout + 1);
+        cut_points.push(0usize);
+        let mut idx = 0usize;
+        for c in 1..fanout {
+            while idx < pairs.len() && model.predict(pairs[idx].0, fanout) < c {
+                idx += 1;
+            }
+            cut_points.push(idx);
+        }
+        cut_points.push(pairs.len());
+
+        let id = self.alloc(Node::Internal(InternalNode {
+            model: Linear::zero(),
+            bounds: Vec::new(),
+            children: Vec::new(),
+        }));
+        // Boundary of child c is its first key (lookups take the last bound
+        // <= key); empty children inherit the previous boundary.
+        let mut bounds = vec![0u64; fanout];
+        for c in 1..fanout {
+            let slice = &pairs[cut_points[c]..cut_points[c + 1]];
+            bounds[c] = match slice.first() {
+                Some(&(k, _)) => k,
+                None => bounds[c - 1],
+            };
+            if bounds[c] < bounds[c - 1] {
+                bounds[c] = bounds[c - 1];
+            }
+        }
+        let mut children = Vec::with_capacity(fanout);
+        for c in 0..fanout {
+            let slice = &pairs[cut_points[c]..cut_points[c + 1]];
+            children.push(self.build_recursive(slice, depth + 1, leaves));
+        }
+        let model = Linear::train(&bounds, fanout);
+        if let Node::Internal(inner) = &mut self.nodes[id as usize] {
+            inner.model = model;
+            inner.bounds = bounds;
+            inner.children = children;
+        }
+        id
+    }
+
+    /// Descends to the data node for `key`, recording the path of
+    /// (internal node, child index).
+    fn descend(&self, key: Key, path: &mut Vec<(NodeId, usize)>) -> NodeId {
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id as usize] {
+                Node::Internal(inner) => {
+                    let c = inner.child_of(key);
+                    path.push((id, c));
+                    id = inner.children[c];
+                }
+                Node::Data(_) => return id,
+            }
+        }
+    }
+
+    fn data(&self, id: NodeId) -> &DataNode {
+        match &self.nodes[id as usize] {
+            Node::Data(d) => d,
+            Node::Internal(_) => unreachable!("expected data node"),
+        }
+    }
+
+    fn data_mut(&mut self, id: NodeId) -> &mut DataNode {
+        match &mut self.nodes[id as usize] {
+            Node::Data(d) => d,
+            Node::Internal(_) => unreachable!("expected data node"),
+        }
+    }
+
+    /// Splits data node `id` in half, attaching both halves to the parent
+    /// (or a new root).
+    fn split_data_node(&mut self, id: NodeId, path: &[(NodeId, usize)]) {
+        self.splits += 1;
+        let pairs = self.data(id).sorted_pairs();
+        let mid = pairs.len() / 2;
+        let sep = pairs[mid].0;
+        let left = DataNode::build(&pairs[..mid], self.cfg.density_init);
+        let right = DataNode::build(&pairs[mid..], self.cfg.density_init);
+        self.nodes[id as usize] = Node::Data(left);
+        let right_id = self.alloc(Node::Data(right));
+        self.leaf_next[right_id as usize] = self.leaf_next[id as usize];
+        self.leaf_next[id as usize] = Some(right_id);
+        match path.last() {
+            Some(&(pid, ci)) => {
+                let Node::Internal(parent) = &mut self.nodes[pid as usize] else {
+                    unreachable!("path holds internal nodes");
+                };
+                parent.bounds.insert(ci + 1, sep);
+                parent.children.insert(ci + 1, right_id);
+                // Retrain the routing model over the new boundary array.
+                parent.model = Linear::train(&parent.bounds, parent.bounds.len());
+            }
+            None => {
+                // The root data node split: grow the tree.
+                let bounds = vec![0, sep];
+                let model = Linear::train(&bounds, 2);
+                let new_root = self.alloc(Node::Internal(InternalNode {
+                    model,
+                    bounds,
+                    children: vec![id, right_id],
+                }));
+                self.root = new_root;
+            }
+        }
+    }
+
+    /// Depth of the tree (1 = a single data node).
+    pub fn depth(&self) -> u32 {
+        let mut d = 1;
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id as usize] {
+                Node::Internal(inner) => {
+                    d += 1;
+                    id = inner.children[0];
+                }
+                Node::Data(_) => return d,
+            }
+        }
+    }
+
+    /// Total number of nodes (internal + data), for the §4.4 analysis.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl KvIndex for Alex {
+    fn insert(&mut self, key: Key, value: Value) {
+        loop {
+            let mut path = Vec::with_capacity(8);
+            let id = self.descend(key, &mut path);
+            match self.data_mut(id).insert(key, value) {
+                Ok(true) => {
+                    self.num_keys += 1;
+                    // Expand when the node got dense (the cost-model
+                    // substitution: size-capped nodes split instead).
+                    let n = self.data(id);
+                    if n.density() > self.cfg.density_high {
+                        if n.num_keys() >= self.cfg.max_node_keys {
+                            self.split_data_node(id, &path);
+                        } else {
+                            self.expansions += 1;
+                            let d = self.cfg.density_init;
+                            self.data_mut(id).expand(d);
+                        }
+                    }
+                    return;
+                }
+                Ok(false) => return, // In-place update.
+                Err(()) => {
+                    // Node completely full: expand or split, then retry.
+                    if self.data(id).num_keys() >= self.cfg.max_node_keys {
+                        self.split_data_node(id, &path);
+                    } else {
+                        self.expansions += 1;
+                        let d = self.cfg.density_init;
+                        self.data_mut(id).expand(d);
+                    }
+                }
+            }
+        }
+    }
+
+    fn get(&self, key: Key) -> Option<Value> {
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id as usize] {
+                Node::Internal(inner) => id = inner.children[inner.child_of(key)],
+                Node::Data(d) => return d.get(key),
+            }
+        }
+    }
+
+    fn remove(&mut self, key: Key) -> Option<Value> {
+        let mut path = Vec::with_capacity(8);
+        let id = self.descend(key, &mut path);
+        let v = self.data_mut(id).remove(key)?;
+        self.num_keys -= 1;
+        Some(v)
+    }
+
+    fn scan(&self, start: Key, count: usize, out: &mut Vec<(Key, Value)>) {
+        let mut path = Vec::with_capacity(8);
+        let mut id = self.descend(start, &mut path);
+        loop {
+            if self.data(id).scan_into(start, count, out) {
+                return;
+            }
+            match self.leaf_next[id as usize] {
+                Some(n) => id = n,
+                None => return,
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.num_keys
+    }
+
+    fn name(&self) -> &'static str {
+        "ALEX"
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self.leaf_next.capacity() * std::mem::size_of::<Option<NodeId>>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| match n {
+                    Node::Internal(i) => i.bounds.capacity() * 8 + i.children.capacity() * 4,
+                    Node::Data(d) => d.heap_bytes(),
+                })
+                .sum::<usize>()
+    }
+}
+
+impl BulkLoad for Alex {
+    fn bulk_load(pairs: &[(Key, Value)]) -> Self {
+        Self::bulk_load_with_config(pairs, AlexConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> AlexConfig {
+        AlexConfig {
+            max_node_keys: 256,
+            max_fanout: 16,
+            ..AlexConfig::default()
+        }
+    }
+
+    #[test]
+    fn empty_index() {
+        let a = Alex::new();
+        assert_eq!(a.len(), 0);
+        assert_eq!(a.get(5), None);
+        let mut out = Vec::new();
+        a.scan(0, 10, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn insert_from_empty_roundtrip() {
+        let mut a = Alex::with_config(small_cfg());
+        for k in 0..20_000u64 {
+            a.insert(k * 7, k);
+        }
+        assert_eq!(a.len(), 20_000);
+        for k in (0..20_000u64).step_by(61) {
+            assert_eq!(a.get(k * 7), Some(k), "key {}", k * 7);
+        }
+        assert_eq!(a.get(3), None);
+        assert!(a.splits > 0, "size cap should force splits");
+    }
+
+    #[test]
+    fn bulk_load_roundtrip() {
+        let pairs: Vec<(u64, u64)> = (0..50_000u64).map(|k| (k * 11, k)).collect();
+        let a = Alex::bulk_load_with_config(&pairs, small_cfg());
+        assert_eq!(a.len(), 50_000);
+        assert!(a.depth() >= 2);
+        for &(k, v) in pairs.iter().step_by(199) {
+            assert_eq!(a.get(k), Some(v), "key {k}");
+        }
+        assert_eq!(a.get(1), None);
+    }
+
+    #[test]
+    fn bulk_load_skewed_builds_more_nodes() {
+        // 90% of keys in a tiny range -> at least as many nodes as uniform.
+        let mut skewed: Vec<(u64, u64)> = (0..45_000u64).map(|k| (1 << 40 | k, k)).collect();
+        skewed.extend((1..=5_000u64).map(|k| (k << 45, k)));
+        skewed.sort_unstable();
+        let uniform: Vec<(u64, u64)> = (0..50_000u64).map(|k| (k << 18, k)).collect();
+        let a = Alex::bulk_load_with_config(&skewed, small_cfg());
+        let b = Alex::bulk_load_with_config(&uniform, small_cfg());
+        assert!(
+            a.node_count() >= b.node_count(),
+            "skewed {} < uniform {}",
+            a.node_count(),
+            b.node_count()
+        );
+        for &(k, v) in skewed.iter().step_by(487) {
+            assert_eq!(a.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn insert_after_bulk_load() {
+        let pairs: Vec<(u64, u64)> = (0..10_000u64).map(|k| (k * 4, k)).collect();
+        let mut a = Alex::bulk_load_with_config(&pairs, small_cfg());
+        for k in 0..10_000u64 {
+            a.insert(k * 4 + 1, k + 1_000_000);
+        }
+        assert_eq!(a.len(), 20_000);
+        for k in (0..10_000u64).step_by(173) {
+            assert_eq!(a.get(k * 4), Some(k));
+            assert_eq!(a.get(k * 4 + 1), Some(k + 1_000_000));
+        }
+    }
+
+    #[test]
+    fn update_in_place() {
+        let mut a = Alex::with_config(small_cfg());
+        a.insert(10, 1);
+        a.insert(10, 2);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.get(10), Some(2));
+    }
+
+    #[test]
+    fn scan_across_nodes() {
+        let pairs: Vec<(u64, u64)> = (0..30_000u64).map(|k| (k * 2, k)).collect();
+        let a = Alex::bulk_load_with_config(&pairs, small_cfg());
+        let mut out = Vec::new();
+        a.scan(1_001, 500, &mut out);
+        assert_eq!(out.len(), 500);
+        assert_eq!(out[0].0, 1_002);
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn scan_after_inserts() {
+        let mut a = Alex::with_config(small_cfg());
+        for k in (0..5_000u64).rev() {
+            a.insert(k * 3, k);
+        }
+        let mut out = Vec::new();
+        a.scan(0, 5_000, &mut out);
+        assert_eq!(out.len(), 5_000);
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut a = Alex::with_config(small_cfg());
+        for k in 0..2_000u64 {
+            a.insert(k, k);
+        }
+        for k in 0..1_000u64 {
+            assert_eq!(a.remove(k), Some(k));
+        }
+        assert_eq!(a.len(), 1_000);
+        assert_eq!(a.get(500), None);
+        assert_eq!(a.get(1_500), Some(1_500));
+    }
+
+    #[test]
+    fn random_order_inserts() {
+        let mut a = Alex::with_config(small_cfg());
+        let keys: Vec<u64> = (0..30_000u64)
+            .map(|k| k.wrapping_mul(0x9E3779B97F4A7C15) >> 1)
+            .collect();
+        for (i, &k) in keys.iter().enumerate() {
+            a.insert(k, i as u64);
+        }
+        for (i, &k) in keys.iter().enumerate().step_by(211) {
+            assert_eq!(a.get(k), Some(i as u64), "key {k}");
+        }
+    }
+}

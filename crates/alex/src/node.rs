@@ -1,0 +1,494 @@
+//! ALEX gapped-array data nodes (Ding et al., SIGMOD '20).
+//!
+//! A data node stores keys in a *gapped array*: an array larger than the key
+//! count whose gaps make model-based inserts cheap. A per-node linear model
+//! maps a key to its predicted slot; lookups run an exponential search
+//! around the prediction (§2.2 of the DyTIS paper describes this structure
+//! as its main learned-index point of comparison).
+//!
+//! Gap slots duplicate the key of the nearest occupied slot to their left
+//! (leading gaps hold 0), keeping the whole array non-decreasing so
+//! `partition_point` is correct; the first slot holding a present key's
+//! value is always the occupied one.
+
+use index_traits::{Key, Value};
+
+/// A linear model `slot = slope * key + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Linear {
+    /// Slope in slots per key unit.
+    pub slope: f64,
+    /// Intercept in slots.
+    pub intercept: f64,
+}
+
+impl Linear {
+    /// The constant-zero model.
+    pub fn zero() -> Self {
+        Linear {
+            slope: 0.0,
+            intercept: 0.0,
+        }
+    }
+
+    /// Least-squares fit of `slot_of_rank(rank) = rank * scale` over the
+    /// sorted `keys`, i.e. a CDF model scaled to `n_slots`.
+    pub fn train(keys: &[Key], n_slots: usize) -> Self {
+        let n = keys.len();
+        if n == 0 {
+            return Linear::zero();
+        }
+        if n == 1 {
+            return Linear {
+                slope: 0.0,
+                intercept: 0.0,
+            };
+        }
+        let scale = n_slots as f64 / n as f64;
+        // Fit rank ~ a * key + b by least squares, then scale to slots.
+        let mean_x = keys.iter().map(|&k| k as f64).sum::<f64>() / n as f64;
+        let mean_y = (n as f64 - 1.0) / 2.0;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        for (i, &k) in keys.iter().enumerate() {
+            let dx = k as f64 - mean_x;
+            sxx += dx * dx;
+            sxy += dx * (i as f64 - mean_y);
+        }
+        if sxx == 0.0 {
+            return Linear {
+                slope: 0.0,
+                intercept: mean_y * scale,
+            };
+        }
+        let a = sxy / sxx;
+        let b = mean_y - a * mean_x;
+        Linear {
+            slope: a * scale,
+            intercept: b * scale,
+        }
+    }
+
+    /// Predicted slot for `key`, clamped to `[0, cap)`.
+    #[inline]
+    pub fn predict(&self, key: Key, cap: usize) -> usize {
+        let p = self.slope * key as f64 + self.intercept;
+        if p <= 0.0 {
+            0
+        } else {
+            (p as usize).min(cap - 1)
+        }
+    }
+}
+
+/// A gapped-array data node.
+#[derive(Debug, Clone)]
+pub struct DataNode {
+    keys: Vec<Key>,
+    vals: Vec<Value>,
+    /// Occupancy bitmap, one bit per slot.
+    bitmap: Vec<u64>,
+    /// Number of occupied slots.
+    num_keys: usize,
+    /// The node's linear model (key → slot).
+    pub model: Linear,
+    /// Lifetime counters for the §4.3 "expensive operation" analysis.
+    pub expands: u32,
+}
+
+impl DataNode {
+    /// Creates an empty node with `cap` slots.
+    pub fn empty(cap: usize) -> Self {
+        let cap = cap.max(4);
+        DataNode {
+            keys: vec![0; cap],
+            vals: vec![0; cap],
+            bitmap: vec![0; cap.div_ceil(64)],
+            num_keys: 0,
+            model: Linear::zero(),
+            expands: 0,
+        }
+    }
+
+    /// Builds a node from sorted unique `pairs` at the given density using
+    /// model-based placement.
+    pub fn build(pairs: &[(Key, Value)], density: f64) -> Self {
+        let cap = ((pairs.len() as f64 / density).ceil() as usize)
+            .max(pairs.len() + 1)
+            .max(4);
+        let keys: Vec<Key> = pairs.iter().map(|&(k, _)| k).collect();
+        let model = Linear::train(&keys, cap);
+        let mut node = DataNode::empty(cap);
+        node.model = model;
+        // Model-based placement: each key goes to the first free slot at or
+        // after its prediction (never before an already-placed key).
+        let mut next_free = 0usize;
+        for &(k, v) in pairs {
+            let p = node.model.predict(k, cap).max(next_free);
+            let p = p.min(cap - 1).max(next_free);
+            node.keys[p] = k;
+            node.vals[p] = v;
+            node.set_bit(p);
+            next_free = p + 1;
+            if next_free >= cap && node.num_keys() + 1 < pairs.len() {
+                // Ran out of room at the tail (bad model): fall back to
+                // rank-based placement.
+                return Self::build_rank_based(pairs, cap);
+            }
+        }
+        node.num_keys = pairs.len();
+        node.fill_gap_dups();
+        node
+    }
+
+    fn build_rank_based(pairs: &[(Key, Value)], cap: usize) -> Self {
+        let mut node = DataNode::empty(cap);
+        let keys: Vec<Key> = pairs.iter().map(|&(k, _)| k).collect();
+        node.model = Linear::train(&keys, cap);
+        let stride = cap as f64 / pairs.len() as f64;
+        for (i, &(k, v)) in pairs.iter().enumerate() {
+            let p = ((i as f64 * stride) as usize).min(cap - 1);
+            // Strides >= 1 guarantee distinct slots.
+            node.keys[p] = k;
+            node.vals[p] = v;
+            node.set_bit(p);
+        }
+        node.num_keys = pairs.len();
+        node.fill_gap_dups();
+        node
+    }
+
+    #[inline]
+    fn set_bit(&mut self, i: usize) {
+        self.bitmap[i / 64] |= 1 << (i % 64);
+    }
+
+    #[inline]
+    fn clear_bit(&mut self, i: usize) {
+        self.bitmap[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Whether slot `i` holds a real element.
+    #[inline]
+    pub fn occupied(&self, i: usize) -> bool {
+        self.bitmap[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of stored keys.
+    #[inline]
+    pub fn num_keys(&self) -> usize {
+        self.num_keys
+    }
+
+    /// Slot capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Current density (fill factor).
+    #[inline]
+    pub fn density(&self) -> f64 {
+        self.num_keys as f64 / self.capacity() as f64
+    }
+
+    /// Rewrites every gap slot with the key of its nearest occupied left
+    /// neighbour, keeping the array non-decreasing.
+    fn fill_gap_dups(&mut self) {
+        let mut last = 0u64;
+        for i in 0..self.keys.len() {
+            if self.occupied(i) {
+                last = self.keys[i];
+            } else {
+                self.keys[i] = last;
+            }
+        }
+    }
+
+    /// First slot whose key is `>= key` — starts from the model prediction
+    /// and exponentially widens, then binary-searches. Equivalent to
+    /// `partition_point(|k| k < key)` but O(log error).
+    fn lower_bound(&self, key: Key) -> usize {
+        let n = self.keys.len();
+        let pos = self.model.predict(key, n);
+        let (wlo, whi) = if self.keys[pos] < key {
+            let mut step = 1usize;
+            let mut hi = pos;
+            loop {
+                if hi >= n - 1 {
+                    break (pos + 1, n);
+                }
+                hi = (hi + step).min(n - 1);
+                if self.keys[hi] >= key {
+                    break (pos + 1, hi + 1);
+                }
+                step *= 2;
+            }
+        } else {
+            let mut step = 1usize;
+            let mut lo = pos;
+            loop {
+                if lo == 0 {
+                    break (0, pos + 1);
+                }
+                lo = lo.saturating_sub(step);
+                if self.keys[lo] < key {
+                    break (lo, pos + 1);
+                }
+                step *= 2;
+            }
+        };
+        wlo + self.keys[wlo..whi].partition_point(|&k| k < key)
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: Key) -> Option<Value> {
+        let pos = self.lower_bound(key);
+        if pos < self.keys.len() && self.keys[pos] == key && self.occupied(pos) {
+            Some(self.vals[pos])
+        } else {
+            None
+        }
+    }
+
+    /// Inserts or updates `key`. Returns `Err(())` when the node has no free
+    /// slot (caller must expand or split); `Ok(true)` on a fresh insert and
+    /// `Ok(false)` on an in-place update.
+    #[allow(clippy::result_unit_err)]
+    pub fn insert(&mut self, key: Key, value: Value) -> Result<bool, ()> {
+        let cap = self.keys.len();
+        let pos = self.lower_bound(key);
+        if pos < cap && self.keys[pos] == key && self.occupied(pos) {
+            self.vals[pos] = value;
+            return Ok(false);
+        }
+        if self.num_keys == cap {
+            return Err(());
+        }
+        // Find the first gap at or after `pos` and shift the occupied run
+        // [pos, gap) one slot right; else use the nearest gap to the left.
+        if let Some(gap) = self.first_gap_at_or_after(pos) {
+            let mut i = gap;
+            while i > pos {
+                self.keys[i] = self.keys[i - 1];
+                self.vals[i] = self.vals[i - 1];
+                i -= 1;
+            }
+            self.keys[pos] = key;
+            self.vals[pos] = value;
+            self.set_bit(gap);
+        } else {
+            let gap = self
+                .last_gap_before(pos)
+                .expect("non-full node must have a gap");
+            // The insertion slot shifts down by one because everything in
+            // (gap, pos) moves left.
+            let mut i = gap;
+            while i + 1 < pos {
+                self.keys[i] = self.keys[i + 1];
+                self.vals[i] = self.vals[i + 1];
+                i += 1;
+            }
+            self.keys[pos - 1] = key;
+            self.vals[pos - 1] = value;
+            self.set_bit(gap);
+        }
+        self.num_keys += 1;
+        Ok(true)
+    }
+
+    fn first_gap_at_or_after(&self, pos: usize) -> Option<usize> {
+        (pos..self.keys.len()).find(|&i| !self.occupied(i))
+    }
+
+    fn last_gap_before(&self, pos: usize) -> Option<usize> {
+        (0..pos).rev().find(|&i| !self.occupied(i))
+    }
+
+    /// Removes `key`, leaving a gap (its slot keeps the removed value as its
+    /// dup, which preserves the non-decreasing property).
+    pub fn remove(&mut self, key: Key) -> Option<Value> {
+        let pos = self.lower_bound(key);
+        if pos < self.keys.len() && self.keys[pos] == key && self.occupied(pos) {
+            self.clear_bit(pos);
+            self.num_keys -= 1;
+            Some(self.vals[pos])
+        } else {
+            None
+        }
+    }
+
+    /// All stored pairs in key order.
+    pub fn sorted_pairs(&self) -> Vec<(Key, Value)> {
+        let mut out = Vec::with_capacity(self.num_keys);
+        for i in 0..self.keys.len() {
+            if self.occupied(i) {
+                out.push((self.keys[i], self.vals[i]));
+            }
+        }
+        out
+    }
+
+    /// Appends pairs with key `>= start` to `out`, up to `count` total.
+    /// Returns `true` when `out` reached `count`.
+    pub fn scan_into(&self, start: Key, count: usize, out: &mut Vec<(Key, Value)>) -> bool {
+        let mut pos = self.lower_bound(start);
+        while pos < self.keys.len() {
+            if self.occupied(pos) && self.keys[pos] >= start {
+                if out.len() >= count {
+                    return true;
+                }
+                out.push((self.keys[pos], self.vals[pos]));
+            }
+            pos += 1;
+        }
+        out.len() >= count
+    }
+
+    /// Expands the node to twice the slots (or to hold `num_keys` at the
+    /// target density, whichever is larger) and retrains the model — the
+    /// ALEX *expansion* operation.
+    pub fn expand(&mut self, density: f64) {
+        let pairs = self.sorted_pairs();
+        let target = ((pairs.len() as f64 / density).ceil() as usize).max(self.capacity() * 2);
+        let mut rebuilt = DataNode::build(&pairs, pairs.len() as f64 / target as f64);
+        rebuilt.expands = self.expands + 1;
+        *self = rebuilt;
+    }
+
+    /// Heap bytes of this node's allocations.
+    pub fn heap_bytes(&self) -> usize {
+        self.keys.capacity() * 8 + self.vals.capacity() * 8 + self.bitmap.capacity() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(n: u64, stride: u64) -> Vec<(Key, Value)> {
+        (0..n).map(|i| (i * stride + 5, i)).collect()
+    }
+
+    #[test]
+    fn linear_train_fits_line() {
+        let keys: Vec<u64> = (0..100).map(|i| i * 10).collect();
+        let m = Linear::train(&keys, 100);
+        for (i, &k) in keys.iter().enumerate() {
+            let p = m.predict(k, 100);
+            assert!((p as i64 - i as i64).abs() <= 1, "key {k} -> {p}, want {i}");
+        }
+    }
+
+    #[test]
+    fn build_then_get_all() {
+        let ps = pairs(1000, 7);
+        let n = DataNode::build(&ps, 0.7);
+        assert_eq!(n.num_keys(), 1000);
+        for &(k, v) in &ps {
+            assert_eq!(n.get(k), Some(v), "key {k}");
+        }
+        assert_eq!(n.get(6), None);
+        assert_eq!(n.get(100_000), None);
+    }
+
+    #[test]
+    fn insert_into_gaps_keeps_order() {
+        let ps = pairs(100, 10);
+        let mut n = DataNode::build(&ps, 0.5);
+        for i in 0..100u64 {
+            assert_eq!(n.insert(i * 10 + 6, i), Ok(true), "insert {}", i * 10 + 6);
+        }
+        assert_eq!(n.num_keys(), 200);
+        let sorted = n.sorted_pairs();
+        assert!(sorted.windows(2).all(|w| w[0].0 < w[1].0));
+        for i in 0..100u64 {
+            assert_eq!(n.get(i * 10 + 6), Some(i));
+            assert_eq!(n.get(i * 10 + 5), Some(i));
+        }
+    }
+
+    #[test]
+    fn insert_full_node_fails() {
+        let ps = pairs(8, 2);
+        let mut n = DataNode::build(&ps, 1.0);
+        // Fill all remaining slots.
+        let mut added = 0u64;
+        while n.num_keys() < n.capacity() {
+            n.insert(1_000 + added, added).unwrap();
+            added += 1;
+        }
+        assert_eq!(n.insert(999_999, 0), Err(()));
+        // Update-in-place still works on a full node.
+        assert_eq!(n.insert(5, 42), Ok(false));
+        assert_eq!(n.get(5), Some(42));
+    }
+
+    #[test]
+    fn expand_preserves_content() {
+        let ps = pairs(500, 3);
+        let mut n = DataNode::build(&ps, 0.9);
+        let cap0 = n.capacity();
+        n.expand(0.6);
+        assert!(n.capacity() >= cap0 * 2);
+        assert_eq!(n.expands, 1);
+        for &(k, v) in &ps {
+            assert_eq!(n.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn remove_leaves_gap() {
+        let ps = pairs(50, 5);
+        let mut n = DataNode::build(&ps, 0.7);
+        assert_eq!(n.remove(5), Some(0));
+        assert_eq!(n.remove(5), None);
+        assert_eq!(n.get(5), None);
+        assert_eq!(n.num_keys(), 49);
+        // Insert again into the freed space.
+        assert_eq!(n.insert(5, 9), Ok(true));
+        assert_eq!(n.get(5), Some(9));
+    }
+
+    #[test]
+    fn scan_into_is_sorted() {
+        let ps = pairs(200, 4);
+        let n = DataNode::build(&ps, 0.7);
+        let mut out = Vec::new();
+        assert!(n.scan_into(22, 10, &mut out));
+        assert_eq!(out.len(), 10);
+        assert_eq!(out[0].0, 25);
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn insert_smaller_than_everything() {
+        let ps = pairs(10, 10);
+        let mut n = DataNode::build(&ps, 0.5);
+        assert_eq!(n.insert(1, 99), Ok(true));
+        assert_eq!(n.get(1), Some(99));
+        let sorted = n.sorted_pairs();
+        assert_eq!(sorted[0], (1, 99));
+    }
+
+    #[test]
+    fn dense_random_inserts_roundtrip() {
+        let mut n = DataNode::empty(2048);
+        let mut inserted = Vec::new();
+        let mut state = 1u64;
+        for _ in 0..1400 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let k = state >> 16;
+            if n.insert(k, state).unwrap_or(false) || n.get(k).is_some() {
+                inserted.push((k, state));
+            }
+        }
+        for &(k, v) in &inserted {
+            assert_eq!(n.get(k), Some(v), "key {k}");
+        }
+        let sorted = n.sorted_pairs();
+        assert!(sorted.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+}

@@ -1,0 +1,123 @@
+//! Criterion benchmarks for DyTIS's maintenance operations and the design
+//! ablations DESIGN.md calls out: remapping vs expansion vs split cost on a
+//! segment, bucket-size sensitivity, and the slot-hint exponential search
+//! against plain binary search.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dytis::bucket::Bucket;
+use dytis::params::Params;
+use dytis::remap::RemapFn;
+use dytis::segment::Segment;
+use dytis::DyTis;
+use index_traits::KvIndex;
+use std::hint::black_box;
+
+const M_TOTAL: u32 = 55;
+
+fn skewed_segment(params: &Params) -> Segment {
+    // A segment whose keys cluster in 1/16th of its range.
+    let m = M_TOTAL; // Local depth 0.
+    let base = 1u64 << (m - 4);
+    let pairs: Vec<(u64, u64)> = (0..4_000u64).map(|i| (base + i * 7, i)).collect();
+    Segment::build(
+        0,
+        RemapFn::from_counts(vec![4, 4, 4, 4]),
+        &pairs,
+        M_TOTAL,
+        params,
+    )
+}
+
+fn bench_maintenance_ops(c: &mut Criterion) {
+    let params = Params::default();
+    let mut g = c.benchmark_group("segment_maintenance");
+    g.sample_size(20);
+    let seg = skewed_segment(&params);
+    g.bench_function("remap_adjust", |b| {
+        b.iter_batched(
+            || seg.clone(),
+            |mut s| {
+                let k = (1u64 << (M_TOTAL - 4)) + 3;
+                black_box(s.remap_adjust(k, M_TOTAL, 1 << 20, &params))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("expand", |b| {
+        b.iter_batched(
+            || seg.clone(),
+            |mut s| black_box(s.expand(M_TOTAL, 1 << 20, &params)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("split", |b| {
+        b.iter_batched(
+            || seg.clone(),
+            |s| black_box(s.split(M_TOTAL, &params)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_bucket_search(c: &mut Criterion) {
+    // Ablation: hinted exponential search vs full binary search.
+    let mut bucket = Bucket::with_capacity(128);
+    for i in 0..128u64 {
+        bucket.insert(i * 97, i);
+    }
+    let mut g = c.benchmark_group("bucket_search");
+    g.bench_function("hinted_exponential", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..128u64 {
+                // A good hint: the true position.
+                acc += bucket
+                    .search_from_hint(black_box(i * 97), i as usize)
+                    .unwrap_or(0);
+            }
+            acc
+        })
+    });
+    g.bench_function("binary", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..128u64 {
+                acc += bucket.search(black_box(i * 97)).unwrap_or(0);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_bucket_size_ablation(c: &mut Criterion) {
+    let keys: Vec<u64> = (0..200_000u64)
+        .map(|k| k.wrapping_mul(0x9E3779B97F4A7C15))
+        .collect();
+    let mut g = c.benchmark_group("bucket_size_load_200k");
+    g.sample_size(10);
+    for bytes in [1024usize, 2048, 4096] {
+        g.bench_function(format!("{}B", bytes), |b| {
+            b.iter_batched(
+                || DyTis::with_params(Params::default().with_bucket_bytes(bytes)),
+                |mut idx| {
+                    for &k in &keys {
+                        idx.insert(k, k);
+                    }
+                    black_box(idx.len())
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_maintenance_ops,
+    bench_bucket_search,
+    bench_bucket_size_ablation
+);
+criterion_main!(benches);

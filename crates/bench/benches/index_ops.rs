@@ -1,0 +1,121 @@
+//! Criterion micro-benchmarks: per-operation insert / search / scan cost of
+//! every index on a Taxi-like dataset slice (the per-op counterpart of the
+//! Figure 8 throughput tables).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use datasets::{Dataset, DatasetSpec};
+use index_traits::{BulkLoad, KvIndex};
+use std::hint::black_box;
+
+const N: usize = 100_000;
+
+fn keys() -> Vec<u64> {
+    DatasetSpec::new(Dataset::Taxi, N).generate()
+}
+
+fn loaded<I: KvIndex + Default>(keys: &[u64]) -> I {
+    let mut idx = I::default();
+    for &k in keys {
+        idx.insert(k, k);
+    }
+    idx
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let ks = keys();
+    let mut g = c.benchmark_group("insert_100k_taxi");
+    g.sample_size(10);
+    macro_rules! ins_bench {
+        ($name:literal, $ctor:expr) => {
+            g.bench_function($name, |b| {
+                b.iter_batched(
+                    $ctor,
+                    |mut idx| {
+                        for &k in &ks {
+                            idx.insert(k, k);
+                        }
+                        black_box(idx.len())
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+        };
+    }
+    ins_bench!("dytis", dytis::DyTis::new);
+    ins_bench!("btree", stx_btree::BPlusTree::new);
+    ins_bench!("alex", alex_index::Alex::new);
+    ins_bench!("xindex", xindex::XIndex::new);
+    ins_bench!("cceh", exhash::Cceh::new);
+    ins_bench!("eh", exhash::ExtendibleHash::new);
+    g.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let ks = keys();
+    let dytis: dytis::DyTis = loaded(&ks);
+    let btree: stx_btree::BPlusTree = loaded(&ks);
+    let mut sorted: Vec<(u64, u64)> = ks.iter().map(|&k| (k, k)).collect();
+    sorted.sort_unstable();
+    let alex = alex_index::Alex::bulk_load(&sorted);
+    let xindex = xindex::XIndex::bulk_load(&sorted);
+    let cceh: exhash::Cceh = loaded(&ks);
+
+    let probe: Vec<u64> = ks.iter().step_by(7).copied().collect();
+    let mut g = c.benchmark_group("search_hit");
+    macro_rules! get_bench {
+        ($name:literal, $idx:expr) => {
+            g.bench_function($name, |b| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for &k in &probe {
+                        acc ^= $idx.get(black_box(k)).unwrap_or(0);
+                    }
+                    acc
+                })
+            });
+        };
+    }
+    get_bench!("dytis", dytis);
+    get_bench!("btree", btree);
+    get_bench!("alex", alex);
+    get_bench!("xindex", xindex);
+    get_bench!("cceh", cceh);
+    g.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let ks = keys();
+    let dytis: dytis::DyTis = loaded(&ks);
+    let btree: stx_btree::BPlusTree = loaded(&ks);
+    let mut sorted: Vec<(u64, u64)> = ks.iter().map(|&k| (k, k)).collect();
+    sorted.sort_unstable();
+    let alex = alex_index::Alex::bulk_load(&sorted);
+    let xindex = xindex::XIndex::bulk_load(&sorted);
+
+    let starts: Vec<u64> = ks.iter().step_by(97).copied().collect();
+    let mut g = c.benchmark_group("scan_100");
+    macro_rules! scan_bench {
+        ($name:literal, $idx:expr) => {
+            g.bench_function($name, |b| {
+                let mut buf = Vec::with_capacity(128);
+                b.iter(|| {
+                    let mut acc = 0usize;
+                    for &s in &starts {
+                        buf.clear();
+                        $idx.scan(black_box(s), 100, &mut buf);
+                        acc += buf.len();
+                    }
+                    acc
+                })
+            });
+        };
+    }
+    scan_bench!("dytis", dytis);
+    scan_bench!("btree", btree);
+    scan_bench!("alex", alex);
+    scan_bench!("xindex", xindex);
+    g.finish();
+}
+
+criterion_group!(benches, bench_inserts, bench_search, bench_scan);
+criterion_main!(benches);

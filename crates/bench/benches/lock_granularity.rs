@@ -1,0 +1,100 @@
+//! Ablation: segment-level vs bucket-level locking (§3.4).
+//!
+//! The paper explored bucket-granularity locks and found DyTIS "generally
+//! degrades" — this bench reproduces that comparison: multi-threaded load
+//! and mixed read workloads against `ConcurrentDyTis` (segment locks) and
+//! `ConcurrentDyTisFine` (per-bucket locks).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use datasets::{Dataset, DatasetSpec};
+use dytis::{ConcurrentDyTis, ConcurrentDyTisFine};
+use index_traits::ConcurrentKvIndex;
+use std::hint::black_box;
+use std::sync::Arc;
+
+const N: usize = 60_000;
+const THREADS: usize = 4;
+
+fn keys() -> Vec<u64> {
+    DatasetSpec::new(Dataset::ReviewL, N).generate()
+}
+
+fn parallel_load<I: ConcurrentKvIndex + 'static>(idx: Arc<I>, ks: Arc<Vec<u64>>) {
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let idx = Arc::clone(&idx);
+            let ks = Arc::clone(&ks);
+            std::thread::spawn(move || {
+                for i in (t..ks.len()).step_by(THREADS) {
+                    idx.insert(ks[i], i as u64);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker");
+    }
+}
+
+fn parallel_read<I: ConcurrentKvIndex + 'static>(idx: &Arc<I>, ks: &Arc<Vec<u64>>) -> u64 {
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let idx = Arc::clone(idx);
+            let ks = Arc::clone(ks);
+            std::thread::spawn(move || {
+                let mut acc = 0u64;
+                for i in (t..ks.len()).step_by(THREADS * 3) {
+                    acc ^= idx.get(ks[i]).unwrap_or(0);
+                }
+                acc
+            })
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("worker"))
+        .fold(0, |a, b| a ^ b)
+}
+
+fn bench_lock_granularity(c: &mut Criterion) {
+    let ks = Arc::new(keys());
+    let mut g = c.benchmark_group("lock_granularity_4_threads");
+    g.sample_size(10);
+
+    g.bench_function("segment_locks_load", |b| {
+        b.iter_batched(
+            || (Arc::new(ConcurrentDyTis::new()), Arc::clone(&ks)),
+            |(idx, ks)| {
+                parallel_load(Arc::clone(&idx), ks);
+                black_box(idx.len())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("bucket_locks_load", |b| {
+        b.iter_batched(
+            || (Arc::new(ConcurrentDyTisFine::new()), Arc::clone(&ks)),
+            |(idx, ks)| {
+                parallel_load(Arc::clone(&idx), ks);
+                black_box(idx.len())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    let seg_idx = Arc::new(ConcurrentDyTis::new());
+    parallel_load(Arc::clone(&seg_idx), Arc::clone(&ks));
+    let fine_idx = Arc::new(ConcurrentDyTisFine::new());
+    parallel_load(Arc::clone(&fine_idx), Arc::clone(&ks));
+
+    g.bench_function("segment_locks_read", |b| {
+        b.iter(|| black_box(parallel_read(&seg_idx, &ks)))
+    });
+    g.bench_function("bucket_locks_read", |b| {
+        b.iter(|| black_box(parallel_read(&fine_idx, &ks)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lock_granularity);
+criterion_main!(benches);

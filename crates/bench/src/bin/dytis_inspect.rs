@@ -1,0 +1,66 @@
+//! Structure inspector: loads each dataset into DyTIS and prints the
+//! structural profile — directory depths, segment-size and piece-count
+//! distributions, bucket utilization — the quantities behind the paper's
+//! §3.3 "Selecting a segment size" and §4.4 analyses.
+
+use bench::{dataset_keys, DyTis};
+use datasets::Dataset;
+use index_traits::KvIndex;
+
+fn percentile(sorted: &[usize], p: f64) -> usize {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+fn main() {
+    println!("# DyTIS structural profile per dataset");
+    println!("| dataset | keys | EHs used | max GD | segments | pieces | seg buckets p50/p99/max | pieces/seg p50/p99/max | utilization |");
+    println!("|---|---|---|---|---|---|---|---|---|");
+    for ds in Dataset::GROUP1 {
+        let keys = dataset_keys(ds, false);
+        let mut idx = DyTis::new();
+        for &k in &keys {
+            idx.insert(k, k);
+        }
+        let params = idx.params().clone();
+        let mut seg_sizes: Vec<usize> = Vec::new();
+        let mut piece_counts: Vec<usize> = Vec::new();
+        let mut used_tables = 0usize;
+        let mut max_gd = 0u32;
+        let mut total_capacity = 0usize;
+        for t in idx.tables() {
+            if t.is_empty() {
+                continue;
+            }
+            used_tables += 1;
+            max_gd = max_gd.max(t.global_depth());
+            for seg in t.segments() {
+                seg_sizes.push(seg.total_buckets());
+                piece_counts.push(seg.remap.num_pieces());
+                total_capacity += seg.capacity(&params);
+            }
+        }
+        seg_sizes.sort_unstable();
+        piece_counts.sort_unstable();
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {}/{}/{} | {}/{}/{} | {:.2} |",
+            ds.short_name(),
+            keys.len(),
+            used_tables,
+            max_gd,
+            seg_sizes.len(),
+            piece_counts.iter().sum::<usize>(),
+            percentile(&seg_sizes, 0.5),
+            percentile(&seg_sizes, 0.99),
+            seg_sizes.last().copied().unwrap_or(0),
+            percentile(&piece_counts, 0.5),
+            percentile(&piece_counts, 0.99),
+            piece_counts.last().copied().unwrap_or(0),
+            keys.len() as f64 / total_capacity.max(1) as f64,
+        );
+        eprintln!("[inspect] {} done", ds.short_name());
+    }
+}

@@ -1,0 +1,35 @@
+//! Figure 10: ALEX throughput over bulk-loading percentages 30/50/70/90,
+//! normalized to ALEX-10, for every workload and dataset.
+//!
+//! The paper's key finding: "no regularity can be found between load size
+//! and performance" — the normalized values scatter both above and below 1.
+
+use bench::{base_ops, dataset_keys, print_header, run_workload, IndexKind};
+use datasets::Dataset;
+use ycsb::Workload;
+
+fn main() {
+    let n_ops = base_ops();
+    let pcts = [10u32, 30, 50, 70, 90];
+    for ds in Dataset::GROUP1 {
+        let keys = dataset_keys(ds, false);
+        print_header(
+            &format!("Figure 10 ({}) normalized to ALEX-10", ds.short_name()),
+            &["bulk%", "Load", "A", "B", "C", "D'", "E", "F"],
+        );
+        // Measure ALEX-10 baseline per workload first.
+        let mut base = Vec::new();
+        for wl in Workload::ALL {
+            base.push(run_workload(IndexKind::Alex(10), &keys, wl, n_ops).mops);
+        }
+        for pct in pcts {
+            let mut row = vec![format!("ALEX-{pct}")];
+            for (i, wl) in Workload::ALL.into_iter().enumerate() {
+                let m = run_workload(IndexKind::Alex(pct), &keys, wl, n_ops).mops;
+                row.push(format!("{:.2}", m / base[i].max(1e-9)));
+            }
+            println!("| {} |", row.join(" | "));
+            eprintln!("[fig10] {} ALEX-{pct} done", ds.short_name());
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Figure 11: influence of the dynamic characteristics on insert and search.
+//!
+//! (a) KDD effect — performance on the *original* datasets normalized to
+//!     their *shuffled* versions (insert benefits from spatial locality;
+//!     search on model-based indexes suffers from structures built under
+//!     drift, B+-tree is insensitive).
+//! (b) Skewness effect — performance on the *shuffled* datasets normalized
+//!     to same-size *Uniform* datasets (B+-tree flat at 1; DyTIS robust to
+//!     low skew; ALEX sensitive to any skew).
+
+use bench::{base_ops, dataset_keys, print_header, run_workload, IndexKind};
+use datasets::{Dataset, DatasetSpec};
+use ycsb::Workload;
+
+const INDEXES: [IndexKind; 3] = [IndexKind::Dytis, IndexKind::Alex(10), IndexKind::BTree];
+
+fn measure(kind: IndexKind, keys: &[u64], n_ops: usize) -> (f64, f64) {
+    let ins = run_workload_keys(kind, keys, Workload::Load, n_ops);
+    let search = run_workload_keys(kind, keys, Workload::C, n_ops);
+    (ins, search)
+}
+
+fn run_workload_keys(kind: IndexKind, keys: &[u64], wl: Workload, n_ops: usize) -> f64 {
+    run_workload(kind, keys, wl, n_ops).mops
+}
+
+fn main() {
+    let n_ops = base_ops();
+
+    println!("# Figure 11(a): original / shuffled (KDD effect)");
+    for (title, pick) in [("Insertion", 0usize), ("Search", 1)] {
+        print_header(
+            &format!("{title} (normalized to shuffled)"),
+            &["index", "MM", "ML", "RM", "RL", "TX"],
+        );
+        for kind in INDEXES {
+            let mut row = vec![kind.name()];
+            for ds in Dataset::GROUP1 {
+                let orig = dataset_keys(ds, false);
+                let shuf = dataset_keys(ds, true);
+                let o = measure(kind, &orig, n_ops);
+                let s = measure(kind, &shuf, n_ops);
+                let v = [o.0 / s.0.max(1e-9), o.1 / s.1.max(1e-9)][pick];
+                row.push(format!("{v:.2}"));
+            }
+            println!("| {} |", row.join(" | "));
+            eprintln!("[fig11a] {} done", kind.name());
+        }
+    }
+
+    println!("\n# Figure 11(b): shuffled / uniform (skewness effect)");
+    for (title, pick) in [("Insertion", 0usize), ("Search", 1)] {
+        print_header(
+            &format!("{title} (normalized to Uniform)"),
+            &["index", "MM", "ML", "RM", "RL", "TX"],
+        );
+        for kind in INDEXES {
+            let mut row = vec![kind.name()];
+            for ds in Dataset::GROUP1 {
+                let shuf = dataset_keys(ds, true);
+                let uni = DatasetSpec::new(Dataset::Uniform, shuf.len()).generate();
+                let s = measure(kind, &shuf, n_ops);
+                let u = measure(kind, &uni, n_ops);
+                let v = [s.0 / u.0.max(1e-9), s.1 / u.1.max(1e-9)][pick];
+                row.push(format!("{v:.2}"));
+            }
+            println!("| {} |", row.join(" | "));
+            eprintln!("[fig11b] {} done", kind.name());
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Figure 12: throughput of concurrent DyTIS vs concurrent XIndex over
+//! 1/2/4/8 threads on the RL and TX datasets, for insertion, search, and
+//! scan-100 — requests assigned to threads round-robin (§4.5).
+
+use bench::{base_ops, dataset_keys};
+use datasets::Dataset;
+use dytis::ConcurrentDyTis;
+use index_traits::ConcurrentKvIndex;
+use std::sync::Arc;
+use xindex::ConcurrentXIndex;
+use ycsb::{generate_ops, merge_summaries, run_ops_concurrent, Op, Workload};
+
+/// Round-robin partition of an op stream.
+fn shards(ops: &[Op], threads: usize) -> Vec<Vec<Op>> {
+    let mut out = vec![Vec::with_capacity(ops.len() / threads + 1); threads];
+    for (i, op) in ops.iter().enumerate() {
+        out[i % threads].push(*op);
+    }
+    out
+}
+
+fn run_threads<I: ConcurrentKvIndex + 'static>(idx: Arc<I>, ops: &[Op], threads: usize) -> f64 {
+    let parts = shards(ops, threads);
+    let handles: Vec<_> = parts
+        .into_iter()
+        .map(|shard| {
+            let idx = Arc::clone(&idx);
+            std::thread::spawn(move || run_ops_concurrent(&*idx, &shard))
+        })
+        .collect();
+    let summaries: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("worker"))
+        .collect();
+    merge_summaries(&summaries).mops
+}
+
+fn bench_index<I, F>(make: F, keys: &[u64], n_ops: usize, threads: usize) -> (f64, f64, f64)
+where
+    I: ConcurrentKvIndex + 'static,
+    F: Fn() -> I,
+{
+    // Insertion: fresh index, full load.
+    let load: Vec<Op> = keys.iter().map(|&k| Op::Insert(k, k)).collect();
+    let idx = Arc::new(make());
+    let ins = run_threads(Arc::clone(&idx), &load, threads);
+    // Search and scan against the loaded index.
+    let search = generate_ops(Workload::C, keys, &[], n_ops, 9);
+    let s = run_threads(Arc::clone(&idx), &search, threads);
+    let scan_ops: Vec<Op> = generate_ops(Workload::C, keys, &[], n_ops / 10, 10)
+        .into_iter()
+        .map(|op| match op {
+            Op::Read(k) => Op::Scan(k),
+            other => other,
+        })
+        .collect();
+    let sc = run_threads(idx, &scan_ops, threads);
+    (ins, s, sc)
+}
+
+fn main() {
+    let n_ops = base_ops();
+    for ds in [Dataset::ReviewL, Dataset::Taxi] {
+        let keys = dataset_keys(ds, false);
+        println!("\n## Figure 12 ({}) M ops/s", ds.short_name());
+        println!("| index | threads | insertion | search | scan-100 |");
+        println!("|---|---|---|---|---|");
+        for threads in [1usize, 2, 4, 8] {
+            let (i, s, sc) = bench_index(ConcurrentDyTis::new, &keys, n_ops, threads);
+            println!("| DyTIS | {threads} | {i:.2} | {s:.2} | {sc:.2} |");
+            let (i, s, sc) = bench_index(ConcurrentXIndex::new, &keys, n_ops, threads);
+            println!("| XIndex | {threads} | {i:.2} | {s:.2} | {sc:.2} |");
+            eprintln!("[fig12] {} {threads} threads done", ds.short_name());
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Figure 1 + Figure 2 + Figure 3: dynamic characteristics of the datasets.
+//!
+//! Prints, for every Group 1 dataset, its shuffled Group 2 variant and the
+//! Group 3 datasets: the variance of skewness (average PLR models per
+//! 0.1 M-key chunk, scaled) and the key distribution divergence (average KL
+//! divergence of consecutive insertion windows). Then reproduces Figure 2
+//! (model counts per dataset) and Figure 3 (consecutive sub-dataset
+//! histograms for RL vs TX).
+
+use bench::{base_keys, dataset_keys};
+use datasets::{Dataset, DatasetSpec};
+use dyn_metrics::{calibrated_error_bound, key_distribution_divergence, variance_of_skewness};
+
+fn main() {
+    let chunk = (base_keys() / 10).clamp(10_000, 100_000);
+    let delta = calibrated_error_bound(chunk);
+    println!("# Figure 1: dynamic characteristics (chunk = {chunk} keys, delta = {delta:.1})");
+    println!("| dataset | group | skewness (models/chunk) | KDD (avg KL) |");
+    println!("|---|---|---|---|");
+
+    let mut rows: Vec<(String, &str, f64, f64)> = Vec::new();
+    for ds in Dataset::GROUP1 {
+        for shuffled in [false, true] {
+            let keys = dataset_keys(ds, shuffled);
+            let skew = variance_of_skewness(&keys, chunk, delta);
+            let kdd = key_distribution_divergence(&keys, chunk, 64);
+            let name = if shuffled {
+                format!("{}(s)", ds.short_name())
+            } else {
+                ds.short_name().to_string()
+            };
+            rows.push((name, if shuffled { "2" } else { "1" }, skew, kdd));
+        }
+    }
+    for ds in Dataset::GROUP3 {
+        let n = base_keys() / 2;
+        let keys = DatasetSpec::new(ds, n).shuffled().generate();
+        let skew = variance_of_skewness(&keys, chunk, delta);
+        let kdd = key_distribution_divergence(&keys, chunk, 64);
+        rows.push((ds.short_name().to_string(), "3", skew, kdd));
+    }
+    for (name, group, skew, kdd) in &rows {
+        println!("| {name} | {group} | {skew:.2} | {kdd:.3} |");
+    }
+
+    println!("\n# Figure 2: PLR models per chunk (MM vs TX vs RL)");
+    println!("| dataset | models in one chunk |");
+    println!("|---|---|");
+    for ds in [Dataset::MapM, Dataset::Taxi, Dataset::ReviewL] {
+        let mut keys = dataset_keys(ds, false);
+        keys.sort_unstable();
+        let mid = keys.len() / 2;
+        let chunk_keys = &keys[mid.saturating_sub(chunk / 2)..(mid + chunk / 2).min(keys.len())];
+        let models = dyn_metrics::models_for_chunk(chunk_keys, delta);
+        println!("| {} | {} |", ds.short_name(), models);
+    }
+
+    println!("\n# Figure 3: consecutive sub-dataset histograms (16 bins)");
+    for ds in [Dataset::ReviewL, Dataset::Taxi] {
+        let keys = dataset_keys(ds, false);
+        let c = keys.len() / 5;
+        println!("\n{} (expect {}):", ds.short_name(), ds.expected_class());
+        // Three consecutive windows from the middle fifth of the stream.
+        for w in 0..3 {
+            let sub = &keys[2 * c + w * c / 3..2 * c + (w + 1) * c / 3];
+            let min = *sub.iter().min().expect("non-empty");
+            let max = *sub.iter().max().expect("non-empty");
+            let mut hist = [0usize; 16];
+            for &k in sub {
+                let b = (((k - min) as u128 * 16) / ((max - min) as u128 + 1)) as usize;
+                hist[b.min(15)] += 1;
+            }
+            let peak = *hist.iter().max().expect("non-empty") as f64;
+            let bar: String = hist
+                .iter()
+                .map(|&h| {
+                    let lvl = (h as f64 / peak * 7.0) as usize;
+                    ['.', ':', '-', '=', '+', '*', '#', '@'][lvl]
+                })
+                .collect();
+            println!("  window {w}: [{bar}]");
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Figure 8: throughput of the seven YCSB-style workloads over the five
+//! dynamic datasets for DyTIS, ALEX-10, ALEX-70, XIndex, and the B+-tree.
+//!
+//! One table per workload, one row per index, one column per dataset —
+//! matching the paper's sub-figures (a)–(g). Units: M ops/s.
+
+use bench::{base_ops, dataset_keys, print_header, run_workload, IndexKind};
+use datasets::Dataset;
+use ycsb::Workload;
+
+fn main() {
+    let n_ops = base_ops();
+    let data: Vec<(Dataset, Vec<u64>)> = Dataset::GROUP1
+        .iter()
+        .map(|&ds| (ds, dataset_keys(ds, false)))
+        .collect();
+
+    for wl in Workload::ALL {
+        print_header(
+            &format!("Figure 8 ({}) throughput, M ops/s", wl.name()),
+            &["index", "MM", "ML", "RM", "RL", "TX"],
+        );
+        for kind in IndexKind::FIG8 {
+            let mut row = vec![kind.name()];
+            for (ds, keys) in &data {
+                let s = run_workload(kind, keys, wl, n_ops);
+                row.push(format!("{:.2}", s.mops));
+                eprintln!(
+                    "[fig8] {} {} {}: {:.2} Mops ({} ops)",
+                    wl.name(),
+                    kind.name(),
+                    ds.short_name(),
+                    s.mops,
+                    s.ops
+                );
+            }
+            println!("| {} |", row.join(" | "));
+        }
+    }
+}

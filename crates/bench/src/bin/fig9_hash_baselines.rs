@@ -1,0 +1,52 @@
+//! Figure 9: DyTIS vs CCEH vs plain Extendible Hashing — insertion and
+//! search throughput over the five datasets.
+//!
+//! The expected shape (§4.3): DyTIS beats EH everywhere; CCEH beats DyTIS
+//! on search (DyTIS trades hash-speed for scan support) while insertion
+//! gives and takes.
+
+use bench::{base_ops, dataset_keys, print_header, Cceh, DyTis, ExtendibleHash};
+use datasets::Dataset;
+use index_traits::KvIndex;
+use ycsb::{generate_ops, run_ops, Workload};
+
+fn measure<I: KvIndex>(idx: &mut I, keys: &[u64], n_ops: usize) -> (f64, f64) {
+    let load = generate_ops(Workload::Load, &[], keys, usize::MAX, 1);
+    let ins = run_ops(idx, &load);
+    let search = generate_ops(Workload::C, keys, &[], n_ops, 2);
+    let get = run_ops(idx, &search);
+    (ins.mops, get.mops)
+}
+
+fn main() {
+    let n_ops = base_ops();
+    let mut rows: Vec<(String, Vec<f64>, Vec<f64>)> = vec![
+        ("DyTIS".into(), vec![], vec![]),
+        ("CCEH".into(), vec![], vec![]),
+        ("EH".into(), vec![], vec![]),
+    ];
+    for ds in Dataset::GROUP1 {
+        let keys = dataset_keys(ds, false);
+        let (i, s) = measure(&mut DyTis::new(), &keys, n_ops);
+        rows[0].1.push(i);
+        rows[0].2.push(s);
+        let (i, s) = measure(&mut Cceh::new(), &keys, n_ops);
+        rows[1].1.push(i);
+        rows[1].2.push(s);
+        let (i, s) = measure(&mut ExtendibleHash::new(), &keys, n_ops);
+        rows[2].1.push(i);
+        rows[2].2.push(s);
+        eprintln!("[fig9] {} done", ds.short_name());
+    }
+    for (title, pick) in [("(a) Insertion", 0usize), ("(b) Search", 1)] {
+        print_header(
+            &format!("Figure 9 {title}, M ops/s"),
+            &["index", "MM", "ML", "RM", "RL", "TX"],
+        );
+        for (name, ins, search) in &rows {
+            let vals = if pick == 0 { ins } else { search };
+            let cells: Vec<String> = vals.iter().map(|v| format!("{v:.2}")).collect();
+            println!("| {} | {} |", name, cells.join(" | "));
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! §4.3 "Insertion Breakdown": where DyTIS spends its maintenance time
+//! during the Load workload — split vs remapping vs expansion vs directory
+//! doubling — plus the keys-moved (memory copy) counters.
+//!
+//! Expected shape: RM/RL (high skew) dominated by remapping; TX (high KDD)
+//! split between remapping and expansion.
+
+use bench::dataset_keys;
+use datasets::Dataset;
+use dytis::DyTis;
+use index_traits::KvIndex;
+
+fn main() {
+    println!("# DyTIS insertion breakdown over Load");
+    println!("| dataset | splits | remaps | expansions | doublings | keys moved | split% | remap% | expand% | double% | raised-limit EHs |");
+    println!("|---|---|---|---|---|---|---|---|---|---|---|");
+    for ds in Dataset::GROUP1 {
+        let keys = dataset_keys(ds, false);
+        let mut idx = DyTis::new();
+        for &k in &keys {
+            idx.insert(k, k);
+        }
+        let st = idx.stats();
+        let total_ns = st.times.total_ns().max(1) as f64;
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {:.0}% | {:.0}% | {:.0}% | {:.0}% | {} |",
+            ds.short_name(),
+            st.ops.splits,
+            st.ops.remaps,
+            st.ops.expansions,
+            st.ops.doublings,
+            st.ops.keys_moved,
+            100.0 * st.times.split_ns as f64 / total_ns,
+            100.0 * st.times.remap_ns as f64 / total_ns,
+            100.0 * st.times.expansion_ns as f64 / total_ns,
+            100.0 * st.times.doubling_ns as f64 / total_ns,
+            idx.raised_limit_tables(),
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! §3.4 locking-granularity ablation: segment-level vs bucket-level locks.
+//!
+//! The paper: "CCEH leverages concurrency at finer grains of buckets within
+//! segments. We also explored this, but found that performance of DyTIS
+//! generally degrades." This binary measures both concurrent DyTIS variants
+//! over 1/2/4/8 threads on the RL and TX datasets (same protocol as
+//! Figure 12).
+
+use bench::{base_ops, dataset_keys};
+use datasets::Dataset;
+use dytis::{ConcurrentDyTis, ConcurrentDyTisFine};
+use index_traits::ConcurrentKvIndex;
+use std::sync::Arc;
+use ycsb::{generate_ops, merge_summaries, run_ops_concurrent, Op, Workload};
+
+fn shards(ops: &[Op], threads: usize) -> Vec<Vec<Op>> {
+    let mut out = vec![Vec::with_capacity(ops.len() / threads + 1); threads];
+    for (i, op) in ops.iter().enumerate() {
+        out[i % threads].push(*op);
+    }
+    out
+}
+
+fn run_threads<I: ConcurrentKvIndex + 'static>(idx: Arc<I>, ops: &[Op], threads: usize) -> f64 {
+    let parts = shards(ops, threads);
+    let handles: Vec<_> = parts
+        .into_iter()
+        .map(|shard| {
+            let idx = Arc::clone(&idx);
+            std::thread::spawn(move || run_ops_concurrent(&*idx, &shard))
+        })
+        .collect();
+    let summaries: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("worker"))
+        .collect();
+    merge_summaries(&summaries).mops
+}
+
+fn measure<I, F>(make: F, keys: &[u64], n_ops: usize, threads: usize) -> (f64, f64)
+where
+    I: ConcurrentKvIndex + 'static,
+    F: Fn() -> I,
+{
+    let load: Vec<Op> = keys.iter().map(|&k| Op::Insert(k, k)).collect();
+    let idx = Arc::new(make());
+    let ins = run_threads(Arc::clone(&idx), &load, threads);
+    let search = generate_ops(Workload::C, keys, &[], n_ops, 11);
+    let s = run_threads(idx, &search, threads);
+    (ins, s)
+}
+
+fn main() {
+    let n_ops = base_ops();
+    for ds in [Dataset::ReviewL, Dataset::Taxi] {
+        let keys = dataset_keys(ds, false);
+        println!("\n## Lock granularity ({}) M ops/s", ds.short_name());
+        println!("| variant | threads | insertion | search |");
+        println!("|---|---|---|---|");
+        for threads in [1usize, 2, 4, 8] {
+            let (i, s) = measure(ConcurrentDyTis::new, &keys, n_ops, threads);
+            println!("| segment locks | {threads} | {i:.2} | {s:.2} |");
+            let (i, s) = measure(ConcurrentDyTisFine::new, &keys, n_ops, threads);
+            println!("| bucket locks | {threads} | {i:.2} | {s:.2} |");
+            eprintln!("[lock] {} {threads} threads done", ds.short_name());
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! §4.3 memory-usage analysis: structural memory of every index after the
+//! Load workload, per dataset (substitute for the paper's `dstat` max-RSS).
+//!
+//! Expected shape: ALEX and the B+-tree use ~25% less than DyTIS (DyTIS's
+//! fixed buckets hold slack), and XIndex uses several times more (delta
+//! indexes).
+
+use bench::{build_index, dataset_keys, IndexKind};
+use datasets::Dataset;
+
+fn main() {
+    println!("# Memory usage after Load (MB; % vs DyTIS in parens)");
+    print!("| dataset |");
+    let kinds = [
+        IndexKind::Dytis,
+        IndexKind::Alex(10),
+        IndexKind::Alex(50),
+        IndexKind::Alex(90),
+        IndexKind::XIndex,
+        IndexKind::BTree,
+    ];
+    for kind in kinds {
+        print!(" {} |", kind.name());
+    }
+    println!();
+    println!("|---|---|---|---|---|---|---|");
+    for ds in Dataset::GROUP1 {
+        let keys = dataset_keys(ds, false);
+        let dytis_mem = build_index(IndexKind::Dytis, &keys, 100).peak_bytes;
+        print!("| {} |", ds.short_name());
+        for kind in kinds {
+            let mem = if kind == IndexKind::Dytis {
+                dytis_mem
+            } else {
+                build_index(kind, &keys, 100).peak_bytes
+            };
+            let pct = 100.0 * (mem as f64 - dytis_mem as f64) / dytis_mem as f64;
+            print!(" {:.1} ({:+.0}%) |", mem as f64 / 1e6, pct);
+        }
+        println!();
+        eprintln!("[memory] {} done", ds.short_name());
+    }
+}

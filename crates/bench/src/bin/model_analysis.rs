@@ -1,0 +1,92 @@
+//! Structural model analysis (§4.3, §4.4, footnote 6).
+//!
+//! Reproduces the paper's structural claims:
+//! 1. §4.3 — "to query a key, DyTIS always uses a linear model once, but
+//!    ALEX uses at least two"; "the average number of models used in
+//!    ALEX-10 is up to 3.33% (for RL) of that in DyTIS" — i.e. DyTIS keeps
+//!    *many more, flatter* models while ALEX keeps *fewer but hierarchical*
+//!    ones.
+//! 2. §4.4 — under high skew, ALEX's node count explodes relative to a
+//!    uniform dataset (1341x in the paper) while DyTIS's growth is mild
+//!    (17x).
+//! 3. Footnote 6 — LIPP's structure on these datasets (node counts, depth,
+//!    memory) compared to DyTIS.
+
+use alex_index::Alex;
+use bench::{dataset_keys, DyTis};
+use datasets::{Dataset, DatasetSpec};
+use index_traits::{BulkLoad, KvIndex};
+use lipp::Lipp;
+
+fn load_dytis(keys: &[u64]) -> DyTis {
+    let mut d = DyTis::new();
+    for &k in keys {
+        d.insert(k, k);
+    }
+    d
+}
+
+fn load_alex(keys: &[u64], pct: usize) -> Alex {
+    let n = keys.len() * pct / 100;
+    let mut bulk: Vec<(u64, u64)> = keys[..n].iter().map(|&k| (k, k)).collect();
+    bulk.sort_unstable();
+    bulk.dedup_by_key(|p| p.0);
+    let mut a = Alex::bulk_load(&bulk);
+    for &k in &keys[n..] {
+        a.insert(k, k);
+    }
+    a
+}
+
+fn main() {
+    println!("# Structural model analysis (DyTIS vs ALEX-10 vs LIPP)");
+    println!("| dataset | DyTIS models | DyTIS segments | DyTIS max GD | ALEX nodes | ALEX depth | LIPP nodes | LIPP depth | LIPP mem/raw |");
+    println!("|---|---|---|---|---|---|---|---|---|");
+    for ds in Dataset::GROUP1 {
+        let keys = dataset_keys(ds, false);
+        let d = load_dytis(&keys);
+        let a = load_alex(&keys, 10);
+        let mut l = Lipp::new();
+        for &k in &keys {
+            l.insert(k, k);
+        }
+        let raw = keys.len() * 16;
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {:.1}x |",
+            ds.short_name(),
+            d.model_count(),
+            d.segment_count(),
+            d.max_global_depth(),
+            a.node_count(),
+            a.depth(),
+            l.node_count(),
+            l.depth(),
+            l.memory_bytes() as f64 / raw as f64,
+        );
+        eprintln!("[model] {} done", ds.short_name());
+    }
+
+    // §4.4's skew-effect claim: node growth of a skewed dataset relative to
+    // a uniform dataset of the same size.
+    println!("\n# Node/model growth under skew (shuffled RL vs Uniform, same size)");
+    let rl = dataset_keys(Dataset::ReviewL, true);
+    let uni = DatasetSpec::new(Dataset::Uniform, rl.len()).generate();
+    let d_rl = load_dytis(&rl);
+    let d_uni = load_dytis(&uni);
+    let a_rl = load_alex(&rl, 10);
+    let a_uni = load_alex(&uni, 10);
+    println!("| index | uniform nodes/models | RL(s) nodes/models | growth |");
+    println!("|---|---|---|---|");
+    println!(
+        "| DyTIS | {} | {} | {:.1}x |",
+        d_uni.model_count(),
+        d_rl.model_count(),
+        d_rl.model_count() as f64 / d_uni.model_count() as f64
+    );
+    println!(
+        "| ALEX-10 | {} | {} | {:.1}x |",
+        a_uni.node_count(),
+        a_rl.node_count(),
+        a_rl.node_count() as f64 / a_uni.node_count() as f64
+    );
+}

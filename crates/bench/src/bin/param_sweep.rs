@@ -1,0 +1,149 @@
+//! §4.3 "Parameter Effect": DyTIS throughput over the control parameters,
+//! normalized to the default setting, averaged over the five datasets.
+//!
+//! Sweeps: bucket size `B_size` (1/2/4 KiB), `L_start` (4/6/8/10), first
+//! level bits `R` (7/9/11/13), utilization threshold `U_t`
+//! (0.5/0.55/0.6/0.65/0.7), and the raised segment limit `Limit_seg`.
+
+use bench::{base_ops, dataset_keys};
+use datasets::Dataset;
+use dytis::{DyTis, Params};
+use ycsb::{generate_ops, run_ops, Op, Workload, SCAN_LEN};
+
+/// Insert / search / scan throughput for one parameterization, averaged
+/// over the Group 1 datasets.
+fn measure(params: &Params, n_ops: usize) -> (f64, f64, f64) {
+    let (mut ins, mut search, mut scan) = (0.0, 0.0, 0.0);
+    let mut count = 0.0;
+    for ds in Dataset::GROUP1 {
+        let keys = dataset_keys(ds, false);
+        let mut idx = DyTis::with_params(params.clone());
+        let load: Vec<Op> = keys.iter().map(|&k| Op::Insert(k, k)).collect();
+        ins += run_ops(&mut idx, &load).mops;
+        let ops = generate_ops(Workload::C, &keys, &[], n_ops, 3);
+        search += run_ops(&mut idx, &ops).mops;
+        let scan_ops: Vec<Op> = generate_ops(Workload::C, &keys, &[], n_ops / 20, 4)
+            .into_iter()
+            .map(|op| match op {
+                Op::Read(k) => Op::Scan(k),
+                o => o,
+            })
+            .collect();
+        let s = run_ops(&mut idx, &scan_ops);
+        scan += s.mops * SCAN_LEN as f64; // Records per second, like the paper.
+        count += 1.0;
+    }
+    (ins / count, search / count, scan / count)
+}
+
+fn report(name: &str, variants: Vec<(String, Params)>, base: (f64, f64, f64), n_ops: usize) {
+    println!("\n## {name} (normalized to default)");
+    println!("| setting | insertion | search | scan |");
+    println!("|---|---|---|---|");
+    for (label, p) in variants {
+        let m = measure(&p, n_ops);
+        println!(
+            "| {label} | {:.3} | {:.3} | {:.3} |",
+            m.0 / base.0,
+            m.1 / base.1,
+            m.2 / base.2
+        );
+        eprintln!("[param] {name} {label} done");
+    }
+}
+
+fn main() {
+    let n_ops = base_ops() / 2;
+    let base = measure(&Params::default(), n_ops);
+    println!(
+        "# Parameter effect. Default: insert {:.2} / search {:.2} / scan {:.2} Mops",
+        base.0, base.1, base.2
+    );
+
+    report(
+        "Bucket size B_size",
+        [1024usize, 4096]
+            .into_iter()
+            .map(|b| {
+                (
+                    format!("{}KB", b / 1024),
+                    Params::default().with_bucket_bytes(b),
+                )
+            })
+            .collect(),
+        base,
+        n_ops,
+    );
+
+    report(
+        "L_start",
+        [4u32, 8, 10]
+            .into_iter()
+            .map(|l| {
+                (
+                    format!("L_start={l}"),
+                    Params {
+                        l_start: l,
+                        ..Params::default()
+                    },
+                )
+            })
+            .collect(),
+        base,
+        n_ops,
+    );
+
+    report(
+        "First-level bits R",
+        [7u32, 11, 13]
+            .into_iter()
+            .map(|r| {
+                (
+                    format!("R={r}"),
+                    Params {
+                        first_level_bits: r,
+                        ..Params::default()
+                    },
+                )
+            })
+            .collect(),
+        base,
+        n_ops,
+    );
+
+    report(
+        "Utilization threshold U_t",
+        [0.5f64, 0.55, 0.65, 0.7]
+            .into_iter()
+            .map(|u| {
+                (
+                    format!("U_t={u}"),
+                    Params {
+                        utilization_threshold: u,
+                        ..Params::default()
+                    },
+                )
+            })
+            .collect(),
+        base,
+        n_ops,
+    );
+
+    report(
+        "Limit_seg raised multiplier",
+        [2u32, 32, 512]
+            .into_iter()
+            .map(|m| {
+                (
+                    format!("raised={m}x"),
+                    Params {
+                        limit_mult_raised: m,
+                        ..Params::default()
+                    },
+                )
+            })
+            .collect(),
+        base,
+        n_ops,
+    );
+}

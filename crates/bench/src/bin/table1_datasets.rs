@@ -1,0 +1,23 @@
+//! Table 1: datasets used in the experiments — number of keys, key-range
+//! size, dataset bytes, and the skewness/KDD class.
+
+use bench::dataset_keys;
+use datasets::{stats, Dataset};
+
+fn main() {
+    println!("# Table 1: datasets (scaled; paper sizes are 82M-903M keys)");
+    println!("| Name | Number of keys | Key range size | Dataset size | Skewness,KDD |");
+    println!("|---|---|---|---|---|");
+    for ds in Dataset::GROUP1 {
+        let keys = dataset_keys(ds, false);
+        let s = stats(&keys);
+        println!(
+            "| {} | {:.1}M | {:.2e} | {:.1}MB | {} |",
+            ds.short_name(),
+            s.num_keys as f64 / 1e6,
+            s.key_range as f64,
+            s.bytes as f64 / 1e6,
+            ds.expected_class()
+        );
+    }
+}

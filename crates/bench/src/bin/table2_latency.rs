@@ -1,0 +1,31 @@
+//! Table 2: average / 99th / 99.99th percentile latencies (ns) of the Load
+//! and YCSB-A workloads for all five indexes over all five datasets.
+
+use bench::{base_ops, dataset_keys, run_workload, IndexKind};
+use datasets::Dataset;
+use ycsb::Workload;
+
+fn main() {
+    for wl in [Workload::Load, Workload::A] {
+        println!(
+            "\n## Table 2 ({}) avg / p99 / p99.99 latency (ns)",
+            wl.name()
+        );
+        print!("| dataset |");
+        for kind in IndexKind::FIG8 {
+            print!(" {} |", kind.name());
+        }
+        println!();
+        println!("|---|---|---|---|---|---|");
+        for ds in Dataset::GROUP1 {
+            let keys = dataset_keys(ds, false);
+            print!("| {} |", ds.short_name());
+            for kind in IndexKind::FIG8 {
+                let s = run_workload(kind, &keys, wl, base_ops());
+                print!(" {:.0}/{}/{} |", s.avg_ns, s.p99_ns, s.p9999_ns);
+            }
+            println!();
+            eprintln!("[table2] {} {} done", wl.name(), ds.short_name());
+        }
+    }
+}

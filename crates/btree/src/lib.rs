@@ -1,0 +1,526 @@
+//! STX-style in-memory B+-tree baseline (paper §4.1).
+//!
+//! The paper compares DyTIS against the STX B+-tree with fanout 128 ("the
+//! fanout is set to 128 that shows the best performance in our setup") and
+//! modified to support in-place updates. This crate reimplements that
+//! design: an arena-allocated B+-tree whose inner nodes hold up to
+//! `FANOUT - 1` separator keys and whose leaves hold up to `FANOUT`
+//! key-value pairs with sibling links for ordered scans.
+
+use index_traits::{BulkLoad, Key, KvIndex, Value};
+
+/// Maximum children per inner node / pairs per leaf (the paper's fanout).
+pub const FANOUT: usize = 128;
+
+type NodeId = u32;
+
+#[derive(Debug, Clone)]
+struct Inner {
+    /// Separator keys; child `i` holds keys `< keys[i]`, child `keys.len()`
+    /// holds the rest.
+    keys: Vec<Key>,
+    children: Vec<NodeId>,
+}
+
+#[derive(Debug, Clone)]
+struct Leaf {
+    keys: Vec<Key>,
+    vals: Vec<Value>,
+    next: Option<NodeId>,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Inner(Inner),
+    Leaf(Leaf),
+}
+
+/// An in-memory B+-tree with leaf sibling links.
+///
+/// # Examples
+///
+/// ```
+/// use stx_btree::BPlusTree;
+/// use index_traits::KvIndex;
+///
+/// let mut t = BPlusTree::new();
+/// for k in 0..1000u64 {
+///     t.insert(k * 2, k);
+/// }
+/// assert_eq!(t.get(10), Some(5));
+/// let mut out = Vec::new();
+/// t.scan(5, 3, &mut out);
+/// assert_eq!(out, vec![(6, 3), (8, 4), (10, 5)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BPlusTree {
+    nodes: Vec<Node>,
+    root: NodeId,
+    num_keys: usize,
+    depth: u32,
+}
+
+impl Default for BPlusTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BPlusTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        BPlusTree {
+            nodes: vec![Node::Leaf(Leaf {
+                keys: Vec::new(),
+                vals: Vec::new(),
+                next: None,
+            })],
+            root: 0,
+            num_keys: 0,
+            depth: 1,
+        }
+    }
+
+    /// Height of the tree (1 = a single leaf).
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    fn alloc(&mut self, n: Node) -> NodeId {
+        self.nodes.push(n);
+        (self.nodes.len() - 1) as NodeId
+    }
+
+    /// Finds the leaf that must contain `key`, recording the descent path
+    /// (node id, child index) for split handling.
+    fn descend(&self, key: Key, path: &mut Vec<(NodeId, usize)>) -> NodeId {
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id as usize] {
+                Node::Inner(inner) => {
+                    let i = inner.keys.partition_point(|&k| k <= key);
+                    path.push((id, i));
+                    id = inner.children[i];
+                }
+                Node::Leaf(_) => return id,
+            }
+        }
+    }
+
+    fn leaf(&self, id: NodeId) -> &Leaf {
+        match &self.nodes[id as usize] {
+            Node::Leaf(l) => l,
+            Node::Inner(_) => unreachable!("expected leaf"),
+        }
+    }
+
+    fn leaf_mut(&mut self, id: NodeId) -> &mut Leaf {
+        match &mut self.nodes[id as usize] {
+            Node::Leaf(l) => l,
+            Node::Inner(_) => unreachable!("expected leaf"),
+        }
+    }
+
+    /// Splits an over-full leaf, returning the separator and new node id.
+    fn split_leaf(&mut self, id: NodeId) -> (Key, NodeId) {
+        let new_id = self.nodes.len() as NodeId;
+        let leaf = self.leaf_mut(id);
+        let mid = leaf.keys.len() / 2;
+        let right = Leaf {
+            keys: leaf.keys.split_off(mid),
+            vals: leaf.vals.split_off(mid),
+            next: leaf.next,
+        };
+        leaf.next = Some(new_id);
+        let sep = right.keys[0];
+        let got = self.alloc(Node::Leaf(right));
+        debug_assert_eq!(got, new_id);
+        (sep, new_id)
+    }
+
+    fn split_inner(&mut self, id: NodeId) -> (Key, NodeId) {
+        let Node::Inner(inner) = &mut self.nodes[id as usize] else {
+            unreachable!("expected inner");
+        };
+        let mid = inner.keys.len() / 2;
+        let sep = inner.keys[mid];
+        let right = Inner {
+            keys: inner.keys.split_off(mid + 1),
+            children: inner.children.split_off(mid + 1),
+        };
+        inner.keys.pop(); // The separator moves up.
+        let new_id = self.alloc(Node::Inner(right));
+        (sep, new_id)
+    }
+
+    /// Propagates a split `(separator, right-node)` up the recorded path.
+    fn propagate_split(
+        &mut self,
+        mut sep: Key,
+        mut right: NodeId,
+        path: &mut Vec<(NodeId, usize)>,
+    ) {
+        while let Some((pid, ci)) = path.pop() {
+            let Node::Inner(parent) = &mut self.nodes[pid as usize] else {
+                unreachable!("path holds inner nodes");
+            };
+            parent.keys.insert(ci, sep);
+            parent.children.insert(ci + 1, right);
+            if parent.keys.len() < FANOUT {
+                return;
+            }
+            let (s, r) = self.split_inner(pid);
+            sep = s;
+            right = r;
+        }
+        // The root itself split: grow the tree.
+        let old_root = self.root;
+        self.root = self.alloc(Node::Inner(Inner {
+            keys: vec![sep],
+            children: vec![old_root, right],
+        }));
+        self.depth += 1;
+    }
+
+    /// Removes an empty leaf from its parent chain (lazy rebalancing: nodes
+    /// are deleted when empty rather than merged at half-full; the paper's
+    /// evaluated workloads contain no deletes).
+    fn prune_empty(&mut self, path: &mut Vec<(NodeId, usize)>) {
+        while let Some((pid, ci)) = path.pop() {
+            let Node::Inner(parent) = &mut self.nodes[pid as usize] else {
+                unreachable!("path holds inner nodes");
+            };
+            parent.children.remove(ci);
+            if ci == 0 {
+                if !parent.keys.is_empty() {
+                    parent.keys.remove(0);
+                }
+            } else {
+                parent.keys.remove(ci - 1);
+            }
+            if !parent.children.is_empty() {
+                break;
+            }
+        }
+        // Rebuild leaf links around the removed leaf.
+        self.relink_leaves();
+        // Collapse a root with a single child.
+        while let Node::Inner(inner) = &self.nodes[self.root as usize] {
+            if inner.children.len() == 1 {
+                self.root = inner.children[0];
+                self.depth -= 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Rebuilds the leaf sibling chain left-to-right (only after structural
+    /// deletions, which are rare in the evaluated workloads).
+    fn relink_leaves(&mut self) {
+        let mut leaves = Vec::new();
+        self.collect_leaves(self.root, &mut leaves);
+        for w in leaves.windows(2) {
+            self.leaf_mut(w[0]).next = Some(w[1]);
+        }
+        if let Some(&last) = leaves.last() {
+            self.leaf_mut(last).next = None;
+        }
+    }
+
+    fn collect_leaves(&self, id: NodeId, out: &mut Vec<NodeId>) {
+        match &self.nodes[id as usize] {
+            Node::Inner(inner) => {
+                for &c in &inner.children {
+                    self.collect_leaves(c, out);
+                }
+            }
+            Node::Leaf(_) => out.push(id),
+        }
+    }
+
+    /// Average leaf fill factor (for the Figure 8 workload-E discussion of
+    /// data-node sizes).
+    pub fn avg_leaf_fill(&self) -> f64 {
+        let mut leaves = Vec::new();
+        self.collect_leaves(self.root, &mut leaves);
+        let total: usize = leaves.iter().map(|&l| self.leaf(l).keys.len()).sum();
+        total as f64 / (leaves.len() * FANOUT) as f64
+    }
+}
+
+impl KvIndex for BPlusTree {
+    fn insert(&mut self, key: Key, value: Value) {
+        let mut path = Vec::with_capacity(self.depth as usize);
+        let leaf_id = self.descend(key, &mut path);
+        let leaf = self.leaf_mut(leaf_id);
+        match leaf.keys.binary_search(&key) {
+            Ok(i) => {
+                leaf.vals[i] = value; // In-place update (§4.1).
+                return;
+            }
+            Err(i) => {
+                leaf.keys.insert(i, key);
+                leaf.vals.insert(i, value);
+                self.num_keys += 1;
+            }
+        }
+        if self.leaf(leaf_id).keys.len() > FANOUT {
+            let (sep, right) = self.split_leaf(leaf_id);
+            self.propagate_split(sep, right, &mut path);
+        }
+    }
+
+    fn get(&self, key: Key) -> Option<Value> {
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id as usize] {
+                Node::Inner(inner) => {
+                    let i = inner.keys.partition_point(|&k| k <= key);
+                    id = inner.children[i];
+                }
+                Node::Leaf(leaf) => {
+                    return leaf.keys.binary_search(&key).ok().map(|i| leaf.vals[i]);
+                }
+            }
+        }
+    }
+
+    fn remove(&mut self, key: Key) -> Option<Value> {
+        let mut path = Vec::with_capacity(self.depth as usize);
+        let leaf_id = self.descend(key, &mut path);
+        let leaf = self.leaf_mut(leaf_id);
+        let i = leaf.keys.binary_search(&key).ok()?;
+        leaf.keys.remove(i);
+        let v = leaf.vals.remove(i);
+        self.num_keys -= 1;
+        if self.leaf(leaf_id).keys.is_empty() && !path.is_empty() {
+            self.prune_empty(&mut path);
+        }
+        Some(v)
+    }
+
+    fn scan(&self, start: Key, count: usize, out: &mut Vec<(Key, Value)>) {
+        let mut path = Vec::with_capacity(self.depth as usize);
+        let mut leaf_id = self.descend(start, &mut path);
+        let mut i = self.leaf(leaf_id).keys.partition_point(|&k| k < start);
+        loop {
+            let leaf = self.leaf(leaf_id);
+            while i < leaf.keys.len() {
+                if out.len() >= count {
+                    return;
+                }
+                out.push((leaf.keys[i], leaf.vals[i]));
+                i += 1;
+            }
+            match leaf.next {
+                Some(n) => {
+                    leaf_id = n;
+                    i = 0;
+                }
+                None => return,
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.num_keys
+    }
+
+    fn name(&self) -> &'static str {
+        "B+-tree"
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| match n {
+                    Node::Inner(i) => i.keys.capacity() * 8 + i.children.capacity() * 4,
+                    Node::Leaf(l) => (l.keys.capacity() + l.vals.capacity()) * 8,
+                })
+                .sum::<usize>()
+    }
+}
+
+impl BulkLoad for BPlusTree {
+    fn bulk_load(pairs: &[(Key, Value)]) -> Self {
+        let mut t = BPlusTree::new();
+        if pairs.is_empty() {
+            return t;
+        }
+        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0), "unsorted input");
+        t.nodes.clear();
+        t.num_keys = pairs.len();
+        // Build leaves at ~90% fill (STX-style bulk load).
+        let per_leaf = (FANOUT * 9 / 10).max(1);
+        let mut level: Vec<(Key, NodeId)> = Vec::new();
+        let mut prev: Option<NodeId> = None;
+        for chunk in pairs.chunks(per_leaf) {
+            let id = t.alloc(Node::Leaf(Leaf {
+                keys: chunk.iter().map(|&(k, _)| k).collect(),
+                vals: chunk.iter().map(|&(_, v)| v).collect(),
+                next: None,
+            }));
+            if let Some(p) = prev {
+                t.leaf_mut(p).next = Some(id);
+            }
+            prev = Some(id);
+            level.push((chunk[0].0, id));
+        }
+        // Build inner levels until one node remains.
+        t.depth = 1;
+        while level.len() > 1 {
+            let mut next_level = Vec::new();
+            for chunk in level.chunks(FANOUT) {
+                let keys: Vec<Key> = chunk[1..].iter().map(|&(k, _)| k).collect();
+                let children: Vec<NodeId> = chunk.iter().map(|&(_, id)| id).collect();
+                let id = t.alloc(Node::Inner(Inner { keys, children }));
+                next_level.push((chunk[0].0, id));
+            }
+            level = next_level;
+            t.depth += 1;
+        }
+        t.root = level[0].1;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_sequential() {
+        let mut t = BPlusTree::new();
+        for k in 0..50_000u64 {
+            t.insert(k, k * 2);
+        }
+        assert_eq!(t.len(), 50_000);
+        assert!(t.depth() >= 2);
+        for k in (0..50_000u64).step_by(101) {
+            assert_eq!(t.get(k), Some(k * 2));
+        }
+        assert_eq!(t.get(50_001), None);
+    }
+
+    #[test]
+    fn insert_get_random_order() {
+        let mut t = BPlusTree::new();
+        let keys: Vec<u64> = (0..30_000u64)
+            .map(|k| k.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
+        for &k in &keys {
+            t.insert(k, !k);
+        }
+        for &k in keys.iter().step_by(97) {
+            assert_eq!(t.get(k), Some(!k));
+        }
+    }
+
+    #[test]
+    fn update_in_place() {
+        let mut t = BPlusTree::new();
+        t.insert(9, 1);
+        t.insert(9, 2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(9), Some(2));
+    }
+
+    #[test]
+    fn scan_is_sorted_and_complete() {
+        let mut t = BPlusTree::new();
+        let keys: Vec<u64> = (0..10_000u64).map(|k| k * 3 + 1).collect();
+        for &k in &keys {
+            t.insert(k, k);
+        }
+        let mut out = Vec::new();
+        t.scan(0, usize::MAX, &mut out);
+        assert_eq!(out.len(), keys.len());
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+        out.clear();
+        t.scan(31, 5, &mut out);
+        assert_eq!(
+            out.iter().map(|&(k, _)| k).collect::<Vec<_>>(),
+            vec![31, 34, 37, 40, 43]
+        );
+    }
+
+    #[test]
+    fn remove_then_get_misses() {
+        let mut t = BPlusTree::new();
+        for k in 0..20_000u64 {
+            t.insert(k, k);
+        }
+        for k in (0..20_000u64).step_by(2) {
+            assert_eq!(t.remove(k), Some(k));
+        }
+        assert_eq!(t.len(), 10_000);
+        assert_eq!(t.get(100), None);
+        assert_eq!(t.get(101), Some(101));
+        // Scan still sorted after deletions.
+        let mut out = Vec::new();
+        t.scan(0, usize::MAX, &mut out);
+        assert_eq!(out.len(), 10_000);
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn remove_everything_empties_tree() {
+        let mut t = BPlusTree::new();
+        for k in 0..5_000u64 {
+            t.insert(k, k);
+        }
+        for k in 0..5_000u64 {
+            assert_eq!(t.remove(k), Some(k), "key {k}");
+        }
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.get(1), None);
+        // Reuse after emptying works.
+        t.insert(7, 7);
+        assert_eq!(t.get(7), Some(7));
+    }
+
+    #[test]
+    fn bulk_load_matches_inserts() {
+        let pairs: Vec<(u64, u64)> = (0..40_000u64).map(|k| (k * 5, k)).collect();
+        let t = BPlusTree::bulk_load(&pairs);
+        assert_eq!(t.len(), pairs.len());
+        for &(k, v) in pairs.iter().step_by(373) {
+            assert_eq!(t.get(k), Some(v));
+        }
+        let mut out = Vec::new();
+        t.scan(0, usize::MAX, &mut out);
+        assert_eq!(out, pairs);
+    }
+
+    #[test]
+    fn bulk_load_then_insert_more() {
+        let pairs: Vec<(u64, u64)> = (0..10_000u64).map(|k| (k * 2, k)).collect();
+        let mut t = BPlusTree::bulk_load(&pairs);
+        for k in 0..10_000u64 {
+            t.insert(k * 2 + 1, k);
+        }
+        assert_eq!(t.len(), 20_000);
+        let mut out = Vec::new();
+        t.scan(0, usize::MAX, &mut out);
+        assert_eq!(out.len(), 20_000);
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn empty_bulk_load() {
+        let t = BPlusTree::bulk_load(&[]);
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.get(0), None);
+    }
+
+    #[test]
+    fn avg_leaf_fill_reasonable_after_bulk_load() {
+        let pairs: Vec<(u64, u64)> = (0..50_000u64).map(|k| (k, k)).collect();
+        let t = BPlusTree::bulk_load(&pairs);
+        let fill = t.avg_leaf_fill();
+        assert!(fill > 0.8 && fill <= 1.0, "fill {fill}");
+    }
+}

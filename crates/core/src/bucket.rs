@@ -1,0 +1,251 @@
+//! Fixed-capacity sorted buckets.
+//!
+//! A DyTIS bucket (§3.2) stores a fixed number of key-value pairs in two
+//! separate arrays — a sorted key array and a value array — exactly like an
+//! ALEX data node keeps keys and payloads apart. The bucket size is a byte
+//! budget (2 KiB by default, §4.1), which at 8-byte keys and values yields
+//! 128 slots.
+
+use index_traits::{Key, Value};
+
+/// A sorted, fixed-capacity container of key-value pairs.
+///
+/// Capacity is not stored per bucket; the owning segment passes it in, so a
+/// bucket is just two parallel vectors. Keys are raw (original) keys: the
+/// remapped key is only used to *choose* the bucket (§3.3, "a remapped key is
+/// used to find the bucket index but the raw key is stored in the bucket").
+#[derive(Debug, Clone, Default)]
+pub struct Bucket {
+    keys: Vec<Key>,
+    vals: Vec<Value>,
+}
+
+impl Bucket {
+    /// Creates an empty bucket with space reserved for `cap` entries.
+    pub fn with_capacity(cap: usize) -> Self {
+        Bucket {
+            keys: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of stored pairs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Returns `true` if the bucket holds no pairs.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Sorted view of the stored keys.
+    #[inline]
+    pub fn keys(&self) -> &[Key] {
+        &self.keys
+    }
+
+    /// Values, parallel to [`Bucket::keys`].
+    #[inline]
+    pub fn vals(&self) -> &[Value] {
+        &self.vals
+    }
+
+    /// Key-value pair at `idx`.
+    #[inline]
+    pub fn pair(&self, idx: usize) -> (Key, Value) {
+        (self.keys[idx], self.vals[idx])
+    }
+
+    /// Locates `key` with an exponential search started from `hint`
+    /// (the position predicted by the remapping function, §3.3).
+    ///
+    /// Returns `Ok(idx)` if the key is stored at `idx`, `Err(idx)` with the
+    /// insertion position otherwise.
+    pub fn search_from_hint(&self, key: Key, hint: usize) -> Result<usize, usize> {
+        let n = self.keys.len();
+        if n == 0 {
+            return Err(0);
+        }
+        let pos = hint.min(n - 1);
+        // Exponential search: widen a window around `pos` with doubling
+        // steps until it brackets `key`, then binary-search the window.
+        let (wlo, whi) = if self.keys[pos] < key {
+            let mut step = 1usize;
+            let mut hi = pos;
+            loop {
+                if hi >= n - 1 {
+                    break (pos + 1, n);
+                }
+                hi = (hi + step).min(n - 1);
+                if self.keys[hi] >= key {
+                    break (pos + 1, hi + 1);
+                }
+                step *= 2;
+            }
+        } else {
+            let mut step = 1usize;
+            let mut lo = pos;
+            loop {
+                if lo == 0 {
+                    break (0, pos + 1);
+                }
+                lo = lo.saturating_sub(step);
+                if self.keys[lo] <= key {
+                    break (lo, pos + 1);
+                }
+                step *= 2;
+            }
+        };
+        match self.keys[wlo..whi].binary_search(&key) {
+            Ok(i) => Ok(wlo + i),
+            Err(i) => Err(wlo + i),
+        }
+    }
+
+    /// Binary search for `key` over the whole bucket.
+    #[inline]
+    pub fn search(&self, key: Key) -> Result<usize, usize> {
+        self.keys.binary_search(&key)
+    }
+
+    /// Inserts `(key, value)` preserving sorted order, shifting larger keys
+    /// (and their values) right. Returns `false` and updates in place if the
+    /// key already exists.
+    ///
+    /// The caller must have checked the bucket is not full.
+    pub fn insert(&mut self, key: Key, value: Value) -> bool {
+        match self.keys.binary_search(&key) {
+            Ok(i) => {
+                self.vals[i] = value;
+                false
+            }
+            Err(i) => {
+                self.keys.insert(i, key);
+                self.vals.insert(i, value);
+                true
+            }
+        }
+    }
+
+    /// Appends `(key, value)`; the caller guarantees `key` is greater than
+    /// every stored key (used by segment rebuilds over sorted input).
+    #[inline]
+    pub fn push_sorted(&mut self, key: Key, value: Value) {
+        debug_assert!(self.keys.last().is_none_or(|&last| last < key));
+        self.keys.push(key);
+        self.vals.push(value);
+    }
+
+    /// Updates `key` in place; returns `false` if absent.
+    pub fn update(&mut self, key: Key, value: Value) -> bool {
+        match self.keys.binary_search(&key) {
+            Ok(i) => {
+                self.vals[i] = value;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Removes `key`, shifting larger keys and values left.
+    pub fn remove(&mut self, key: Key) -> Option<Value> {
+        match self.keys.binary_search(&key) {
+            Ok(i) => {
+                self.keys.remove(i);
+                Some(self.vals.remove(i))
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Index of the first key `>= start`, or `len()` if none.
+    #[inline]
+    pub fn lower_bound(&self, start: Key) -> usize {
+        self.keys.partition_point(|&k| k < start)
+    }
+
+    /// Moves all pairs out of the bucket, leaving it empty.
+    pub fn drain_pairs(&mut self) -> impl Iterator<Item = (Key, Value)> + '_ {
+        self.keys.drain(..).zip(self.vals.drain(..))
+    }
+
+    /// Heap bytes held by this bucket's allocations.
+    pub fn heap_bytes(&self) -> usize {
+        (self.keys.capacity() + self.vals.capacity()) * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(keys: &[Key]) -> Bucket {
+        let mut b = Bucket::with_capacity(keys.len() + 8);
+        for &k in keys {
+            b.insert(k, k * 10);
+        }
+        b
+    }
+
+    #[test]
+    fn insert_keeps_sorted_order() {
+        let b = filled(&[5, 1, 9, 3, 7]);
+        assert_eq!(b.keys(), &[1, 3, 5, 7, 9]);
+        assert_eq!(b.vals(), &[10, 30, 50, 70, 90]);
+    }
+
+    #[test]
+    fn insert_existing_key_updates_in_place() {
+        let mut b = filled(&[1, 2, 3]);
+        assert!(!b.insert(2, 999));
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.pair(1), (2, 999));
+    }
+
+    #[test]
+    fn search_from_hint_finds_all_positions() {
+        let b = filled(&[2, 4, 6, 8, 10, 12, 14, 16]);
+        for hint in 0..b.len() {
+            for (i, &k) in b.keys().iter().enumerate() {
+                assert_eq!(b.search_from_hint(k, hint), Ok(i), "key {k} hint {hint}");
+            }
+            assert_eq!(b.search_from_hint(1, hint), Err(0));
+            assert_eq!(b.search_from_hint(7, hint), Err(3));
+            assert_eq!(b.search_from_hint(17, hint), Err(8));
+        }
+    }
+
+    #[test]
+    fn search_from_hint_on_empty_bucket() {
+        let b = Bucket::with_capacity(4);
+        assert_eq!(b.search_from_hint(5, 0), Err(0));
+    }
+
+    #[test]
+    fn remove_shifts_left() {
+        let mut b = filled(&[1, 2, 3, 4]);
+        assert_eq!(b.remove(2), Some(20));
+        assert_eq!(b.keys(), &[1, 3, 4]);
+        assert_eq!(b.remove(2), None);
+    }
+
+    #[test]
+    fn lower_bound_points_at_first_geq() {
+        let b = filled(&[10, 20, 30]);
+        assert_eq!(b.lower_bound(5), 0);
+        assert_eq!(b.lower_bound(10), 0);
+        assert_eq!(b.lower_bound(11), 1);
+        assert_eq!(b.lower_bound(31), 3);
+    }
+
+    #[test]
+    fn update_only_touches_existing() {
+        let mut b = filled(&[1]);
+        assert!(b.update(1, 7));
+        assert!(!b.update(2, 7));
+        assert_eq!(b.pair(0), (1, 7));
+    }
+}

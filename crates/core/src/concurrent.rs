@@ -1,0 +1,477 @@
+//! Concurrent DyTIS (§3.4).
+//!
+//! The paper adopts two-level locking per EH table: a high-level lock on the
+//! directory array and low-level reader/writer locks per segment.
+//! Operations that only change the contents of one segment object — normal
+//! insert, remapping, expansion, search, scan — synchronize at the segment
+//! level (under a directory *read* lock so the directory cannot move
+//! underneath them); operations that change the structure — split and
+//! directory doubling — take the directory *write* lock.
+//!
+//! Because every segment-lock holder also holds the directory read lock, a
+//! thread holding the directory write lock knows no other thread holds any
+//! segment lock, making structural surgery safe.
+//!
+//! Sibling navigation for scans walks the directory (equivalent order to the
+//! single-threaded sibling pointers) while holding the directory read lock.
+
+use crate::params::Params;
+use crate::remap::mask64;
+use crate::segment::{RemapOutcome, Segment};
+use index_traits::{ConcurrentKvIndex, Key, Value};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Directory of one concurrent EH table.
+struct CDir {
+    global_depth: u32,
+    entries: Vec<Arc<RwLock<Segment>>>,
+    /// Active segment-size limit multiplier (adaptive, §3.3).
+    active_limit_mult: u32,
+    limit_decided: bool,
+}
+
+/// One concurrent EH table: directory lock + per-segment locks.
+struct CEh {
+    dir: RwLock<CDir>,
+    num_keys: AtomicUsize,
+    splits: AtomicU64,
+    expansions: AtomicU64,
+    remaps: AtomicU64,
+}
+
+/// The multi-threaded DyTIS index (used by the Figure 12 evaluation).
+pub struct ConcurrentDyTis {
+    params: Params,
+    tables: Vec<CEh>,
+    m_total: u32,
+}
+
+impl ConcurrentDyTis {
+    /// Creates an index with the paper's default parameters.
+    pub fn new() -> Self {
+        Self::with_params(Params::default())
+    }
+
+    /// Creates an index with explicit [`Params`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `first_level_bits` is outside `1..=16`.
+    pub fn with_params(params: Params) -> Self {
+        let r = params.first_level_bits;
+        assert!((1..=16).contains(&r));
+        let m_total = 64 - r;
+        let tables = (0..(1usize << r))
+            .map(|_| CEh {
+                dir: RwLock::new(CDir {
+                    global_depth: 0,
+                    entries: vec![Arc::new(RwLock::new(Segment::new(0)))],
+                    active_limit_mult: params.limit_mult,
+                    limit_decided: false,
+                }),
+                num_keys: AtomicUsize::new(0),
+                splits: AtomicU64::new(0),
+                expansions: AtomicU64::new(0),
+                remaps: AtomicU64::new(0),
+            })
+            .collect();
+        ConcurrentDyTis {
+            params,
+            tables,
+            m_total,
+        }
+    }
+
+    #[inline]
+    fn table_of(&self, key: Key) -> usize {
+        (key >> (64 - self.params.first_level_bits)) as usize
+    }
+
+    #[inline]
+    fn sub_key(&self, key: Key) -> u64 {
+        key & mask64(self.m_total)
+    }
+
+    #[inline]
+    fn dir_index(dir: &CDir, sk: u64, m_total: u32) -> usize {
+        (sk >> (m_total - dir.global_depth)) as usize
+    }
+
+    /// Fast-path insert under directory read lock + segment write lock.
+    /// Returns `true` when the insert (or in-place update) completed, or
+    /// `false` when structural maintenance under the directory write lock is
+    /// required (split or doubling).
+    fn insert_fast(&self, table: &CEh, sk: u64, key: Key, value: Value) -> bool {
+        let p = &self.params;
+        loop {
+            let dir = table.dir.read();
+            let gd = dir.global_depth;
+            let seg_arc = Arc::clone(&dir.entries[Self::dir_index(&dir, sk, self.m_total)]);
+            let mut seg = seg_arc.write();
+            let ld = seg.local_depth;
+            let m = self.m_total - ld;
+            let k = sk & mask64(m);
+            let b = seg.bucket_of(k, self.m_total);
+            if seg.buckets[b].update(key, value) {
+                return true;
+            }
+            if seg.buckets[b].len() < p.bucket_entries {
+                seg.buckets[b].insert(key, value);
+                seg.num_keys += 1;
+                table.num_keys.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+            // Bucket full. Segment-local fixes (remapping, expansion) are
+            // legal here; splits and doubling need the directory write lock.
+            if ld < p.l_start {
+                return false; // Warm-up split/doubling path.
+            }
+            let cap_buckets = p.segment_cap(ld, dir.active_limit_mult);
+            let high = seg.utilization(p) > p.utilization_threshold;
+            if ld < gd {
+                if high {
+                    return false; // Split.
+                }
+                match seg.remap_adjust(k, self.m_total, cap_buckets, p) {
+                    RemapOutcome::Failed => return false, // Split.
+                    _ => {
+                        table.remaps.fetch_add(1, Ordering::Relaxed);
+                        continue; // Retry the insert.
+                    }
+                }
+            } else {
+                let ok = if high {
+                    let ok = seg.expand(self.m_total, cap_buckets, p);
+                    if ok {
+                        table.expansions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    ok
+                } else {
+                    let ok =
+                        seg.remap_adjust(k, self.m_total, cap_buckets, p) != RemapOutcome::Failed;
+                    if ok {
+                        table.remaps.fetch_add(1, Ordering::Relaxed);
+                    }
+                    ok
+                };
+                if !ok {
+                    return false; // Directory doubling.
+                }
+                // Retry the insert with the adjusted segment.
+            }
+        }
+    }
+
+    /// Slow path: performs one structural step (split or doubling) under the
+    /// directory write lock, then returns so the fast path can retry.
+    fn maintain(&self, table: &CEh, sk: u64) {
+        let p = &self.params;
+        let mut dir = table.dir.write();
+        let idx = Self::dir_index(&dir, sk, self.m_total);
+        let seg_arc = Arc::clone(&dir.entries[idx]);
+        // SAFETY-free reasoning: holding the directory write lock means no
+        // other thread holds a directory read lock, hence no other thread
+        // holds any segment lock of this table; this write lock cannot block.
+        let seg = seg_arc.write();
+        let ld = seg.local_depth;
+        let m = self.m_total - ld;
+        let k = sk & mask64(m);
+        let b = seg.bucket_of(k, self.m_total);
+        if seg.buckets[b].len() < p.bucket_entries {
+            return; // Another thread already fixed it.
+        }
+        if ld == dir.global_depth {
+            // Adaptive limit decision at doubling time (GD only grows here).
+            if !dir.limit_decided && dir.global_depth + 1 >= p.l_start + 2 {
+                dir.limit_decided = true;
+                let e = table.expansions.load(Ordering::Relaxed);
+                let tot =
+                    e + table.splits.load(Ordering::Relaxed) + table.remaps.load(Ordering::Relaxed);
+                if tot > 0 && e as f64 / tot as f64 >= p.expansion_heavy_fraction {
+                    dir.active_limit_mult = p.limit_mult_raised;
+                }
+            }
+            let mut entries = Vec::with_capacity(dir.entries.len() * 2);
+            for e in &dir.entries {
+                entries.push(Arc::clone(e));
+                entries.push(Arc::clone(e));
+            }
+            dir.entries = entries;
+            dir.global_depth += 1;
+        }
+        // Split the segment (now LD < GD).
+        let (left, right) = seg.split(self.m_total, p);
+        drop(seg);
+        let gd = dir.global_depth;
+        let span = 1usize << (gd - (ld + 1));
+        let idx = Self::dir_index(&dir, sk, self.m_total);
+        let base = idx & !(span * 2 - 1);
+        let left = Arc::new(RwLock::new(left));
+        let right = Arc::new(RwLock::new(right));
+        for e in &mut dir.entries[base..base + span] {
+            *e = Arc::clone(&left);
+        }
+        for e in &mut dir.entries[base + span..base + 2 * span] {
+            *e = Arc::clone(&right);
+        }
+        table.splits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Scans one table starting at `start_sk`; returns `true` when `count`
+    /// pairs have been collected.
+    fn scan_table(
+        &self,
+        table: &CEh,
+        start_sk: u64,
+        start_key: Key,
+        from_start: bool,
+        count: usize,
+        out: &mut Vec<(Key, Value)>,
+    ) -> bool {
+        let dir = table.dir.read();
+        if table.num_keys.load(Ordering::Relaxed) == 0 {
+            return out.len() >= count;
+        }
+        let mut idx = if from_start {
+            0
+        } else {
+            Self::dir_index(&dir, start_sk, self.m_total)
+        };
+        let mut first = !from_start;
+        while idx < dir.entries.len() {
+            let seg = dir.entries[idx].read();
+            let span = 1usize << (dir.global_depth - seg.local_depth);
+            // Align to the segment's first directory entry so each segment is
+            // visited once.
+            let (mut b, mut i) = if first {
+                let m = self.m_total - seg.local_depth;
+                let k = start_sk & mask64(m);
+                let b = seg.bucket_of(k, self.m_total);
+                (b, seg.buckets[b].lower_bound(start_key))
+            } else {
+                (0, 0)
+            };
+            first = false;
+            while b < seg.buckets.len() {
+                let bucket = &seg.buckets[b];
+                while i < bucket.len() {
+                    if out.len() >= count {
+                        return true;
+                    }
+                    out.push(bucket.pair(i));
+                    i += 1;
+                }
+                b += 1;
+                i = 0;
+            }
+            idx = (idx & !(span - 1)) + span;
+        }
+        out.len() >= count
+    }
+}
+
+impl Default for ConcurrentDyTis {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConcurrentKvIndex for ConcurrentDyTis {
+    fn insert(&self, key: Key, value: Value) {
+        let table = &self.tables[self.table_of(key)];
+        let sk = self.sub_key(key);
+        let mut guard = 0u32;
+        while !self.insert_fast(table, sk, key, value) {
+            guard += 1;
+            assert!(guard < 10_000, "concurrent insert failed to converge");
+            self.maintain(table, sk);
+        }
+    }
+
+    fn get(&self, key: Key) -> Option<Value> {
+        let table = &self.tables[self.table_of(key)];
+        let sk = self.sub_key(key);
+        let dir = table.dir.read();
+        let seg = dir.entries[Self::dir_index(&dir, sk, self.m_total)].read();
+        seg.get(sk, key, self.m_total, &self.params)
+    }
+
+    fn remove(&self, key: Key) -> Option<Value> {
+        let table = &self.tables[self.table_of(key)];
+        let sk = self.sub_key(key);
+        let dir = table.dir.read();
+        let mut seg = dir.entries[Self::dir_index(&dir, sk, self.m_total)].write();
+        let m = self.m_total - seg.local_depth;
+        let k = sk & mask64(m);
+        let b = seg.bucket_of(k, self.m_total);
+        let v = seg.buckets[b].remove(key)?;
+        seg.num_keys -= 1;
+        table.num_keys.fetch_sub(1, Ordering::Relaxed);
+        // Deletion merge (§3.3): a shrink only changes the segment object's
+        // contents, so the segment write lock suffices (§3.4).
+        if seg.total_buckets() > 1 && seg.utilization(&self.params) < self.params.shrink_threshold {
+            let _ = seg.shrink(self.m_total, &self.params);
+        }
+        Some(v)
+    }
+
+    fn scan(&self, start: Key, count: usize, out: &mut Vec<(Key, Value)>) {
+        let first = self.table_of(start);
+        let sk = self.sub_key(start);
+        if self.scan_table(&self.tables[first], sk, start, false, count, out) {
+            return;
+        }
+        for t in &self.tables[first + 1..] {
+            if self.scan_table(t, 0, 0, true, count, out) {
+                return;
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.tables
+            .iter()
+            .map(|t| t.num_keys.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "DyTIS (concurrent)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc as StdArc;
+
+    fn small() -> ConcurrentDyTis {
+        ConcurrentDyTis::with_params(Params::small())
+    }
+
+    #[test]
+    fn single_thread_roundtrip() {
+        let idx = small();
+        for k in 0..6_000u64 {
+            idx.insert(k * 3, k);
+        }
+        assert_eq!(idx.len(), 6_000);
+        for k in (0..6_000u64).step_by(77) {
+            assert_eq!(idx.get(k * 3), Some(k));
+        }
+        let mut out = Vec::new();
+        idx.scan(0, 1_000, &mut out);
+        assert_eq!(out.len(), 1_000);
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts() {
+        let idx = StdArc::new(small());
+        let threads = 4;
+        let per = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let idx = StdArc::clone(&idx);
+                std::thread::spawn(move || {
+                    for i in 0..per {
+                        let k = (t as u64) * per + i;
+                        idx.insert(k.wrapping_mul(0x9E3779B97F4A7C15), k);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(idx.len(), threads as usize * per as usize);
+        for t in 0..threads as u64 {
+            for i in (0..per).step_by(97) {
+                let k = t * per + i;
+                assert_eq!(idx.get(k.wrapping_mul(0x9E3779B97F4A7C15)), Some(k));
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_overlapping_upserts() {
+        let idx = StdArc::new(small());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let idx = StdArc::clone(&idx);
+                std::thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        idx.insert(i, i + 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(idx.len(), 5_000);
+        for i in (0..5_000u64).step_by(53) {
+            assert_eq!(idx.get(i), Some(i + 1));
+        }
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let idx = StdArc::new(small());
+        for i in 0..5_000u64 {
+            idx.insert(i * 2, i);
+        }
+        let writer = {
+            let idx = StdArc::clone(&idx);
+            std::thread::spawn(move || {
+                for i in 5_000..15_000u64 {
+                    idx.insert(i * 2, i);
+                }
+            })
+        };
+        let reader = {
+            let idx = StdArc::clone(&idx);
+            std::thread::spawn(move || {
+                let mut hits = 0;
+                for _ in 0..3 {
+                    for i in 0..5_000u64 {
+                        if idx.get(i * 2) == Some(i) {
+                            hits += 1;
+                        }
+                    }
+                }
+                hits
+            })
+        };
+        let scanner = {
+            let idx = StdArc::clone(&idx);
+            std::thread::spawn(move || {
+                let mut out = Vec::new();
+                for _ in 0..50 {
+                    out.clear();
+                    idx.scan(0, 100, &mut out);
+                    assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+                }
+            })
+        };
+        writer.join().unwrap();
+        assert_eq!(reader.join().unwrap(), 15_000);
+        scanner.join().unwrap();
+        assert_eq!(idx.len(), 15_000);
+    }
+
+    #[test]
+    fn remove_concurrent_smoke() {
+        let idx = small();
+        for i in 0..1_000u64 {
+            idx.insert(i, i);
+        }
+        for i in 0..500u64 {
+            assert_eq!(idx.remove(i), Some(i));
+        }
+        assert_eq!(idx.len(), 500);
+        assert_eq!(idx.remove(0), None);
+    }
+}

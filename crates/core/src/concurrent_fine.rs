@@ -1,0 +1,425 @@
+//! Bucket-granularity concurrent DyTIS — the design the paper *rejected*.
+//!
+//! §3.4: "CCEH leverages concurrency at finer grains of buckets within
+//! segments. We also explored this, but found that performance of DyTIS
+//! generally degrades. Our analysis shows that this is due to the overhead
+//! of additional memory for the fine-grained locks and the handling of
+//! segments with variable sizes."
+//!
+//! This module reproduces that exploration so the trade-off can be measured
+//! (see the `lock_granularity` Criterion bench): every bucket carries its
+//! own lock, point operations take the segment lock in *read* mode plus one
+//! bucket lock, and only structure-changing operations (remapping,
+//! expansion, split, doubling) take write locks. The extra per-bucket locks
+//! and the rebuild cost of converting between locked and plain bucket
+//! arrays are exactly the overheads the paper calls out.
+
+use crate::bucket::Bucket;
+use crate::params::Params;
+use crate::remap::{mask64, RemapFn};
+use crate::segment::{RemapOutcome, Segment};
+use index_traits::{ConcurrentKvIndex, Key, Value};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A segment whose buckets are individually locked.
+struct FineSegment {
+    local_depth: u32,
+    remap: RemapFn,
+    buckets: Vec<Mutex<Bucket>>,
+    num_keys: AtomicUsize,
+    remap_streak: u32,
+}
+
+impl FineSegment {
+    fn from_segment(seg: Segment) -> Self {
+        FineSegment {
+            local_depth: seg.local_depth,
+            remap_streak: seg.remap_streak,
+            remap: seg.remap,
+            num_keys: AtomicUsize::new(seg.num_keys),
+            buckets: seg.buckets.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// Converts back to a plain segment for structure operations (this copy
+    /// is part of the overhead the paper measured).
+    fn to_segment(&self) -> Segment {
+        Segment {
+            local_depth: self.local_depth,
+            remap: self.remap.clone(),
+            buckets: self.buckets.iter().map(|b| b.lock().clone()).collect(),
+            num_keys: self.num_keys.load(Ordering::Relaxed),
+            remap_streak: self.remap_streak,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(&self, k: u64, m_total: u32) -> usize {
+        self.remap.bucket_index(k, m_total - self.local_depth)
+    }
+
+}
+
+struct FineDir {
+    global_depth: u32,
+    entries: Vec<Arc<RwLock<FineSegment>>>,
+}
+
+struct FineEh {
+    dir: RwLock<FineDir>,
+    num_keys: AtomicUsize,
+}
+
+/// Concurrent DyTIS with per-bucket locks (ablation variant; prefer
+/// [`crate::ConcurrentDyTis`], which the paper found faster).
+pub struct ConcurrentDyTisFine {
+    params: Params,
+    tables: Vec<FineEh>,
+    m_total: u32,
+}
+
+impl ConcurrentDyTisFine {
+    /// Creates an index with the paper's default parameters.
+    pub fn new() -> Self {
+        Self::with_params(Params::default())
+    }
+
+    /// Creates an index with explicit [`Params`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `first_level_bits` is outside `1..=16`.
+    pub fn with_params(params: Params) -> Self {
+        let r = params.first_level_bits;
+        assert!((1..=16).contains(&r));
+        let m_total = 64 - r;
+        let tables = (0..(1usize << r))
+            .map(|_| FineEh {
+                dir: RwLock::new(FineDir {
+                    global_depth: 0,
+                    entries: vec![Arc::new(RwLock::new(FineSegment::from_segment(
+                        Segment::new(0),
+                    )))],
+                }),
+                num_keys: AtomicUsize::new(0),
+            })
+            .collect();
+        ConcurrentDyTisFine {
+            params,
+            tables,
+            m_total,
+        }
+    }
+
+    #[inline]
+    fn table_of(&self, key: Key) -> usize {
+        (key >> (64 - self.params.first_level_bits)) as usize
+    }
+
+    #[inline]
+    fn sub_key(&self, key: Key) -> u64 {
+        key & mask64(self.m_total)
+    }
+
+    #[inline]
+    fn dir_index(dir: &FineDir, sk: u64, m_total: u32) -> usize {
+        (sk >> (m_total - dir.global_depth)) as usize
+    }
+
+    /// Fast path: directory read lock, segment read lock, ONE bucket lock.
+    /// Returns false when maintenance is required.
+    fn insert_fast(&self, table: &FineEh, sk: u64, key: Key, value: Value) -> bool {
+        let p = &self.params;
+        let dir = table.dir.read();
+        let seg_arc = Arc::clone(&dir.entries[Self::dir_index(&dir, sk, self.m_total)]);
+        let seg = seg_arc.read();
+        let m = self.m_total - seg.local_depth;
+        let k = sk & mask64(m);
+        let b = seg.bucket_of(k, self.m_total);
+        let mut bucket = seg.buckets[b].lock();
+        if bucket.update(key, value) {
+            return true;
+        }
+        if bucket.len() < p.bucket_entries {
+            bucket.insert(key, value);
+            seg.num_keys.fetch_add(1, Ordering::Relaxed);
+            table.num_keys.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// Maintenance under the directory write lock: runs Algorithm 1 once on
+    /// a plain-segment copy, then swaps the result back in.
+    fn maintain(&self, table: &FineEh, sk: u64) {
+        let p = &self.params;
+        let mut dir = table.dir.write();
+        let idx = Self::dir_index(&dir, sk, self.m_total);
+        let seg_arc = Arc::clone(&dir.entries[idx]);
+        let fine = seg_arc.read();
+        let ld = fine.local_depth;
+        let m = self.m_total - ld;
+        let k = sk & mask64(m);
+        let b = fine.bucket_of(k, self.m_total);
+        if fine.buckets[b].lock().len() < p.bucket_entries {
+            return; // Another thread already fixed it.
+        }
+        let mut seg = fine.to_segment();
+        drop(fine);
+        let gd = dir.global_depth;
+        let cap_buckets = p.segment_cap(ld, p.limit_mult);
+
+        // Algorithm 1, one step.
+        let warmup = ld < p.l_start;
+        let high = seg.utilization(p) > p.utilization_threshold;
+        if !warmup
+            && ld < gd
+            && !high
+            && seg.remap_adjust(k, self.m_total, cap_buckets, p) != RemapOutcome::Failed
+        {
+            *seg_arc.write() = FineSegment::from_segment(seg);
+            return;
+        }
+        if !warmup && ld == gd {
+            let ok = if high {
+                seg.expand(self.m_total, cap_buckets, p)
+            } else {
+                seg.remap_adjust(k, self.m_total, cap_buckets, p) != RemapOutcome::Failed
+            };
+            if ok {
+                *seg_arc.write() = FineSegment::from_segment(seg);
+                return;
+            }
+        }
+        // Split path (doubling first when LD == GD).
+        if ld == dir.global_depth {
+            let mut entries = Vec::with_capacity(dir.entries.len() * 2);
+            for e in &dir.entries {
+                entries.push(Arc::clone(e));
+                entries.push(Arc::clone(e));
+            }
+            dir.entries = entries;
+            dir.global_depth += 1;
+        }
+        let (left, right) = seg.split(self.m_total, p);
+        let gd = dir.global_depth;
+        let span = 1usize << (gd - (ld + 1));
+        let idx = Self::dir_index(&dir, sk, self.m_total);
+        let base = idx & !(span * 2 - 1);
+        let left = Arc::new(RwLock::new(FineSegment::from_segment(left)));
+        let right = Arc::new(RwLock::new(FineSegment::from_segment(right)));
+        for e in &mut dir.entries[base..base + span] {
+            *e = Arc::clone(&left);
+        }
+        for e in &mut dir.entries[base + span..base + 2 * span] {
+            *e = Arc::clone(&right);
+        }
+    }
+}
+
+impl Default for ConcurrentDyTisFine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConcurrentKvIndex for ConcurrentDyTisFine {
+    fn insert(&self, key: Key, value: Value) {
+        let table = &self.tables[self.table_of(key)];
+        let sk = self.sub_key(key);
+        let mut guard = 0u32;
+        while !self.insert_fast(table, sk, key, value) {
+            guard += 1;
+            assert!(guard < 10_000, "fine-grained insert failed to converge");
+            self.maintain(table, sk);
+        }
+    }
+
+    fn get(&self, key: Key) -> Option<Value> {
+        let table = &self.tables[self.table_of(key)];
+        let sk = self.sub_key(key);
+        let dir = table.dir.read();
+        let seg = dir.entries[Self::dir_index(&dir, sk, self.m_total)].read();
+        let m = self.m_total - seg.local_depth;
+        let k = sk & mask64(m);
+        let b = seg.bucket_of(k, self.m_total);
+        let hint = seg.remap.slot_hint(k, m, self.params.bucket_entries);
+        let bucket = seg.buckets[b].lock();
+        match bucket.search_from_hint(key, hint) {
+            Ok(i) => Some(bucket.vals()[i]),
+            Err(_) => None,
+        }
+    }
+
+    fn remove(&self, key: Key) -> Option<Value> {
+        let table = &self.tables[self.table_of(key)];
+        let sk = self.sub_key(key);
+        let dir = table.dir.read();
+        let seg = dir.entries[Self::dir_index(&dir, sk, self.m_total)].read();
+        let m = self.m_total - seg.local_depth;
+        let k = sk & mask64(m);
+        let b = seg.bucket_of(k, self.m_total);
+        let v = seg.buckets[b].lock().remove(key)?;
+        seg.num_keys.fetch_sub(1, Ordering::Relaxed);
+        table.num_keys.fetch_sub(1, Ordering::Relaxed);
+        Some(v)
+    }
+
+    fn scan(&self, start: Key, count: usize, out: &mut Vec<(Key, Value)>) {
+        let first = self.table_of(start);
+        let start_sk = self.sub_key(start);
+        for (t, table) in self.tables.iter().enumerate().skip(first) {
+            let dir = table.dir.read();
+            if table.num_keys.load(Ordering::Relaxed) == 0 {
+                continue;
+            }
+            let from_start = t != first;
+            let mut idx = if from_start {
+                0
+            } else {
+                Self::dir_index(&dir, start_sk, self.m_total)
+            };
+            let mut first_seg = !from_start;
+            while idx < dir.entries.len() {
+                let seg = dir.entries[idx].read();
+                let span = 1usize << (dir.global_depth - seg.local_depth);
+                let (mut b, skip_below) = if first_seg {
+                    let m = self.m_total - seg.local_depth;
+                    let k = start_sk & mask64(m);
+                    (seg.bucket_of(k, self.m_total), true)
+                } else {
+                    (0, false)
+                };
+                first_seg = false;
+                while b < seg.buckets.len() {
+                    let bucket = seg.buckets[b].lock();
+                    let i0 = if skip_below && out.is_empty() {
+                        bucket.lower_bound(start)
+                    } else {
+                        0
+                    };
+                    for i in i0..bucket.len() {
+                        let (k, v) = bucket.pair(i);
+                        if k < start {
+                            continue;
+                        }
+                        if out.len() >= count {
+                            return;
+                        }
+                        out.push((k, v));
+                    }
+                    b += 1;
+                }
+                idx = (idx & !(span - 1)) + span;
+            }
+            if out.len() >= count {
+                return;
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.tables
+            .iter()
+            .map(|t| t.num_keys.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "DyTIS (bucket-locked)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ConcurrentDyTisFine {
+        ConcurrentDyTisFine::with_params(Params::small())
+    }
+
+    #[test]
+    fn single_thread_roundtrip() {
+        let idx = small();
+        for k in 0..6_000u64 {
+            idx.insert(k * 3, k);
+        }
+        assert_eq!(idx.len(), 6_000);
+        for k in (0..6_000u64).step_by(71) {
+            assert_eq!(idx.get(k * 3), Some(k));
+        }
+        let mut out = Vec::new();
+        idx.scan(0, 500, &mut out);
+        assert_eq!(out.len(), 500);
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn concurrent_inserts_roundtrip() {
+        let idx = std::sync::Arc::new(small());
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let idx = std::sync::Arc::clone(&idx);
+                std::thread::spawn(move || {
+                    for i in 0..8_000u64 {
+                        let k = (t * 8_000 + i).wrapping_mul(0x9E3779B97F4A7C15);
+                        idx.insert(k, i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("writer");
+        }
+        assert_eq!(idx.len(), 32_000);
+        for t in 0..4u64 {
+            for i in (0..8_000u64).step_by(333) {
+                let k = (t * 8_000 + i).wrapping_mul(0x9E3779B97F4A7C15);
+                assert_eq!(idx.get(k), Some(i));
+            }
+        }
+    }
+
+    #[test]
+    fn removes_work() {
+        let idx = small();
+        for k in 0..5_000u64 {
+            idx.insert(k, k);
+        }
+        for k in 0..2_500u64 {
+            assert_eq!(idx.remove(k), Some(k));
+        }
+        assert_eq!(idx.len(), 2_500);
+        assert_eq!(idx.get(0), None);
+        assert_eq!(idx.get(3_000), Some(3_000));
+    }
+
+    #[test]
+    fn readers_race_writers() {
+        let idx = std::sync::Arc::new(small());
+        for k in 0..5_000u64 {
+            idx.insert(k * 2, k);
+        }
+        let writer = {
+            let idx = std::sync::Arc::clone(&idx);
+            std::thread::spawn(move || {
+                for k in 5_000..20_000u64 {
+                    idx.insert(k * 2, k);
+                }
+            })
+        };
+        let mut hits = 0usize;
+        for _ in 0..3 {
+            for k in 0..5_000u64 {
+                if idx.get(k * 2) == Some(k) {
+                    hits += 1;
+                }
+            }
+        }
+        writer.join().expect("writer");
+        assert_eq!(hits, 15_000);
+        assert_eq!(idx.len(), 20_000);
+    }
+}

@@ -1,0 +1,602 @@
+//! Second-level Extendible Hashing tables (§3.1–§3.3).
+//!
+//! Each EH table owns a directory (indexed by the `GD` most-significant bits
+//! of the EH sub-key), an arena of segments, and per-segment sibling links
+//! used to accelerate scans. Insertion follows Algorithm 1 of the paper:
+//! below `L_start` the table behaves as plain Extendible hashing; from
+//! `L_start` on, the utilization threshold `U_t` arbitrates between split,
+//! remapping, expansion and directory doubling.
+
+use crate::params::Params;
+use crate::remap::mask64;
+use crate::segment::{RemapOutcome, Segment};
+use crate::stats::DytisStats;
+use index_traits::{Key, Value};
+use std::time::Instant;
+
+/// Index of a segment in the table's arena.
+pub type SegId = u32;
+
+/// One Extendible Hashing table of DyTIS's second level.
+#[derive(Debug, Clone)]
+pub struct EhTable {
+    /// Number of key bits this table indexes (`n − R`).
+    m_total: u32,
+    /// Global depth `GD`; the directory has `2^GD` entries.
+    global_depth: u32,
+    /// Directory: entry `i` points at the segment holding keys whose top
+    /// `GD` bits equal `i`.
+    dir: Vec<SegId>,
+    /// Segment arena; `None` slots are free.
+    segs: Vec<Option<Segment>>,
+    /// Sibling pointer per arena slot: the next segment in key order.
+    next: Vec<Option<SegId>>,
+    /// Free arena slots for reuse.
+    free: Vec<SegId>,
+    /// Total keys stored in this table.
+    num_keys: usize,
+    /// Maintenance statistics.
+    stats: DytisStats,
+    /// Currently active segment-size limit multiplier (`Limit_seg`).
+    active_limit_mult: u32,
+    /// Whether the adaptive limit decision (§3.3 "Selecting a segment size")
+    /// has been made.
+    limit_decided: bool,
+}
+
+impl EhTable {
+    /// Creates an empty table indexing `m_total`-bit sub-keys.
+    pub fn new(m_total: u32, params: &Params) -> Self {
+        assert!((1..=63).contains(&m_total));
+        EhTable {
+            m_total,
+            global_depth: 0,
+            dir: vec![0],
+            segs: vec![Some(Segment::new(0))],
+            next: vec![None],
+            free: Vec::new(),
+            num_keys: 0,
+            stats: DytisStats::default(),
+            active_limit_mult: params.limit_mult,
+            limit_decided: false,
+        }
+    }
+
+    /// Number of keys stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.num_keys
+    }
+
+    /// Returns `true` if no keys are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.num_keys == 0
+    }
+
+    /// Global depth of the directory.
+    #[inline]
+    pub fn global_depth(&self) -> u32 {
+        self.global_depth
+    }
+
+    /// Maintenance statistics accumulated so far.
+    #[inline]
+    pub fn stats(&self) -> &DytisStats {
+        &self.stats
+    }
+
+    /// The active segment-size limit multiplier (2 by default; 128 once the
+    /// adaptive policy classifies the dataset as expansion-heavy).
+    #[inline]
+    pub fn active_limit_mult(&self) -> u32 {
+        self.active_limit_mult
+    }
+
+    /// Directory index of sub-key `sk`.
+    #[inline]
+    fn dir_index(&self, sk: u64) -> usize {
+        (sk >> (self.m_total - self.global_depth)) as usize
+    }
+
+    #[inline]
+    fn seg(&self, id: SegId) -> &Segment {
+        self.segs[id as usize]
+            .as_ref()
+            .expect("dangling segment id")
+    }
+
+    #[inline]
+    fn seg_mut(&mut self, id: SegId) -> &mut Segment {
+        self.segs[id as usize]
+            .as_mut()
+            .expect("dangling segment id")
+    }
+
+    fn alloc(&mut self, seg: Segment) -> SegId {
+        if let Some(id) = self.free.pop() {
+            self.segs[id as usize] = Some(seg);
+            self.next[id as usize] = None;
+            id
+        } else {
+            self.segs.push(Some(seg));
+            self.next.push(None);
+            (self.segs.len() - 1) as SegId
+        }
+    }
+
+    /// Looks up `key` (with sub-key `sk`).
+    pub fn get(&self, sk: u64, key: Key, params: &Params) -> Option<Value> {
+        let id = self.dir[self.dir_index(sk)];
+        self.seg(id).get(sk, key, self.m_total, params)
+    }
+
+    /// Removes `key`, shrinking the segment if it becomes under-utilized.
+    pub fn remove(&mut self, sk: u64, key: Key, params: &Params) -> Option<Value> {
+        let id = self.dir[self.dir_index(sk)];
+        let m_total = self.m_total;
+        let seg = self.seg_mut(id);
+        let m = seg.key_bits(m_total);
+        let k = sk & mask64(m);
+        let b = seg.bucket_of(k, m_total);
+        let removed = seg.buckets[b].remove(key)?;
+        seg.num_keys -= 1;
+        self.num_keys -= 1;
+        let seg = self.seg(id);
+        if seg.total_buckets() > 1 && seg.utilization(params) < params.shrink_threshold {
+            let _ = self.seg_mut(id).shrink(m_total, params);
+        }
+        Some(removed)
+    }
+
+    /// Inserts (or updates in place) `key` with sub-key `sk`.
+    pub fn insert(&mut self, sk: u64, key: Key, value: Value, params: &Params) {
+        let mut guard = 0u32;
+        loop {
+            guard += 1;
+            assert!(guard < 10_000, "insert failed to converge");
+            let id = self.dir[self.dir_index(sk)];
+            let m_total = self.m_total;
+            let ld = self.seg(id).local_depth;
+            let m = m_total - ld;
+            let k = sk & mask64(m);
+            {
+                let cap = params.bucket_entries;
+                let seg = self.seg_mut(id);
+                let b = seg.bucket_of(k, m_total);
+                let bucket = &mut seg.buckets[b];
+                if bucket.update(key, value) {
+                    return; // In-place update of an existing key.
+                }
+                if bucket.len() < cap {
+                    bucket.insert(key, value);
+                    seg.num_keys += 1;
+                    self.num_keys += 1;
+                    return;
+                }
+            }
+            // Bucket is full: Algorithm 1.
+            self.maybe_decide_limit(params);
+            let gd = self.global_depth;
+            if ld < params.l_start {
+                // Warm-up: plain Extendible hashing behaviour.
+                if ld == gd {
+                    self.double_directory();
+                }
+                let hint = self.dir_index(sk);
+                self.split(id, hint, params);
+                continue;
+            }
+            let cap_buckets = params.segment_cap(ld, self.active_limit_mult);
+            let high_util = self.seg(id).utilization(params) > params.utilization_threshold;
+            let hint = self.dir_index(sk);
+            if ld < gd {
+                if high_util {
+                    self.split(id, hint, params);
+                } else if !self.try_remap(id, k, cap_buckets, params) {
+                    self.split(id, hint, params);
+                }
+            } else {
+                let ok = if high_util {
+                    self.try_expand(id, cap_buckets, params)
+                } else {
+                    self.try_remap(id, k, cap_buckets, params)
+                };
+                if !ok {
+                    self.double_directory();
+                    // Retry: the next iteration sees LD < GD and will split
+                    // (or remap) as Algorithm 1 prescribes.
+                }
+            }
+        }
+    }
+
+    /// Decides the adaptive segment-size limit once the table has gathered
+    /// enough maintenance history (observed at `L' = L_start + 2`, §3.3).
+    fn maybe_decide_limit(&mut self, params: &Params) {
+        if self.limit_decided || self.global_depth < params.l_start + 2 {
+            return;
+        }
+        self.limit_decided = true;
+        let s = &self.stats.ops;
+        let window_total = s.splits + s.remaps + s.expansions;
+        if window_total > 0
+            && s.expansions as f64 / window_total as f64 >= params.expansion_heavy_fraction
+        {
+            self.active_limit_mult = params.limit_mult_raised;
+        }
+    }
+
+    fn try_remap(&mut self, id: SegId, k: u64, cap_buckets: usize, params: &Params) -> bool {
+        let m_total = self.m_total;
+        let t0 = Instant::now();
+        let n = self.seg(id).num_keys as u64;
+        let outcome = self
+            .seg_mut(id)
+            .remap_adjust(k, m_total, cap_buckets, params);
+        if outcome == RemapOutcome::Failed {
+            return false;
+        }
+        self.stats.ops.remaps += 1;
+        self.stats.ops.keys_moved += n;
+        self.stats.times.remap_ns += t0.elapsed().as_nanos() as u64;
+        true
+    }
+
+    fn try_expand(&mut self, id: SegId, cap_buckets: usize, params: &Params) -> bool {
+        let m_total = self.m_total;
+        let t0 = Instant::now();
+        let n = self.seg(id).num_keys as u64;
+        if !self.seg_mut(id).expand(m_total, cap_buckets, params) {
+            return false;
+        }
+        self.stats.ops.expansions += 1;
+        self.stats.ops.keys_moved += n;
+        self.stats.times.expansion_ns += t0.elapsed().as_nanos() as u64;
+        true
+    }
+
+    /// Splits segment `id` into two (requires `LD < GD`). `hint_idx` is any
+    /// directory index pointing at `id`.
+    fn split(&mut self, id: SegId, hint_idx: usize, params: &Params) {
+        let t0 = Instant::now();
+        let m_total = self.m_total;
+        let old = self.segs[id as usize].take().expect("dangling segment id");
+        debug_assert!(old.local_depth < self.global_depth);
+        let n = old.num_keys as u64;
+        let (left, right) = old.split(m_total, params);
+        let new_ld = left.local_depth;
+
+        // Reuse `id` for the left half so predecessors' sibling pointers and
+        // directory entries below the split point stay valid.
+        self.segs[id as usize] = Some(left);
+        let right_id = self.alloc(right);
+        self.next[right_id as usize] = self.next[id as usize];
+        self.next[id as usize] = Some(right_id);
+
+        // Redirect the upper half of the directory range that pointed at the
+        // old segment.
+        let span = 1usize << (self.global_depth - new_ld);
+        // First directory entry of the *old* segment's range: clear the low
+        // `GD - (LD_new - 1)` bits of the hint index.
+        debug_assert_eq!(self.dir[hint_idx], id);
+        let base = hint_idx & !(span * 2 - 1);
+        for e in &mut self.dir[base + span..base + 2 * span] {
+            *e = right_id;
+        }
+        self.stats.ops.splits += 1;
+        self.stats.ops.keys_moved += n;
+        self.stats.times.split_ns += t0.elapsed().as_nanos() as u64;
+    }
+
+    /// Doubles the directory (`GD += 1`), duplicating every entry.
+    fn double_directory(&mut self) {
+        let t0 = Instant::now();
+        let mut dir = Vec::with_capacity(self.dir.len() * 2);
+        for &e in &self.dir {
+            dir.push(e);
+            dir.push(e);
+        }
+        self.dir = dir;
+        self.global_depth += 1;
+        self.stats.ops.doublings += 1;
+        self.stats.times.doubling_ns += t0.elapsed().as_nanos() as u64;
+    }
+
+    /// Scans from the smallest key `>= start_key` (sub-key `start_sk`),
+    /// appending up to `count - out.len()` pairs. Returns `true` when the
+    /// scan is satisfied (no further tables need visiting).
+    pub fn scan(
+        &self,
+        start_sk: u64,
+        start_key: Key,
+        count: usize,
+        out: &mut Vec<(Key, Value)>,
+    ) -> bool {
+        if self.num_keys == 0 {
+            return out.len() >= count;
+        }
+        let mut seg_id = self.dir[self.dir_index(start_sk)];
+        let mut first = true;
+        loop {
+            let seg = self.seg(seg_id);
+            let (mut b, mut i) = if first {
+                let m = seg.key_bits(self.m_total);
+                let k = start_sk & mask64(m);
+                let b = seg.bucket_of(k, self.m_total);
+                (b, seg.buckets[b].lower_bound(start_key))
+            } else {
+                (0, 0)
+            };
+            first = false;
+            while b < seg.buckets.len() {
+                let bucket = &seg.buckets[b];
+                while i < bucket.len() {
+                    if out.len() >= count {
+                        return true;
+                    }
+                    out.push(bucket.pair(i));
+                    i += 1;
+                }
+                b += 1;
+                i = 0;
+            }
+            match self.next[seg_id as usize] {
+                Some(n) => seg_id = n,
+                None => return out.len() >= count,
+            }
+        }
+    }
+
+    /// Scans the whole table from its first segment (used when a scan spills
+    /// over from a previous first-level entry).
+    pub fn scan_from_start(&self, count: usize, out: &mut Vec<(Key, Value)>) -> bool {
+        self.scan(0, 0, count, out)
+    }
+
+    /// Iterates over all live segments (for tests and introspection).
+    pub fn segments(&self) -> impl Iterator<Item = &Segment> {
+        self.segs.iter().filter_map(|s| s.as_ref())
+    }
+
+    /// Total linear models (remapping-function pieces) across segments —
+    /// the structural quantity the paper's §4.3/§4.4 analysis compares
+    /// against ALEX's node counts.
+    pub fn model_count(&self) -> usize {
+        self.segments().map(|s| s.remap.num_pieces()).sum()
+    }
+
+    /// Number of live segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments().count()
+    }
+
+    /// Structural memory in bytes: directory + segment metadata + buckets.
+    pub fn memory_bytes(&self) -> usize {
+        self.dir.capacity() * std::mem::size_of::<SegId>()
+            + self.next.capacity() * std::mem::size_of::<Option<SegId>>()
+            + self.segs.capacity() * std::mem::size_of::<Option<Segment>>()
+            + self
+                .segs
+                .iter()
+                .flatten()
+                .map(Segment::heap_bytes)
+                .sum::<usize>()
+    }
+
+    /// Validates structural invariants; used by tests and debug assertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invariant is violated.
+    pub fn check_invariants(&self, params: &Params) {
+        let mut total = 0usize;
+        let mut idx = 0usize;
+        let mut chain = Vec::new();
+        while idx < self.dir.len() {
+            let id = self.dir[idx];
+            let seg = self.seg(id);
+            let span = 1usize << (self.global_depth - seg.local_depth);
+            assert_eq!(idx % span, 0, "segment not aligned in directory");
+            for &e in &self.dir[idx..idx + span] {
+                assert_eq!(e, id, "directory range must point at one segment");
+            }
+            assert_eq!(seg.total_buckets(), seg.remap.total_buckets() as usize);
+            let mut prev: Option<Key> = None;
+            let mut keys = 0usize;
+            for bucket in &seg.buckets {
+                assert!(bucket.len() <= params.bucket_entries);
+                for &key in bucket.keys() {
+                    if let Some(p) = prev {
+                        assert!(p < key, "segment keys out of order");
+                    }
+                    prev = Some(key);
+                    keys += 1;
+                }
+            }
+            assert_eq!(keys, seg.num_keys, "segment num_keys mismatch");
+            total += keys;
+            chain.push(id);
+            idx += span;
+        }
+        assert_eq!(total, self.num_keys, "table num_keys mismatch");
+        // The sibling chain visits segments in directory order.
+        let mut cur = Some(chain[0]);
+        for &expected in &chain {
+            assert_eq!(cur, Some(expected), "sibling chain broken");
+            cur = self.next[expected as usize];
+        }
+        assert_eq!(cur, None, "sibling chain has trailing segments");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> Params {
+        Params {
+            bucket_entries: 8,
+            l_start: 2,
+            ..Params::default()
+        }
+    }
+
+    const M: u32 = 16;
+
+    #[test]
+    fn insert_get_small() {
+        let p = params();
+        let mut t = EhTable::new(M, &p);
+        for k in 0..100u64 {
+            t.insert(k * 7 % (1 << M), k * 7 % (1 << M), k, &p);
+        }
+        t.check_invariants(&p);
+        for k in 0..100u64 {
+            let key = k * 7 % (1 << M);
+            assert_eq!(t.get(key, key, &p), Some(k), "key {key}");
+        }
+        assert_eq!(t.get(3, 3, &p), None);
+    }
+
+    #[test]
+    fn insert_many_sequential_and_lookup() {
+        let p = params();
+        let mut t = EhTable::new(M, &p);
+        for k in 0..4000u64 {
+            t.insert(k, k, k + 1, &p);
+        }
+        t.check_invariants(&p);
+        assert_eq!(t.len(), 4000);
+        for k in (0..4000u64).step_by(37) {
+            assert_eq!(t.get(k, k, &p), Some(k + 1));
+        }
+    }
+
+    #[test]
+    fn insert_skewed_cluster_triggers_remap() {
+        let p = params();
+        let mut t = EhTable::new(M, &p);
+        // Dense cluster in a narrow range plus disjoint sparse outliers.
+        for k in 0..2000u64 {
+            t.insert(1000 + k, 1000 + k, k, &p);
+        }
+        for k in 0..50u64 {
+            let key = 50_000 + k * 300;
+            t.insert(key, key, k, &p);
+        }
+        t.check_invariants(&p);
+        assert!(t.stats().ops.total_ops() > 0);
+        for k in 0..2000u64 {
+            assert_eq!(t.get(1000 + k, 1000 + k, &p), Some(k));
+        }
+    }
+
+    #[test]
+    fn update_in_place_does_not_grow() {
+        let p = params();
+        let mut t = EhTable::new(M, &p);
+        for k in 0..500u64 {
+            t.insert(k, k, 0, &p);
+        }
+        let len = t.len();
+        for k in 0..500u64 {
+            t.insert(k, k, 9, &p);
+        }
+        assert_eq!(t.len(), len);
+        assert_eq!(t.get(123, 123, &p), Some(9));
+    }
+
+    #[test]
+    fn remove_and_shrink() {
+        let p = params();
+        let mut t = EhTable::new(M, &p);
+        for k in 0..2000u64 {
+            t.insert(k, k, k, &p);
+        }
+        for k in 0..1900u64 {
+            assert_eq!(t.remove(k, k, &p), Some(k), "key {k}");
+        }
+        t.check_invariants(&p);
+        assert_eq!(t.len(), 100);
+        for k in 1900..2000u64 {
+            assert_eq!(t.get(k, k, &p), Some(k));
+        }
+        assert_eq!(t.remove(5, 5, &p), None);
+    }
+
+    #[test]
+    fn scan_returns_sorted_run() {
+        let p = params();
+        let mut t = EhTable::new(M, &p);
+        let keys: Vec<u64> = (0..3000u64).map(|k| (k * 2654435761) % (1 << M)).collect();
+        let mut sorted: Vec<u64> = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for &k in &keys {
+            t.insert(k, k, k, &p);
+        }
+        let mut out = Vec::new();
+        t.scan(100, 100, 64, &mut out);
+        let expect: Vec<u64> = sorted
+            .iter()
+            .copied()
+            .filter(|&k| k >= 100)
+            .take(64)
+            .collect();
+        let got: Vec<u64> = out.iter().map(|&(k, _)| k).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn scan_spills_across_segments() {
+        let p = params();
+        let mut t = EhTable::new(M, &p);
+        for k in 0..5000u64 {
+            t.insert(k, k, k, &p);
+        }
+        let mut out = Vec::new();
+        assert!(t.scan(4000, 4000, 500, &mut out));
+        assert_eq!(out.len(), 500);
+        assert_eq!(out[0].0, 4000);
+        assert_eq!(out[499].0, 4499);
+    }
+
+    #[test]
+    fn scan_past_end_is_unsatisfied() {
+        let p = params();
+        let mut t = EhTable::new(M, &p);
+        for k in 0..100u64 {
+            t.insert(k, k, k, &p);
+        }
+        let mut out = Vec::new();
+        assert!(!t.scan(50, 50, 200, &mut out));
+        assert_eq!(out.len(), 50);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let p = params();
+        let mut t = EhTable::new(M, &p);
+        for k in 0..5000u64 {
+            t.insert(k, k, k, &p);
+        }
+        let s = t.stats();
+        assert!(s.ops.splits > 0);
+        assert!(s.ops.doublings > 0);
+        assert!(s.ops.keys_moved > 0);
+    }
+
+    #[test]
+    fn directory_dense_uniform_uses_expansion() {
+        // Uniform keys at LD == GD should trigger expansions once past
+        // L_start, and the adaptive limit may rise.
+        let p = params();
+        let mut t = EhTable::new(M, &p);
+        for k in 0..(1u64 << 13) {
+            t.insert(k << 3, k << 3, k, &p);
+        }
+        t.check_invariants(&p);
+        assert!(t.stats().ops.expansions > 0);
+    }
+}

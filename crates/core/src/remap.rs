@@ -1,0 +1,665 @@
+//! Piecewise-linear remapping functions (§3.2–§3.3).
+//!
+//! A segment's key range is divided into sub-ranges, and each sub-range
+//! carries one linear piece of the scaled, approximated CDF `F`. DyTIS
+//! represents each piece with an *integer bucket count*: the piece's slope
+//! is `count / width`, and the bucket index of a remapped key is the
+//! quotient `F(k) / 2^m` (§3.2), which with this representation reduces to
+//! exact integer arithmetic — no floating point, hence no rounding-induced
+//! non-monotonicity.
+//!
+//! Sub-ranges are refined *adaptively*: the paper partitions "the key range
+//! of s into smaller sub-ranges until the target sub-range ... has
+//! utilization larger than `U_t`" (§3.3, Figure 7), which for a key cluster
+//! much narrower than the segment requires refining only around the cluster.
+//! The function is therefore a binary trie over the key bits: inner nodes
+//! split a range in half, leaves carry bucket counts. Pieces proliferate
+//! only where keys are, so the representation stays O(#pieces) even when
+//! the finest piece is a single key wide.
+//!
+//! The example of Figure 6 maps onto this representation verbatim: a segment
+//! with 8 buckets and 4 equal sub-ranges holds leaf counts `[2, 2, 2, 2]`,
+//! and the remapping step that steals one bucket each from sub-ranges 0 and
+//! 2 yields counts `[1, 4, 1, 2]` (slopes 4, 16, 4, 8 in the paper's
+//! normalized units).
+
+/// Arena index of a trie node.
+pub type NodeId = u32;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Node {
+    /// A sub-range with a linear piece: `count` buckets starting at bucket
+    /// index `cum`.
+    Leaf { count: u32, cum: u32 },
+    /// A sub-range split at its midpoint.
+    Inner { kids: [NodeId; 2] },
+}
+
+/// Location of the leaf (sub-range) covering a key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeafRef {
+    /// Arena id of the leaf.
+    pub id: NodeId,
+    /// Trie depth: the leaf covers `m − depth` key bits.
+    pub depth: u32,
+    /// First within-segment key of the leaf's range.
+    pub start: u64,
+    /// Bucket count of the leaf.
+    pub count: u32,
+    /// First bucket index of the leaf.
+    pub cum: u32,
+}
+
+/// Statistics of one leaf during an in-order walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeafInfo {
+    /// Arena id.
+    pub id: NodeId,
+    /// Trie depth (`width = m − depth` bits).
+    pub depth: u32,
+    /// First within-segment key covered.
+    pub start: u64,
+    /// Bucket count.
+    pub count: u32,
+}
+
+/// An adaptively refined piecewise-linear remapping function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemapFn {
+    nodes: Vec<Node>,
+    root: NodeId,
+    /// Total number of buckets (`B` in the paper).
+    total: u32,
+}
+
+impl RemapFn {
+    /// The identity function: one sub-range, one bucket (a fresh segment,
+    /// Figure 6(a) before any key is observed).
+    pub fn identity() -> Self {
+        RemapFn {
+            nodes: vec![Node::Leaf { count: 1, cum: 0 }],
+            root: 0,
+            total: 1,
+        }
+    }
+
+    /// Builds a perfect trie over equal-width sub-ranges with the given
+    /// bucket counts (zero counts allowed: a flat region of the CDF whose
+    /// keys map into the next non-empty sub-range's first bucket).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is empty, its length is not a power of two, or the
+    /// total is zero.
+    pub fn from_counts(counts: Vec<u32>) -> Self {
+        assert!(!counts.is_empty() && counts.len().is_power_of_two());
+        assert!(counts.iter().any(|&c| c > 0), "function needs >= 1 bucket");
+        let mut f = RemapFn {
+            nodes: Vec::with_capacity(counts.len() * 2),
+            root: 0,
+            total: 0,
+        };
+        f.root = f.build_perfect(&counts);
+        f.recompute_cums();
+        f
+    }
+
+    fn build_perfect(&mut self, counts: &[u32]) -> NodeId {
+        if counts.len() == 1 {
+            self.nodes.push(Node::Leaf {
+                count: counts[0],
+                cum: 0,
+            });
+        } else {
+            let mid = counts.len() / 2;
+            let l = self.build_perfect(&counts[..mid]);
+            let r = self.build_perfect(&counts[mid..]);
+            self.nodes.push(Node::Inner { kids: [l, r] });
+        }
+        (self.nodes.len() - 1) as NodeId
+    }
+
+    /// Total number of buckets `B`.
+    #[inline]
+    pub fn total_buckets(&self) -> u32 {
+        self.total
+    }
+
+    /// Number of linear pieces (leaves).
+    pub fn num_pieces(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+
+    /// Bucket index of within-segment key `k`.
+    ///
+    /// `m` is the number of key bits of the segment (`n − R − LD`); `k` must
+    /// be `< 2^m`.
+    #[inline]
+    pub fn bucket_index(&self, k: u64, m: u32) -> usize {
+        let mut node = self.root;
+        let mut depth = 0u32;
+        loop {
+            match &self.nodes[node as usize] {
+                Node::Inner { kids } => {
+                    let bit = (k >> (m - 1 - depth)) & 1;
+                    node = kids[bit as usize];
+                    depth += 1;
+                }
+                Node::Leaf { count, cum } => {
+                    let w = m - depth;
+                    let off = k & mask64(w);
+                    // Exact fixed-point evaluation of the piece's linear
+                    // function: bucket = cum + floor(off · count / 2^w).
+                    // Zero-count leaves at the tail would index one past the
+                    // end; clamp.
+                    let within = ((off as u128 * *count as u128) >> w) as u32;
+                    return ((cum + within).min(self.total - 1)) as usize;
+                }
+            }
+        }
+    }
+
+    /// Fractional position of `k` *within* its bucket, scaled to `slots`
+    /// positions. Used as the exponential-search hint (§3.3).
+    #[inline]
+    pub fn slot_hint(&self, k: u64, m: u32, slots: usize) -> usize {
+        let leaf = self.locate(k, m);
+        let w = m - leaf.depth;
+        let off = (k - leaf.start) & mask64(w);
+        let scaled = off as u128 * leaf.count as u128;
+        let frac = scaled & mask64(w) as u128;
+        ((frac * slots as u128) >> w) as usize
+    }
+
+    /// Finds the leaf covering `k`.
+    pub fn locate(&self, k: u64, m: u32) -> LeafRef {
+        let mut node = self.root;
+        let mut depth = 0u32;
+        let mut start = 0u64;
+        loop {
+            match &self.nodes[node as usize] {
+                Node::Inner { kids } => {
+                    let bit = (k >> (m - 1 - depth)) & 1;
+                    if bit == 1 {
+                        start |= 1u64 << (m - 1 - depth);
+                    }
+                    node = kids[bit as usize];
+                    depth += 1;
+                }
+                Node::Leaf { count, cum } => {
+                    return LeafRef {
+                        id: node,
+                        depth,
+                        start,
+                        count: *count,
+                        cum: *cum,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Splits the leaf covering `k` into two half-width pieces carrying
+    /// `(c − c/2, c/2)` buckets (the represented function is preserved up to
+    /// half-bucket rounding). Returns `false` when the leaf is already a
+    /// single key value wide.
+    pub fn refine_at(&mut self, k: u64, m: u32) -> bool {
+        let leaf = self.locate(k, m);
+        if leaf.depth >= m {
+            return false;
+        }
+        let c = leaf.count;
+        self.nodes.push(Node::Leaf {
+            count: c - c / 2,
+            cum: 0,
+        });
+        let l = (self.nodes.len() - 1) as NodeId;
+        self.nodes.push(Node::Leaf {
+            count: c / 2,
+            cum: 0,
+        });
+        let r = (self.nodes.len() - 1) as NodeId;
+        self.nodes[leaf.id as usize] = Node::Inner { kids: [l, r] };
+        self.recompute_cums();
+        true
+    }
+
+    /// In-order leaf walk.
+    pub fn leaves(&self, m: u32) -> Vec<LeafInfo> {
+        let mut out = Vec::new();
+        // Explicit stack of (node, depth, start); right child pushed first
+        // so the left child pops first (in-order).
+        let mut stack = vec![(self.root, 0u32, 0u64)];
+        while let Some((node, depth, start)) = stack.pop() {
+            match &self.nodes[node as usize] {
+                Node::Inner { kids } => {
+                    let half = 1u64 << (m - 1 - depth);
+                    stack.push((kids[1], depth + 1, start | half));
+                    stack.push((kids[0], depth + 1, start));
+                }
+                Node::Leaf { count, .. } => out.push(LeafInfo {
+                    id: node,
+                    depth,
+                    start,
+                    count: *count,
+                }),
+            }
+        }
+        out
+    }
+
+    /// In-order leaf counts (test convenience; equal-width only after
+    /// [`RemapFn::from_counts`], but always the in-order piece counts).
+    pub fn counts(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(node) = stack.pop() {
+            match &self.nodes[node as usize] {
+                Node::Inner { kids } => {
+                    stack.push(kids[1]);
+                    stack.push(kids[0]);
+                }
+                Node::Leaf { count, .. } => out.push(*count),
+            }
+        }
+        out
+    }
+
+    /// Sets the bucket count of a leaf. The caller must finish with
+    /// [`RemapFn::recompute_cums`] before the next lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is an inner node.
+    pub fn set_leaf_count(&mut self, id: NodeId, count: u32) {
+        match &mut self.nodes[id as usize] {
+            Node::Leaf { count: c, .. } => *c = count,
+            Node::Inner { .. } => panic!("set_leaf_count on inner node"),
+        }
+    }
+
+    /// Doubles the count of the leaf covering `k` (the growth path of
+    /// remapping when stealing fails, and the overflow fix-up during
+    /// rebuilds). Zero-count leaves grow to one bucket.
+    pub fn grow_at(&mut self, k: u64, m: u32) {
+        let leaf = self.locate(k, m);
+        self.set_leaf_count(leaf.id, (leaf.count * 2).max(1));
+        self.recompute_cums();
+    }
+
+    /// Doubles every count — the paper's *expansion* (§3.3): "simply doubles
+    /// the size while scaling the remapping functions (i.e., doubling the
+    /// slope)".
+    pub fn expand(&mut self) {
+        for n in &mut self.nodes {
+            if let Node::Leaf { count, .. } = n {
+                *count *= 2;
+            }
+        }
+        self.recompute_cums();
+    }
+
+    /// Recomputes cumulative bucket offsets after count changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every leaf count is zero.
+    pub fn recompute_cums(&mut self) {
+        let mut acc = 0u32;
+        let mut stack = vec![self.root];
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(node) = stack.pop() {
+            match &self.nodes[node as usize] {
+                Node::Inner { kids } => {
+                    stack.push(kids[1]);
+                    stack.push(kids[0]);
+                }
+                Node::Leaf { .. } => order.push(node),
+            }
+        }
+        for id in order {
+            if let Node::Leaf { count, cum } = &mut self.nodes[id as usize] {
+                *cum = acc;
+                acc += *count;
+            }
+        }
+        assert!(acc > 0, "function needs >= 1 bucket");
+        self.total = acc;
+    }
+
+    /// Splits the function into the two key-range halves for a segment
+    /// split (§3.3): each half keeps its pieces' slopes. A single-leaf
+    /// function divides its count evenly.
+    pub fn split_halves(&self) -> (RemapFn, RemapFn) {
+        let kids = match &self.nodes[self.root as usize] {
+            Node::Inner { kids } => *kids,
+            Node::Leaf { count, .. } => {
+                let right = count / 2;
+                let left = count - right;
+                return (
+                    RemapFn::from_counts(vec![left.max(1)]),
+                    RemapFn::from_counts(vec![right.max(1)]),
+                );
+            }
+        };
+        (self.extract(kids[0]), self.extract(kids[1]))
+    }
+
+    /// Deep-copies the subtree at `node` into a fresh function.
+    fn extract(&self, node: NodeId) -> RemapFn {
+        let mut f = RemapFn {
+            nodes: Vec::new(),
+            root: 0,
+            total: 0,
+        };
+        f.root = self.copy_into(node, &mut f.nodes);
+        // A subtree can be all-zero (its keys mapped into the sibling
+        // half); give its leftmost leaf one bucket so it remains a valid
+        // function.
+        let any = f
+            .nodes
+            .iter()
+            .any(|n| matches!(n, Node::Leaf { count, .. } if *count > 0));
+        if !any {
+            let mut id = f.root;
+            loop {
+                match &f.nodes[id as usize] {
+                    Node::Inner { kids } => id = kids[0],
+                    Node::Leaf { .. } => break,
+                }
+            }
+            if let Node::Leaf { count, .. } = &mut f.nodes[id as usize] {
+                *count = 1;
+            }
+        }
+        f.recompute_cums();
+        f
+    }
+
+    fn copy_into(&self, node: NodeId, out: &mut Vec<Node>) -> NodeId {
+        match &self.nodes[node as usize] {
+            Node::Leaf { count, .. } => {
+                out.push(Node::Leaf {
+                    count: *count,
+                    cum: 0,
+                });
+            }
+            Node::Inner { kids } => {
+                let l = self.copy_into(kids[0], out);
+                let r = self.copy_into(kids[1], out);
+                out.push(Node::Inner { kids: [l, r] });
+            }
+        }
+        (out.len() - 1) as NodeId
+    }
+
+    /// Scales every leaf count so the total becomes at least `target` (used
+    /// by segment splits: "computes the segment size ... and then doubles
+    /// its size, while keeping the slope(s)"). Rounding drift lands on the
+    /// densest piece.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is zero.
+    pub fn scale_to(&mut self, target: u32) {
+        assert!(target > 0);
+        let old_total = self.total.max(1) as u64;
+        let mut acc = 0u32;
+        for n in &mut self.nodes {
+            if let Node::Leaf { count, .. } = n {
+                *count = ((*count as u64 * target as u64) / old_total) as u32;
+                acc += *count;
+            }
+        }
+        if acc < target {
+            // Give the drift to the densest leaf (fall back to any leaf).
+            let mut best: Option<NodeId> = None;
+            let mut best_count = 0u32;
+            for (i, n) in self.nodes.iter().enumerate() {
+                if let Node::Leaf { count, .. } = n {
+                    if best.is_none() || *count > best_count {
+                        best_count = *count;
+                        best = Some(i as NodeId);
+                    }
+                }
+            }
+            let id = best.expect("trie has leaves");
+            if let Node::Leaf { count, .. } = &mut self.nodes[id as usize] {
+                *count += target - acc;
+            }
+        }
+        self.recompute_cums();
+    }
+
+    /// Heap bytes held by the function's allocations.
+    pub fn heap_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<Node>()
+    }
+}
+
+/// Low `w`-bit mask, valid for `w <= 63`.
+#[inline]
+pub fn mask(w: u32) -> u64 {
+    debug_assert!(w < 64);
+    (1u64 << w) - 1
+}
+
+/// Low `w`-bit mask over the full 64-bit range (`w == 64` allowed).
+#[inline]
+pub fn mask64(w: u32) -> u64 {
+    if w >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << w) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_maps_everything_to_bucket_zero() {
+        let f = RemapFn::identity();
+        for k in [0u64, 1, 100, (1 << 20) - 1] {
+            assert_eq!(f.bucket_index(k, 20), 0);
+        }
+    }
+
+    #[test]
+    fn uniform_counts_partition_evenly() {
+        // 4 sub-ranges x 2 buckets over m = 8 bits: 8 buckets of 32 keys.
+        let f = RemapFn::from_counts(vec![2, 2, 2, 2]);
+        for k in 0..256u64 {
+            assert_eq!(f.bucket_index(k, 8), (k / 32) as usize);
+        }
+    }
+
+    #[test]
+    fn figure6_counts_match_paper_example() {
+        // Figure 6(b): counts [1, 4, 1, 2] over 8 buckets. Sub-range 1
+        // (keys [64, 128) for m = 8) owns buckets 1..5.
+        let f = RemapFn::from_counts(vec![1, 4, 1, 2]);
+        assert_eq!(f.total_buckets(), 8);
+        assert_eq!(f.bucket_index(0, 8), 0);
+        assert_eq!(f.bucket_index(63, 8), 0);
+        assert_eq!(f.bucket_index(64, 8), 1);
+        assert_eq!(f.bucket_index(127, 8), 4);
+        assert_eq!(f.bucket_index(128, 8), 5);
+        assert_eq!(f.bucket_index(191, 8), 5);
+        assert_eq!(f.bucket_index(192, 8), 6);
+        assert_eq!(f.bucket_index(255, 8), 7);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_surjective() {
+        let f = RemapFn::from_counts(vec![3, 1, 7, 2, 1, 1, 5, 4]);
+        let mut prev = 0;
+        let mut hit = std::collections::HashSet::new();
+        for k in 0..(1u64 << 12) {
+            let b = f.bucket_index(k, 12);
+            assert!(b >= prev, "non-monotone at {k}");
+            assert!(b < f.total_buckets() as usize);
+            hit.insert(b);
+            prev = b;
+        }
+        assert_eq!(hit.len(), f.total_buckets() as usize);
+    }
+
+    #[test]
+    fn zero_count_subrange_maps_to_neighbor() {
+        let f = RemapFn::from_counts(vec![1, 0, 2, 1]);
+        // Sub-range 1 (keys [64, 128) at m = 8) owns no buckets: its keys
+        // land in bucket 1, the first bucket of sub-range 2.
+        assert_eq!(f.bucket_index(100, 8), 1);
+        // Trailing zero sub-range clamps to the last bucket.
+        let g = RemapFn::from_counts(vec![2, 0]);
+        assert_eq!(g.bucket_index(255, 8), 1);
+        let mut prev = 0;
+        for k in 0..256u64 {
+            let b = f.bucket_index(k, 8);
+            assert!(b >= prev && b < 4);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn refine_preserves_even_mapping() {
+        let mut f = RemapFn::from_counts(vec![2, 4]);
+        let g = f.clone();
+        assert!(f.refine_at(0, 8)); // Split the left sub-range.
+        assert_eq!(f.counts(), vec![1, 1, 4]);
+        assert_eq!(f.total_buckets(), 6);
+        for k in 0..256u64 {
+            assert_eq!(f.bucket_index(k, 8), g.bucket_index(k, 8), "key {k}");
+        }
+    }
+
+    #[test]
+    fn refine_stops_at_single_key_width() {
+        let mut f = RemapFn::from_counts(vec![1, 1]);
+        assert!(!f.refine_at(0, 1));
+        assert_eq!(f.counts(), vec![1, 1]);
+    }
+
+    #[test]
+    fn adaptive_refinement_tracks_a_deep_cluster() {
+        // A cluster of keys at the very bottom of a 40-bit range: refining
+        // at the cluster repeatedly keeps the piece count linear in the
+        // refinement depth, not exponential.
+        let m = 40u32;
+        let mut f = RemapFn::identity();
+        for _ in 0..(m - 4) {
+            assert!(f.refine_at(5, m));
+        }
+        assert_eq!(f.num_pieces() as u32, m - 4 + 1);
+        // The leaf covering the cluster is 16 keys wide.
+        let leaf = f.locate(5, m);
+        assert_eq!(leaf.depth, m - 4);
+        assert_eq!(leaf.start, 0);
+        // The function is still monotone over a sample of the range.
+        let mut prev = 0;
+        for k in (0..(1u64 << m)).step_by(1 << 28) {
+            let b = f.bucket_index(k, m);
+            assert!(b >= prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn grow_at_doubles_target_leaf() {
+        let mut f = RemapFn::from_counts(vec![1, 2, 1, 1]);
+        f.grow_at(64, 8); // Sub-range 1 covers [64, 128).
+        assert_eq!(f.counts(), vec![1, 4, 1, 1]);
+        assert_eq!(f.total_buckets(), 7);
+        let mut g = RemapFn::from_counts(vec![1, 0]);
+        g.grow_at(200, 8);
+        assert_eq!(g.counts(), vec![1, 1]);
+    }
+
+    #[test]
+    fn expand_doubles_every_count() {
+        let mut f = RemapFn::from_counts(vec![1, 4, 1, 2]);
+        f.expand();
+        assert_eq!(f.counts(), vec![2, 8, 2, 4]);
+        assert_eq!(f.total_buckets(), 16);
+    }
+
+    #[test]
+    fn split_halves_keeps_slopes() {
+        // Paper's split example: 4 buckets, left half uses 1, right 3.
+        let f = RemapFn::from_counts(vec![1, 3]);
+        let (l, r) = f.split_halves();
+        assert_eq!(l.counts(), vec![1]);
+        assert_eq!(r.counts(), vec![3]);
+    }
+
+    #[test]
+    fn split_halves_of_single_leaf() {
+        let f = RemapFn::from_counts(vec![5]);
+        let (l, r) = f.split_halves();
+        assert_eq!(l.counts(), vec![3]);
+        assert_eq!(r.counts(), vec![2]);
+        let g = RemapFn::from_counts(vec![1]);
+        let (l, r) = g.split_halves();
+        assert_eq!(l.counts(), vec![1]);
+        assert_eq!(r.counts(), vec![1]);
+    }
+
+    #[test]
+    fn split_halves_with_zero_half_stays_valid() {
+        let f = RemapFn::from_counts(vec![0, 0, 2, 2]);
+        let (l, r) = f.split_halves();
+        assert!(l.total_buckets() >= 1);
+        assert_eq!(r.total_buckets(), 4);
+        assert_eq!(l.bucket_index(0, 7), 0);
+    }
+
+    #[test]
+    fn scale_to_adjusts_total() {
+        let mut f = RemapFn::from_counts(vec![1, 3]);
+        f.scale_to(8);
+        assert_eq!(f.total_buckets(), 8);
+        let c = f.counts();
+        assert!(c[1] > c[0], "slope ordering preserved: {c:?}");
+    }
+
+    #[test]
+    fn leaves_walk_is_in_order() {
+        let mut f = RemapFn::from_counts(vec![2, 2]);
+        f.refine_at(192, 8);
+        let ls = f.leaves(8);
+        let starts: Vec<u64> = ls.iter().map(|l| l.start).collect();
+        assert_eq!(starts, vec![0, 128, 192]);
+        assert_eq!(ls[1].depth, 2);
+    }
+
+    #[test]
+    fn slot_hint_is_in_range_and_monotone_within_bucket() {
+        let f = RemapFn::from_counts(vec![2, 6]);
+        let slots = 128;
+        let mut prev_bucket = usize::MAX;
+        let mut prev_hint = 0;
+        for k in 0..(1u64 << 10) {
+            let b = f.bucket_index(k, 10);
+            let h = f.slot_hint(k, 10, slots);
+            assert!(h < slots);
+            if b == prev_bucket {
+                assert!(h >= prev_hint, "hint not monotone within bucket at {k}");
+            }
+            prev_bucket = b;
+            prev_hint = h;
+        }
+    }
+
+    #[test]
+    fn mask_helpers() {
+        assert_eq!(mask(0), 0);
+        assert_eq!(mask(3), 7);
+        assert_eq!(mask64(64), u64::MAX);
+        assert_eq!(mask64(8), 255);
+    }
+}

@@ -1,0 +1,653 @@
+//! Variable-size segments (§3.2–§3.3).
+//!
+//! A segment owns a run of buckets plus the remapping function that spreads
+//! its key sub-range over those buckets. All keys in a segment share the same
+//! `LD` most-significant bits of the EH sub-key, so the segment's own key
+//! space is `[0, 2^m)` with `m = n − R − LD` bits. Segments are the unit of
+//! model retraining: remapping, expansion and splitting each rebuild exactly
+//! one segment, which is the paper's "local model re-training" design point
+//! (§2.2).
+
+use crate::bucket::Bucket;
+use crate::params::Params;
+use crate::remap::{mask64, RemapFn};
+use index_traits::{Key, Value};
+
+/// Outcome of attempting a remapping (§3.3, Algorithm 1 lines 8/15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemapOutcome {
+    /// The function was adjusted by stealing buckets; segment size unchanged.
+    Stole,
+    /// Stealing failed; the segment grew so the target sub-range doubled.
+    Grew,
+    /// Growth would exceed the segment-size cap: remapping failed.
+    Failed,
+}
+
+/// A segment: local depth, remapping function, and bucket array.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Local depth `LD`: all keys share the top `LD` bits of the EH sub-key.
+    pub local_depth: u32,
+    /// The piecewise-linear remapping function (approximated CDF).
+    pub remap: RemapFn,
+    /// Buckets; length is always `remap.total_buckets()`.
+    pub buckets: Vec<Bucket>,
+    /// Number of keys stored across all buckets.
+    pub num_keys: usize,
+    /// Consecutive remappings since the last split/expansion. Each remap in
+    /// a streak doubles the granted bucket count, so a key distribution
+    /// that keeps outgrowing its sub-range (e.g. an advancing timestamp
+    /// band) costs O(log) remaps per segment instead of O(segment/bucket):
+    /// the O(segment) rebuild per remap stays, but the rebuild count is
+    /// amortized geometrically.
+    pub remap_streak: u32,
+}
+
+impl Segment {
+    /// A fresh one-bucket segment with the identity remapping function.
+    pub fn new(local_depth: u32) -> Self {
+        Segment {
+            local_depth,
+            remap: RemapFn::identity(),
+            buckets: vec![Bucket::default()],
+            num_keys: 0,
+            remap_streak: 0,
+        }
+    }
+
+    /// Number of key bits of this segment: `m = m_total − LD`.
+    #[inline]
+    pub fn key_bits(&self, m_total: u32) -> u32 {
+        m_total - self.local_depth
+    }
+
+    /// Within-segment key of EH sub-key `sk`.
+    #[inline]
+    pub fn local_key(&self, sk: u64, m_total: u32) -> u64 {
+        sk & mask64(self.key_bits(m_total))
+    }
+
+    /// Total bucket count.
+    #[inline]
+    pub fn total_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Segment capacity in keys.
+    #[inline]
+    pub fn capacity(&self, params: &Params) -> usize {
+        self.buckets.len() * params.bucket_entries
+    }
+
+    /// Key utilization `U_s` of the whole segment.
+    #[inline]
+    pub fn utilization(&self, params: &Params) -> f64 {
+        self.num_keys as f64 / self.capacity(params) as f64
+    }
+
+    /// Bucket index for within-segment key `k`.
+    #[inline]
+    pub fn bucket_of(&self, k: u64, m_total: u32) -> usize {
+        self.remap.bucket_index(k, self.key_bits(m_total))
+    }
+
+    /// Searches for full key `key` (with EH sub-key `sk`).
+    pub fn get(&self, sk: u64, key: Key, m_total: u32, params: &Params) -> Option<Value> {
+        let m = self.key_bits(m_total);
+        let k = sk & mask64(m);
+        let b = self.remap.bucket_index(k, m);
+        let bucket = &self.buckets[b];
+        let hint = self.remap.slot_hint(k, m, params.bucket_entries);
+        match bucket.search_from_hint(key, hint) {
+            Ok(i) => Some(bucket.vals()[i]),
+            Err(_) => None,
+        }
+    }
+
+    /// All key-value pairs in ascending key order.
+    ///
+    /// Bucket order equals remapped-key order, and the remapping function is
+    /// monotone in the raw key, so concatenating buckets yields sorted pairs.
+    pub fn sorted_pairs(&self) -> Vec<(Key, Value)> {
+        let mut out = Vec::with_capacity(self.num_keys);
+        for b in &self.buckets {
+            out.extend(b.keys().iter().copied().zip(b.vals().iter().copied()));
+        }
+        out
+    }
+
+    /// Rebuilds a segment from sorted `pairs` using `remap`, adjusting the
+    /// function until every key fits its bucket.
+    ///
+    /// When a bucket overflows the fix is decisive: the function is refined
+    /// along the overflowing key group's common prefix in one step (no
+    /// intermediate rebuilds), so the retry count is linear in the number of
+    /// over-full groups rather than the refinement depth.
+    pub fn build(
+        local_depth: u32,
+        mut remap: RemapFn,
+        pairs: &[(Key, Value)],
+        m_total: u32,
+        params: &Params,
+    ) -> Self {
+        let m = m_total - local_depth;
+        let maskm = mask64(m);
+        let cap = params.bucket_entries;
+        'retry: loop {
+            // Buckets are fixed-size (2 KiB by default): reserve the full
+            // slot capacity up front, as the paper's memory analysis
+            // assumes ("each key must be stored in a particular bucket",
+            // §4.3).
+            let mut buckets: Vec<Bucket> = (0..remap.total_buckets())
+                .map(|_| Bucket::with_capacity(cap))
+                .collect();
+            for &(key, value) in pairs.iter() {
+                let k = key & maskm;
+                let b = remap.bucket_index(k, m);
+                if buckets[b].len() >= cap {
+                    // The overflowing group is the cap keys already in `b`
+                    // plus this one; split the function between the group's
+                    // first and last keys.
+                    let k_first = buckets[b].keys()[0] & maskm;
+                    let k_last = k;
+                    debug_assert!(k_first < k_last);
+                    fix_overflow(&mut remap, k_first, k_last, m);
+                    continue 'retry;
+                }
+                buckets[b].push_sorted(key, value);
+            }
+            return Segment {
+                local_depth,
+                remap,
+                buckets,
+                num_keys: pairs.len(),
+                remap_streak: 0,
+            };
+        }
+    }
+
+    /// Number of keys stored in each piece (leaf) of the remapping function,
+    /// in key order.
+    pub fn keys_per_piece(&self, m_total: u32) -> Vec<usize> {
+        let m = self.key_bits(m_total);
+        let pairs = self.sorted_pairs();
+        let maskm = mask64(m);
+        self.remap
+            .leaves(m)
+            .iter()
+            .map(|leaf| {
+                let w = m - leaf.depth;
+                let lo = pairs.partition_point(|&(key, _)| (key & maskm) < leaf.start);
+                let hi = if w >= m || leaf.start + (1u64 << w) > maskm {
+                    pairs.len()
+                } else {
+                    let end = leaf.start + (1u64 << w);
+                    pairs.partition_point(|&(key, _)| (key & maskm) < end)
+                };
+                hi - lo
+            })
+            .collect()
+    }
+
+    /// The paper's remapping operation (§3.3). `k` is the within-segment key
+    /// whose bucket overflowed. On success the segment is rebuilt in place.
+    ///
+    /// `max_buckets` is the segment-size cap `Limit_seg(LD)`; growth beyond
+    /// it makes the remapping fail (Algorithm 1 then falls back to split or
+    /// directory doubling).
+    pub fn remap_adjust(
+        &mut self,
+        k: u64,
+        m_total: u32,
+        max_buckets: usize,
+        params: &Params,
+    ) -> RemapOutcome {
+        let m = self.key_bits(m_total);
+        let cap = params.bucket_entries as f64;
+        let ut = params.utilization_threshold;
+        let mut remap = self.remap.clone();
+        let pairs = self.sorted_pairs();
+        let maskm = mask64(m);
+
+        let keys_in = |start: u64, depth: u32| -> usize {
+            let w = m - depth;
+            let lo = pairs.partition_point(|&(key, _)| (key & maskm) < start);
+            let hi = if w >= m || start + (1u64 << w) > maskm {
+                pairs.len()
+            } else {
+                let end = start + (1u64 << w);
+                pairs.partition_point(|&(key, _)| (key & maskm) < end)
+            };
+            hi - lo
+        };
+
+        // Step 1 (Figure 7): refine sub-ranges until the target sub-range's
+        // own utilization exceeds U_t — i.e., until the function is
+        // fine-grained enough to expose where the density actually is.
+        // (A zero-bucket target counts as fully utilized.)
+        loop {
+            let leaf = remap.locate(k, m);
+            let keys_t = keys_in(leaf.start, leaf.depth);
+            let util = if leaf.count == 0 {
+                f64::INFINITY
+            } else {
+                keys_t as f64 / (leaf.count as f64 * cap)
+            };
+            if util > ut || leaf.depth >= m {
+                break;
+            }
+            remap.refine_at(k, m);
+        }
+
+        // Step 2: try to steal buckets from low-utilization sub-ranges;
+        // each donor keeps enough buckets to stay above U_t (empty donors
+        // may give everything away). The paper's grant is a doubling of the
+        // target sub-range (`base`); consecutive remaps escalate the grant
+        // geometrically (see `remap_streak`) up to the segment's own size,
+        // so repeatedly-remapping segments converge in O(log) remaps.
+        let boost = 1u32 << self.remap_streak.min(10);
+        let target = remap.locate(k, m);
+        let base = target.count.max(1);
+        let desired = base
+            .saturating_mul(boost)
+            .min(remap.total_buckets().max(base));
+        let mut donors: Vec<(crate::remap::NodeId, u32, u32)> = Vec::new();
+        let mut available = 0u32;
+        for leaf in remap.leaves(m) {
+            if leaf.id == target.id || leaf.count == 0 {
+                continue;
+            }
+            let keys_r = keys_in(leaf.start, leaf.depth) as f64;
+            let util_r = keys_r / (leaf.count as f64 * cap);
+            if util_r < ut {
+                let min_keep = (keys_r / (ut * cap)).ceil() as u32;
+                if leaf.count > min_keep {
+                    donors.push((leaf.id, leaf.count - min_keep, leaf.count));
+                    available += leaf.count - min_keep;
+                }
+            }
+        }
+
+        let outcome;
+        if available >= base {
+            // Steal, preferring the emptiest donors first (largest
+            // surplus). Stealing moves capacity without growing the
+            // segment, so the escalated amount is taken when available.
+            let take_total = desired.min(available);
+            donors.sort_by(|a, b| b.1.cmp(&a.1));
+            let mut remaining = take_total;
+            for (id, surplus, count) in donors {
+                if remaining == 0 {
+                    break;
+                }
+                let take = surplus.min(remaining);
+                remap.set_leaf_count(id, count - take);
+                remaining -= take;
+            }
+            remap.set_leaf_count(target.id, target.count + take_total);
+            outcome = RemapOutcome::Stole;
+        } else {
+            // Growth path: grant at least the paper's doubling, more under
+            // a streak, but never push the segment's utilization below 1/4
+            // (growth is real memory; steals are not).
+            let total = remap.total_buckets();
+            let max_by_util = ((self.num_keys * 4 / params.bucket_entries) as u32)
+                .max(total.saturating_add(base));
+            let grant = desired.min(max_by_util.saturating_sub(total)).max(base);
+            if total as usize + base as usize > max_buckets {
+                return RemapOutcome::Failed;
+            }
+            let grant = grant.min((max_buckets - total as usize) as u32);
+            remap.set_leaf_count(target.id, target.count + grant);
+            outcome = RemapOutcome::Grew;
+        }
+        remap.recompute_cums();
+        let streak = self.remap_streak + 1;
+        *self = Segment::build(self.local_depth, remap, &pairs, m_total, params);
+        self.remap_streak = streak;
+        outcome
+    }
+
+    /// The paper's expansion operation: double the segment size, doubling the
+    /// slopes. Fails (returns `false`) if the cap would be exceeded.
+    pub fn expand(&mut self, m_total: u32, max_buckets: usize, params: &Params) -> bool {
+        if self.total_buckets() * 2 > max_buckets {
+            return false;
+        }
+        let mut remap = self.remap.clone();
+        remap.expand();
+        let pairs = self.sorted_pairs();
+        *self = Segment::build(self.local_depth, remap, &pairs, m_total, params);
+        true
+    }
+
+    /// Splits the segment into two halves of its key range (§3.3). Each new
+    /// segment gets twice the buckets its half's keys need, keeping the
+    /// sub-range slopes of that half.
+    pub fn split(&self, m_total: u32, params: &Params) -> (Segment, Segment) {
+        let m = self.key_bits(m_total);
+        debug_assert!(m >= 1, "cannot split a single-key segment");
+        let pairs = self.sorted_pairs();
+        let half = 1u64 << (m - 1);
+        let maskm = mask64(m);
+        let mid = pairs.partition_point(|&(key, _)| (key & maskm) < half);
+        let (left_pairs, right_pairs) = pairs.split_at(mid);
+
+        let (lf, rf) = self.remap.split_halves();
+        let new_ld = self.local_depth + 1;
+        let left = Self::split_half(new_ld, lf, left_pairs, m_total, params);
+        let right = Self::split_half(new_ld, rf, right_pairs, m_total, params);
+        (left, right)
+    }
+
+    /// Builds one half of a split: size = 2 × the buckets needed for the
+    /// half's keys, distributed proportionally to the half's old slopes.
+    fn split_half(
+        new_ld: u32,
+        mut remap: RemapFn,
+        pairs: &[(Key, Value)],
+        m_total: u32,
+        params: &Params,
+    ) -> Segment {
+        let needed = (pairs.len() as u32).div_ceil(params.bucket_entries as u32);
+        let target = (2 * needed).max(1);
+        remap.scale_to(target);
+        Segment::build(new_ld, remap, pairs, m_total, params)
+    }
+
+    /// Shrinks an under-utilized segment (deletion merge, §3.3 — "similar to
+    /// remapping but in the opposite direction"): resizes every sub-range to
+    /// what its remaining keys need at utilization `U_t` and rebuilds.
+    /// Returns `false` without rebuilding when that would not actually
+    /// reduce the segment, so deletion storms cannot trigger repeated O(n)
+    /// rebuilds.
+    pub fn shrink(&mut self, m_total: u32, params: &Params) -> bool {
+        if self.total_buckets() <= 1 {
+            return false;
+        }
+        let m = self.key_bits(m_total);
+        let pairs = self.sorted_pairs();
+        let maskm = mask64(m);
+        let cap = params.bucket_entries as f64;
+        let ut = params.utilization_threshold;
+        let mut remap = self.remap.clone();
+        let leaves = remap.leaves(m);
+        let mut new_total = 0u64;
+        let mut plan: Vec<(crate::remap::NodeId, u32)> = Vec::with_capacity(leaves.len());
+        for leaf in &leaves {
+            let w = m - leaf.depth;
+            let lo = pairs.partition_point(|&(key, _)| (key & maskm) < leaf.start);
+            let hi = if w >= m || leaf.start + (1u64 << w) > maskm {
+                pairs.len()
+            } else {
+                let end = leaf.start + (1u64 << w);
+                pairs.partition_point(|&(key, _)| (key & maskm) < end)
+            };
+            let count = (((hi - lo) as f64) / (ut * cap)).ceil() as u32;
+            new_total += count as u64;
+            plan.push((leaf.id, count));
+        }
+        if new_total == 0 {
+            // Keep one bucket on the first leaf.
+            plan[0].1 = 1;
+            new_total = 1;
+        }
+        if new_total as usize >= self.total_buckets() {
+            return false;
+        }
+        for (id, count) in plan {
+            remap.set_leaf_count(id, count);
+        }
+        remap.recompute_cums();
+        *self = Segment::build(self.local_depth, remap, &pairs, m_total, params);
+        true
+    }
+
+    /// Heap bytes held by the segment.
+    pub fn heap_bytes(&self) -> usize {
+        self.remap.heap_bytes()
+            + self.buckets.capacity() * std::mem::size_of::<Bucket>()
+            + self.buckets.iter().map(Bucket::heap_bytes).sum::<usize>()
+    }
+}
+
+/// Adjusts `remap` so the over-full key group `[k_first, k_last]` no longer
+/// shares one bucket: refine along the group's common prefix until the two
+/// ends fall into different pieces (one descent, no intermediate rebuilds),
+/// keeping at least one bucket on each end's piece. When the ends already
+/// sit in different pieces, the spilling (zero-count) pieces get buckets.
+fn fix_overflow(remap: &mut RemapFn, k_first: u64, k_last: u64, m: u32) {
+    let mut guard = 0;
+    while remap.locate(k_first, m).id == remap.locate(k_last, m).id {
+        let leaf = remap.locate(k_first, m);
+        if leaf.depth >= m || !remap.refine_at(k_first, m) {
+            break;
+        }
+        guard += 1;
+        debug_assert!(guard <= 64);
+    }
+    // Make sure both ends own buckets, and give the first end twice its
+    // current share so the group's keys gain room even when the refinement
+    // lands all of them on one side.
+    let a = remap.locate(k_first, m);
+    remap.set_leaf_count(a.id, (a.count * 2).max(1));
+    let b = remap.locate(k_last, m);
+    if b.count == 0 {
+        remap.set_leaf_count(b.id, 1);
+    }
+    remap.recompute_cums();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> Params {
+        Params {
+            bucket_entries: 4,
+            ..Params::default()
+        }
+    }
+
+    /// Builds a segment at `ld` containing `keys` (within-segment keys used
+    /// directly as full keys; fine for `m_total`-bit tests).
+    fn seg_with(ld: u32, keys: &[u64], m_total: u32, p: &Params) -> Segment {
+        let mut pairs: Vec<(Key, Value)> = keys.iter().map(|&k| (k, k + 1)).collect();
+        pairs.sort_unstable();
+        Segment::build(ld, RemapFn::identity(), &pairs, m_total, p)
+    }
+
+    #[test]
+    fn build_places_all_keys_and_stays_sorted() {
+        let p = small_params();
+        let keys: Vec<u64> = (0..64).map(|i| i * 3 % 256).collect();
+        let mut uniq: Vec<u64> = keys.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        let seg = seg_with(0, &uniq, 8, &p);
+        assert_eq!(seg.num_keys, uniq.len());
+        let pairs = seg.sorted_pairs();
+        let got: Vec<u64> = pairs.iter().map(|&(k, _)| k).collect();
+        assert_eq!(got, uniq);
+        for &k in &uniq {
+            assert_eq!(seg.get(k, k, 8, &p), Some(k + 1));
+        }
+    }
+
+    #[test]
+    fn build_grows_on_dense_cluster() {
+        let p = small_params();
+        // 16 consecutive keys force overflow of a single 4-entry bucket.
+        let keys: Vec<u64> = (100..116).collect();
+        let seg = seg_with(0, &keys, 8, &p);
+        assert!(seg.total_buckets() >= 4);
+        for &k in &keys {
+            assert_eq!(seg.get(k, k, 8, &p), Some(k + 1));
+        }
+    }
+
+    #[test]
+    fn build_handles_deep_cluster_in_wide_range() {
+        // The pathological case that motivates adaptive refinement: a tight
+        // cluster at the bottom of a 48-bit key range. The build must
+        // converge quickly and keep the bucket count linear in the keys.
+        let p = small_params();
+        let keys: Vec<u64> = (0..512u64).map(|i| i * 3).collect();
+        let seg = seg_with(0, &keys, 48, &p);
+        assert_eq!(seg.num_keys, 512);
+        assert!(
+            seg.total_buckets() <= 8 * (512 / p.bucket_entries) + 64,
+            "bucket explosion: {}",
+            seg.total_buckets()
+        );
+        for &k in keys.iter().step_by(17) {
+            assert_eq!(seg.get(k, k, 48, &p), Some(k + 1));
+        }
+    }
+
+    #[test]
+    fn expand_doubles_buckets_and_keeps_keys() {
+        let p = small_params();
+        let keys: Vec<u64> = (0..16).map(|i| i * 16).collect();
+        let mut seg = seg_with(0, &keys, 8, &p);
+        let before = seg.total_buckets();
+        assert!(seg.expand(8, 1024, &p));
+        assert!(seg.total_buckets() >= before * 2);
+        for &k in &keys {
+            assert_eq!(seg.get(k, k, 8, &p), Some(k + 1));
+        }
+    }
+
+    #[test]
+    fn expand_respects_cap() {
+        let p = small_params();
+        let mut seg = seg_with(0, &[1, 2], 8, &p);
+        assert!(!seg.expand(8, 1, &p));
+        assert_eq!(seg.total_buckets(), 1);
+    }
+
+    #[test]
+    fn split_partitions_by_top_bit() {
+        let p = small_params();
+        let keys: Vec<u64> = (0..32).map(|i| i * 8).collect(); // Spread over [0, 256).
+        let seg = seg_with(0, &keys, 8, &p);
+        let (l, r) = seg.split(8, &p);
+        assert_eq!(l.local_depth, 1);
+        assert_eq!(r.local_depth, 1);
+        assert_eq!(l.num_keys + r.num_keys, keys.len());
+        for pair in l.sorted_pairs() {
+            assert!(pair.0 < 128);
+        }
+        for pair in r.sorted_pairs() {
+            assert!(pair.0 >= 128);
+        }
+        for &k in &keys {
+            let half = if k < 128 { &l } else { &r };
+            assert_eq!(half.get(k, k, 8, &p), Some(k + 1));
+        }
+    }
+
+    #[test]
+    fn split_sizes_track_skew() {
+        let p = small_params();
+        // All 16 keys in the right half: right segment gets more buckets.
+        let keys: Vec<u64> = (0..16).map(|i| 128 + i * 8).collect();
+        let seg = seg_with(0, &keys, 8, &p);
+        let (l, r) = seg.split(8, &p);
+        assert!(r.total_buckets() >= l.total_buckets());
+        assert_eq!(l.num_keys, 0);
+        assert_eq!(r.num_keys, 16);
+    }
+
+    #[test]
+    fn remap_steals_from_sparse_subranges() {
+        let p = small_params();
+        // Build a segment with 4 sub-ranges x 2 buckets (m = 8). Cluster all
+        // keys in sub-range 1 ([64, 128)).
+        let remap = RemapFn::from_counts(vec![2, 2, 2, 2]);
+        let pairs: Vec<(Key, Value)> = (64..72).map(|k| (k, k)).collect();
+        let mut seg = Segment::build(0, remap, &pairs, 8, &p);
+        let outcome = seg.remap_adjust(65, 8, 1024, &p);
+        assert_ne!(outcome, RemapOutcome::Failed);
+        for k in 64..72u64 {
+            assert_eq!(seg.get(k, k, 8, &p), Some(k));
+        }
+    }
+
+    #[test]
+    fn remap_fails_when_cap_blocks_growth() {
+        let p = small_params();
+        // Every sub-range nearly full: no donors, growth capped.
+        let remap = RemapFn::from_counts(vec![1, 1]);
+        let pairs: Vec<(Key, Value)> = (0..8).map(|k| (k * 32, k)).collect();
+        let mut seg = Segment::build(0, remap, &pairs, 8, &p);
+        let cap = seg.total_buckets(); // No room to grow.
+        let outcome = seg.remap_adjust(0, 8, cap, &p);
+        assert_eq!(outcome, RemapOutcome::Failed);
+    }
+
+    #[test]
+    fn remap_converges_on_deep_cluster() {
+        let p = small_params();
+        // Tight cluster at the bottom of a 40-bit range; remap_adjust must
+        // refine adaptively rather than inflating the segment.
+        let pairs: Vec<(Key, Value)> = (0..64u64).map(|k| (k * 2, k)).collect();
+        let mut seg = Segment::build(0, RemapFn::identity(), &pairs, 40, &p);
+        let before = seg.total_buckets();
+        let outcome = seg.remap_adjust(10, 40, 1 << 20, &p);
+        assert_ne!(outcome, RemapOutcome::Failed);
+        assert!(
+            seg.total_buckets() < before * 16 + 64,
+            "unbounded growth: {} -> {}",
+            before,
+            seg.total_buckets()
+        );
+        for &(k, v) in &pairs {
+            assert_eq!(seg.get(k, k, 40, &p), Some(v));
+        }
+    }
+
+    #[test]
+    fn shrink_compacts_sparse_segment() {
+        let p = small_params();
+        let remap = RemapFn::from_counts(vec![4, 4]);
+        let pairs: Vec<(Key, Value)> = vec![(10, 1), (200, 2)];
+        let mut seg = Segment::build(0, remap, &pairs, 8, &p);
+        let before = seg.total_buckets();
+        assert!(seg.shrink(8, &p));
+        assert!(seg.total_buckets() < before);
+        assert_eq!(seg.get(10, 10, 8, &p), Some(1));
+        assert_eq!(seg.get(200, 200, 8, &p), Some(2));
+    }
+
+    #[test]
+    fn shrink_refuses_when_not_profitable() {
+        let p = small_params();
+        // A nearly full segment must not shrink.
+        let keys: Vec<u64> = (0..8).map(|i| i * 32).collect();
+        let mut seg = seg_with(0, &keys, 8, &p);
+        let before = seg.total_buckets();
+        let _ = seg.shrink(8, &p);
+        // Either it declined, or it genuinely reduced while keeping keys.
+        assert!(seg.total_buckets() <= before);
+        assert_eq!(seg.num_keys, 8);
+    }
+
+    #[test]
+    fn keys_per_piece_counts_match() {
+        let p = small_params();
+        let remap = RemapFn::from_counts(vec![1, 1, 1, 1]);
+        let pairs: Vec<(Key, Value)> = vec![(0, 0), (65, 0), (66, 0), (200, 0)];
+        let seg = Segment::build(0, remap, &pairs, 8, &p);
+        assert_eq!(seg.keys_per_piece(8), vec![1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn utilization_reflects_fill() {
+        let p = small_params();
+        let pairs: Vec<(Key, Value)> = vec![(1, 1), (2, 2)];
+        let seg = Segment::build(0, RemapFn::identity(), &pairs, 8, &p);
+        assert!((seg.utilization(&p) - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,85 @@
+//! Maintenance statistics and timing breakdown (§4.3 "Insertion Breakdown").
+
+use index_traits::MaintenanceStats;
+
+/// Wall-clock time spent in each maintenance operation, in nanoseconds.
+///
+/// Timing is only taken around the (rare) structure-changing operations, so
+/// the overhead on the insert fast path is zero.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OpTimes {
+    /// Nanoseconds spent performing segment splits.
+    pub split_ns: u64,
+    /// Nanoseconds spent performing expansions.
+    pub expansion_ns: u64,
+    /// Nanoseconds spent performing remappings.
+    pub remap_ns: u64,
+    /// Nanoseconds spent performing directory doublings.
+    pub doubling_ns: u64,
+}
+
+impl OpTimes {
+    /// Total maintenance time in nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.split_ns + self.expansion_ns + self.remap_ns + self.doubling_ns
+    }
+
+    /// Adds another breakdown into this one.
+    pub fn merge(&mut self, other: &OpTimes) {
+        self.split_ns += other.split_ns;
+        self.expansion_ns += other.expansion_ns;
+        self.remap_ns += other.remap_ns;
+        self.doubling_ns += other.doubling_ns;
+    }
+}
+
+/// Combined counters + timing for a DyTIS instance.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DytisStats {
+    /// Structure-maintenance counters (shared shape with the baselines).
+    pub ops: MaintenanceStats,
+    /// Per-operation timing breakdown.
+    pub times: OpTimes,
+}
+
+impl DytisStats {
+    /// Adds another instance's statistics into this one.
+    pub fn merge(&mut self, other: &DytisStats) {
+        self.ops.splits += other.ops.splits;
+        self.ops.expansions += other.ops.expansions;
+        self.ops.remaps += other.ops.remaps;
+        self.ops.doublings += other.ops.doublings;
+        self.ops.keys_moved += other.ops.keys_moved;
+        self.times.merge(&other.times);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimes_total_and_merge() {
+        let mut a = OpTimes {
+            split_ns: 1,
+            expansion_ns: 2,
+            remap_ns: 3,
+            doubling_ns: 4,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.total_ns(), 20);
+    }
+
+    #[test]
+    fn stats_merge_adds_counters() {
+        let mut a = DytisStats::default();
+        let mut b = DytisStats::default();
+        b.ops.splits = 3;
+        b.ops.keys_moved = 7;
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.ops.splits, 6);
+        assert_eq!(a.ops.keys_moved, 14);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for the remapping-function trie — the core data
+//! structure of the paper. Every operation (refine, grow, expand, steal via
+//! set_leaf_count, split, scale) must preserve the two invariants the whole
+//! index relies on: the function is a monotone map onto `[0, B)`, and every
+//! bucket of a non-empty piece is reachable.
+
+use dytis::remap::RemapFn;
+use proptest::prelude::*;
+
+const M: u32 = 12;
+
+fn check_monotone_onto(f: &RemapFn) {
+    let mut prev = 0usize;
+    let mut hit = std::collections::HashSet::new();
+    for k in 0..(1u64 << M) {
+        let b = f.bucket_index(k, M);
+        assert!(b >= prev, "non-monotone at {k}");
+        assert!(b < f.total_buckets() as usize, "out of range at {k}");
+        hit.insert(b);
+        prev = b;
+    }
+    // Zero-count pieces may leave trailing buckets of *donor* pieces
+    // unreached only when a piece count exceeds its key width; with
+    // M = 12 and counts <= 8 per piece that cannot happen, so the map is
+    // onto.
+    assert_eq!(hit.len(), f.total_buckets() as usize, "not onto");
+}
+
+/// A random sequence of structural edits applied to a fresh function.
+#[derive(Debug, Clone)]
+enum Edit {
+    Refine(u64),
+    Grow(u64),
+    Expand,
+    Scale(u32),
+}
+
+fn edit_strategy() -> impl Strategy<Value = Edit> {
+    prop_oneof![
+        3 => (0u64..(1 << M)).prop_map(Edit::Refine),
+        2 => (0u64..(1 << M)).prop_map(Edit::Grow),
+        1 => Just(Edit::Expand),
+        1 => (1u32..64).prop_map(Edit::Scale),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(debug_assertions) { 32 } else { 128 }))]
+
+    #[test]
+    fn random_edit_sequences_preserve_invariants(
+        edits in prop::collection::vec(edit_strategy(), 0..24),
+    ) {
+        let mut f = RemapFn::identity();
+        for e in &edits {
+            match *e {
+                Edit::Refine(k) => {
+                    f.refine_at(k, M);
+                }
+                Edit::Grow(k) => {
+                    // Bound counts so the onto-check assumption holds.
+                    if f.total_buckets() < 1 << 10 {
+                        f.grow_at(k, M);
+                    }
+                }
+                Edit::Expand => {
+                    if f.total_buckets() < 1 << 10 {
+                        f.expand();
+                    }
+                }
+                Edit::Scale(t) => f.scale_to(t),
+            }
+        }
+        prop_assert!(f.total_buckets() >= 1);
+        // Spot-check monotonicity over the full domain.
+        let mut prev = 0usize;
+        for k in 0..(1u64 << M) {
+            let b = f.bucket_index(k, M);
+            prop_assert!(b >= prev);
+            prop_assert!(b < f.total_buckets() as usize);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn refinement_never_changes_even_functions(
+        counts in prop::collection::vec((1u32..5).prop_map(|c| c * 2), 1..=8),
+        at in 0u64..(1 << M),
+    ) {
+        let len = counts.len().next_power_of_two();
+        let mut counts = counts;
+        counts.resize(len, 2);
+        let f0 = RemapFn::from_counts(counts);
+        let mut f1 = f0.clone();
+        f1.refine_at(at, M);
+        for k in (0..(1u64 << M)).step_by(7) {
+            prop_assert_eq!(f0.bucket_index(k, M), f1.bucket_index(k, M), "key {}", k);
+        }
+    }
+
+    #[test]
+    fn split_halves_cover_each_half(counts in prop::collection::vec(0u32..6, 2..=8)) {
+        let len = counts.len().next_power_of_two();
+        let mut counts = counts;
+        counts.resize(len, 1);
+        if counts.iter().all(|&c| c == 0) {
+            counts[0] = 1;
+        }
+        let f = RemapFn::from_counts(counts);
+        let (l, r) = f.split_halves();
+        check_monotone_onto_half(&l);
+        check_monotone_onto_half(&r);
+    }
+
+    #[test]
+    fn slot_hint_stays_in_bounds(
+        counts in prop::collection::vec(0u32..6, 1..=8),
+        slots in 1usize..256,
+    ) {
+        let len = counts.len().next_power_of_two();
+        let mut counts = counts;
+        counts.resize(len, 1);
+        if counts.iter().all(|&c| c == 0) {
+            counts[0] = 1;
+        }
+        let f = RemapFn::from_counts(counts);
+        for k in (0..(1u64 << M)).step_by(13) {
+            prop_assert!(f.slot_hint(k, M, slots) < slots);
+        }
+    }
+}
+
+/// Monotonicity + range check for a split half (uses `M - 1` key bits).
+fn check_monotone_onto_half(f: &RemapFn) {
+    let m = M - 1;
+    let mut prev = 0usize;
+    for k in 0..(1u64 << m) {
+        let b = f.bucket_index(k, m);
+        assert!(b >= prev);
+        assert!(b < f.total_buckets() as usize);
+        prev = b;
+    }
+}
+
+#[test]
+fn deterministic_deep_refinement_regression() {
+    // The adaptive-refinement fix: a cluster at the bottom of the range can
+    // be refined ~M times without exponential blow-up, and the function
+    // stays valid.
+    let mut f = RemapFn::identity();
+    for _ in 0..M {
+        if !f.refine_at(1, M) {
+            break;
+        }
+    }
+    assert!(f.num_pieces() as u32 <= M + 1);
+    check_monotone_onto(&f);
+}

@@ -1,0 +1,88 @@
+//! Binary key-file I/O in the SOSD format (Kipf et al.): a u64 count
+//! followed by that many little-endian u64 keys.
+//!
+//! Lets the reproduction run on the *real* datasets when they are available
+//! (download the SOSD/ALEX dumps, convert with their tooling, and point the
+//! experiment binaries at the files) while the synthetic generators remain
+//! the default.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Writes `keys` to `path` in SOSD binary format.
+///
+/// # Errors
+///
+/// Propagates file-system errors.
+pub fn save_keys<P: AsRef<Path>>(path: P, keys: &[u64]) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&(keys.len() as u64).to_le_bytes())?;
+    for &k in keys {
+        w.write_all(&k.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads a SOSD binary key file.
+///
+/// # Errors
+///
+/// Returns `InvalidData` when the file is truncated relative to its header,
+/// besides propagating file-system errors.
+pub fn load_keys<P: AsRef<Path>>(path: P) -> io::Result<Vec<u64>> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    let n = u64::from_le_bytes(b) as usize;
+    let mut keys = Vec::with_capacity(n.min(1 << 28));
+    for _ in 0..n {
+        r.read_exact(&mut b).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                "key file shorter than its header",
+            )
+        })?;
+        keys.push(u64::from_le_bytes(b));
+    }
+    Ok(keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("dytis_io_test");
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let path = dir.join("keys.bin");
+        let keys: Vec<u64> = (0..10_000u64).map(|k| k.wrapping_mul(0xABCDEF)).collect();
+        save_keys(&path, &keys).expect("save");
+        let loaded = load_keys(&path).expect("load");
+        assert_eq!(loaded, keys);
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let dir = std::env::temp_dir().join("dytis_io_test");
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let path = dir.join("trunc.bin");
+        save_keys(&path, &[1, 2, 3]).expect("save");
+        let full = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &full[..full.len() - 4]).expect("write");
+        assert!(load_keys(&path).is_err());
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn empty_key_file() {
+        let dir = std::env::temp_dir().join("dytis_io_test");
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let path = dir.join("empty.bin");
+        save_keys(&path, &[]).expect("save");
+        assert!(load_keys(&path).expect("load").is_empty());
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+}

@@ -1,0 +1,100 @@
+//! Random-number and distribution helpers for the dataset generators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Samples a standard normal via Box–Muller (avoids a `rand_distr`
+/// dependency; justified in DESIGN.md §3).
+pub fn normal(rng: &mut StdRng, mean: f64, std_dev: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    mean + std_dev * z
+}
+
+/// A discrete sampler over `weights` using a precomputed cumulative table
+/// and binary search — used for Zipf-like item popularity.
+pub struct WeightedIndex {
+    cum: Vec<f64>,
+}
+
+impl WeightedIndex {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty());
+        let mut cum = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            acc += w;
+            cum.push(acc);
+        }
+        assert!(acc > 0.0);
+        WeightedIndex { cum }
+    }
+
+    /// Draws an index with probability proportional to its weight.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cum.last().expect("non-empty");
+        let x: f64 = rng.gen_range(0.0..total);
+        self.cum
+            .partition_point(|&c| c <= x)
+            .min(self.cum.len() - 1)
+    }
+}
+
+/// Zipf weights `1 / rank^theta` for `n` items.
+pub fn zipf_weights(n: usize, theta: f64) -> Vec<f64> {
+    (1..=n).map(|r| 1.0 / (r as f64).powf(theta)).collect()
+}
+
+/// Clamps `x` to `[lo, hi]`.
+pub fn clamp(x: f64, lo: f64, hi: f64) -> f64 {
+    x.max(lo).min(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_has_roughly_right_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = WeightedIndex::new(&[0.8, 0.1, 0.1]);
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[w.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > 7_000, "{counts:?}");
+        assert!(counts[1] > 500 && counts[2] > 500, "{counts:?}");
+    }
+
+    #[test]
+    fn zipf_weights_decay() {
+        let w = zipf_weights(100, 1.0);
+        assert!(w[0] > w[1] && w[1] > w[50]);
+        assert_eq!(w.len(), 100);
+    }
+
+    #[test]
+    fn clamp_works() {
+        assert_eq!(clamp(5.0, 0.0, 1.0), 1.0);
+        assert_eq!(clamp(-5.0, 0.0, 1.0), 0.0);
+        assert_eq!(clamp(0.5, 0.0, 1.0), 0.5);
+    }
+}

@@ -1,0 +1,239 @@
+//! Classic Extendible hashing (Fagin et al., TODS '79) as described in §3.1.
+
+use crate::pseudo_key;
+use index_traits::{Key, KvIndex, Value};
+
+/// Number of key-value slots per bucket (a 2 KiB bucket at 16 B per pair,
+/// matching DyTIS's default bucket size for a fair Figure 9 comparison).
+const BUCKET_SLOTS: usize = 128;
+
+#[derive(Debug, Clone)]
+struct Bucket {
+    local_depth: u32,
+    keys: Vec<Key>,
+    vals: Vec<Value>,
+}
+
+impl Bucket {
+    fn new(local_depth: u32) -> Self {
+        Bucket {
+            local_depth,
+            keys: Vec::with_capacity(BUCKET_SLOTS),
+            vals: Vec::with_capacity(BUCKET_SLOTS),
+        }
+    }
+
+    fn find(&self, key: Key) -> Option<usize> {
+        self.keys.iter().position(|&k| k == key)
+    }
+}
+
+/// The classic directory-of-buckets Extendible hash table.
+///
+/// The directory is indexed by the `GD` most-significant bits of the hash
+/// pseudo-key (Figure 4); buckets split when full, doubling the directory
+/// when `LD == GD`.
+#[derive(Debug, Clone)]
+pub struct ExtendibleHash {
+    global_depth: u32,
+    dir: Vec<u32>,
+    buckets: Vec<Option<Bucket>>,
+    free: Vec<u32>,
+    num_keys: usize,
+}
+
+impl Default for ExtendibleHash {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExtendibleHash {
+    /// Creates an empty table with a single bucket.
+    pub fn new() -> Self {
+        ExtendibleHash {
+            global_depth: 0,
+            dir: vec![0],
+            buckets: vec![Some(Bucket::new(0))],
+            free: Vec::new(),
+            num_keys: 0,
+        }
+    }
+
+    /// Global depth of the directory.
+    pub fn global_depth(&self) -> u32 {
+        self.global_depth
+    }
+
+    #[inline]
+    fn dir_index(&self, pk: u64) -> usize {
+        if self.global_depth == 0 {
+            0
+        } else {
+            (pk >> (64 - self.global_depth)) as usize
+        }
+    }
+
+    fn alloc(&mut self, b: Bucket) -> u32 {
+        if let Some(id) = self.free.pop() {
+            self.buckets[id as usize] = Some(b);
+            id
+        } else {
+            self.buckets.push(Some(b));
+            (self.buckets.len() - 1) as u32
+        }
+    }
+
+    fn split(&mut self, id: u32, hint_idx: usize) {
+        let old = self.buckets[id as usize].take().expect("dangling bucket");
+        let new_ld = old.local_depth + 1;
+        debug_assert!(new_ld <= self.global_depth);
+        let mut left = Bucket::new(new_ld);
+        let mut right = Bucket::new(new_ld);
+        let bit = 64 - new_ld;
+        for (k, v) in old.keys.into_iter().zip(old.vals) {
+            let target = if (pseudo_key(k) >> bit) & 1 == 0 {
+                &mut left
+            } else {
+                &mut right
+            };
+            target.keys.push(k);
+            target.vals.push(v);
+        }
+        self.buckets[id as usize] = Some(left);
+        let right_id = self.alloc(right);
+        let span = 1usize << (self.global_depth - new_ld);
+        let base = hint_idx & !(span * 2 - 1);
+        for e in &mut self.dir[base + span..base + 2 * span] {
+            *e = right_id;
+        }
+    }
+
+    fn double(&mut self) {
+        let mut dir = Vec::with_capacity(self.dir.len() * 2);
+        for &e in &self.dir {
+            dir.push(e);
+            dir.push(e);
+        }
+        self.dir = dir;
+        self.global_depth += 1;
+    }
+}
+
+impl KvIndex for ExtendibleHash {
+    fn insert(&mut self, key: Key, value: Value) {
+        let pk = pseudo_key(key);
+        loop {
+            let idx = self.dir_index(pk);
+            let id = self.dir[idx];
+            let bucket = self.buckets[id as usize].as_mut().expect("dangling bucket");
+            if let Some(i) = bucket.find(key) {
+                bucket.vals[i] = value;
+                return;
+            }
+            if bucket.keys.len() < BUCKET_SLOTS {
+                bucket.keys.push(key);
+                bucket.vals.push(value);
+                self.num_keys += 1;
+                return;
+            }
+            if bucket.local_depth == self.global_depth {
+                self.double();
+            }
+            let idx = self.dir_index(pk);
+            self.split(self.dir[idx], idx);
+        }
+    }
+
+    fn get(&self, key: Key) -> Option<Value> {
+        let pk = pseudo_key(key);
+        let id = self.dir[self.dir_index(pk)];
+        let bucket = self.buckets[id as usize].as_ref().expect("dangling bucket");
+        bucket.find(key).map(|i| bucket.vals[i])
+    }
+
+    fn remove(&mut self, key: Key) -> Option<Value> {
+        let pk = pseudo_key(key);
+        let id = self.dir[self.dir_index(pk)];
+        let bucket = self.buckets[id as usize].as_mut().expect("dangling bucket");
+        let i = bucket.find(key)?;
+        bucket.keys.swap_remove(i);
+        let v = bucket.vals.swap_remove(i);
+        self.num_keys -= 1;
+        Some(v)
+    }
+
+    /// Hash indexes do not support ordered scans (§1): this returns nothing,
+    /// mirroring how the paper's evaluation only runs insert/search on EH.
+    fn scan(&self, _start: Key, _count: usize, _out: &mut Vec<(Key, Value)>) {}
+
+    fn len(&self) -> usize {
+        self.num_keys
+    }
+
+    fn name(&self) -> &'static str {
+        "EH"
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.dir.capacity() * 4
+            + self
+                .buckets
+                .iter()
+                .flatten()
+                .map(|b| (b.keys.capacity() + b.vals.capacity()) * 8)
+                .sum::<usize>()
+            + self.buckets.capacity() * std::mem::size_of::<Option<Bucket>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut h = ExtendibleHash::new();
+        for k in 0..50_000u64 {
+            h.insert(k, k * 2);
+        }
+        assert_eq!(h.len(), 50_000);
+        for k in (0..50_000u64).step_by(97) {
+            assert_eq!(h.get(k), Some(k * 2));
+        }
+        assert_eq!(h.get(70_000), None);
+        for k in 0..25_000u64 {
+            assert_eq!(h.remove(k), Some(k * 2));
+        }
+        assert_eq!(h.len(), 25_000);
+        assert_eq!(h.get(10), None);
+        assert_eq!(h.get(30_000), Some(60_000));
+    }
+
+    #[test]
+    fn update_in_place() {
+        let mut h = ExtendibleHash::new();
+        h.insert(7, 1);
+        h.insert(7, 2);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.get(7), Some(2));
+    }
+
+    #[test]
+    fn directory_grows_under_load() {
+        let mut h = ExtendibleHash::new();
+        for k in 0..20_000u64 {
+            h.insert(k, k);
+        }
+        assert!(h.global_depth() >= 7);
+    }
+
+    #[test]
+    fn scan_is_unsupported() {
+        let mut h = ExtendibleHash::new();
+        h.insert(1, 1);
+        let mut out = Vec::new();
+        h.scan(0, 10, &mut out);
+        assert!(out.is_empty());
+    }
+}

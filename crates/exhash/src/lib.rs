@@ -1,0 +1,41 @@
+//! Extendible Hashing and CCEH baselines (paper §3.1, evaluated in Figure 9).
+//!
+//! Both structures index *hash* pseudo-keys, so they support insert and
+//! search but not ordered scans — exactly the limitation that motivates
+//! DyTIS. [`ExtendibleHash`] is the classic Fagin et al. design (directory →
+//! buckets, MSB directory index, bucket split and directory doubling).
+//! [`Cceh`] adds the intermediate segment level of Nam et al. (FAST '19):
+//! the directory indexes fixed-size segments by pseudo-key MSBs, and buckets
+//! within a segment are selected by LSBs, which amortizes directory doubling.
+
+mod cceh;
+mod eh;
+
+pub use cceh::Cceh;
+pub use eh::ExtendibleHash;
+
+/// Full-avalanche hash producing the pseudo-key `K' = h(K)`.
+///
+/// Uses splitmix64's mixing steps so the MSBs are well distributed, as
+/// MSB-indexed Extendible hashing requires.
+#[inline]
+pub fn pseudo_key(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pseudo_key_is_deterministic_and_spread() {
+        assert_eq!(pseudo_key(42), pseudo_key(42));
+        // MSBs should differ for consecutive keys (avalanche).
+        let msbs: std::collections::HashSet<u64> =
+            (0..1024u64).map(|k| pseudo_key(k) >> 54).collect();
+        assert!(msbs.len() > 512, "poor MSB spread: {}", msbs.len());
+    }
+}

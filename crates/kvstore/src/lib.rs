@@ -1,0 +1,381 @@
+//! A Memcached-style in-memory KV service on concurrent DyTIS (§3.4).
+//!
+//! The paper positions DyTIS as the index for "in-memory data management
+//! systems, such as in-memory databases and key-value stores" and supports
+//! concurrency "so that it can be used for a multi-threaded system such as
+//! Memcached". This crate is that system in miniature: a line-protocol TCP
+//! server whose store is a [`ConcurrentDyTis`], one thread per connection,
+//! plus a blocking client.
+//!
+//! # Examples
+//!
+//! ```
+//! use kvstore::{Client, Server};
+//!
+//! let server = Server::start("127.0.0.1:0").unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! client.set(1, 100).unwrap();
+//! assert_eq!(client.get(1).unwrap(), Some(100));
+//! assert_eq!(client.scan(0, 10).unwrap(), vec![(1, 100)]);
+//! server.shutdown();
+//! ```
+
+pub mod protocol;
+pub mod shard;
+
+pub use protocol::{format_response, parse_request, parse_response, Request, Response};
+pub use shard::ShardedStore;
+
+use dytis::ConcurrentDyTis;
+use index_traits::{ConcurrentKvIndex, Key, Value};
+use std::io::{BufRead, BufReader, Result, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Executes one request against the store.
+pub fn apply(store: &ConcurrentDyTis, req: &Request) -> Response {
+    match *req {
+        Request::Set(k, v) => {
+            store.insert(k, v);
+            Response::Ok
+        }
+        Request::Get(k) => match store.get(k) {
+            Some(v) => Response::Value(v),
+            None => Response::Miss,
+        },
+        Request::Del(k) => match store.remove(k) {
+            Some(v) => Response::Deleted(v),
+            None => Response::Miss,
+        },
+        Request::Scan(start, count) => {
+            let mut out = Vec::with_capacity(count.min(1024));
+            store.scan(start, count.min(100_000), &mut out);
+            Response::Range(out)
+        }
+        Request::Len => Response::Len(store.len()),
+        Request::Quit => Response::Bye,
+    }
+}
+
+/// A running KV server.
+pub struct Server {
+    addr: SocketAddr,
+    store: Arc<ConcurrentDyTis>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts accepting
+    /// connections, one handler thread per client.
+    ///
+    /// # Errors
+    ///
+    /// Returns any bind error.
+    pub fn start<A: ToSocketAddrs>(addr: A) -> Result<Server> {
+        Self::with_store(addr, Arc::new(ConcurrentDyTis::new()))
+    }
+
+    /// Starts a server over an existing store (lets tests and embedders
+    /// share the index with in-process readers).
+    ///
+    /// # Errors
+    ///
+    /// Returns any bind error.
+    pub fn with_store<A: ToSocketAddrs>(addr: A, store: Arc<ConcurrentDyTis>) -> Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_store = Arc::clone(&store);
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                match conn {
+                    Ok(stream) => {
+                        // Request/response ping-pong: Nagle's algorithm
+                        // would add ~40 ms per round trip.
+                        let _ = stream.set_nodelay(true);
+                        let store = Arc::clone(&accept_store);
+                        std::thread::spawn(move || {
+                            let _ = handle_connection(stream, &store);
+                        });
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(Server {
+            addr,
+            store,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared store (for in-process inspection).
+    pub fn store(&self) -> &Arc<ConcurrentDyTis> {
+        &self.store
+    }
+
+    /// Stops accepting connections and joins the accept thread. Existing
+    /// connections finish their current request and close on `QUIT`.
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept loop with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop_inner();
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, store: &ConcurrentDyTis) -> Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let resp = match parse_request(&line) {
+            Ok(req) => {
+                let resp = apply(store, &req);
+                let quit = resp == Response::Bye;
+                writeln!(writer, "{}", format_response(&resp))?;
+                if quit {
+                    break;
+                }
+                continue;
+            }
+            Err(e) => Response::Err(e),
+        };
+        writeln!(writer, "{}", format_response(&resp))?;
+    }
+    Ok(())
+}
+
+/// A blocking client for the KV service.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Returns any connection error.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn round_trip(&mut self, req: &str) -> Result<Response> {
+        writeln!(self.writer, "{req}")?;
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        parse_response(line.trim_end())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Inserts or updates a pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or protocol errors.
+    pub fn set(&mut self, key: Key, value: Value) -> Result<()> {
+        match self.round_trip(&format!("SET {key} {value}"))? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Point lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or protocol errors.
+    pub fn get(&mut self, key: Key) -> Result<Option<Value>> {
+        match self.round_trip(&format!("GET {key}"))? {
+            Response::Value(v) => Ok(Some(v)),
+            Response::Miss => Ok(None),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Deletes a key, returning its value if present.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or protocol errors.
+    pub fn del(&mut self, key: Key) -> Result<Option<Value>> {
+        match self.round_trip(&format!("DEL {key}"))? {
+            Response::Deleted(v) => Ok(Some(v)),
+            Response::Miss => Ok(None),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Ordered scan from `start`, up to `count` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or protocol errors.
+    pub fn scan(&mut self, start: Key, count: usize) -> Result<Vec<(Key, Value)>> {
+        match self.round_trip(&format!("SCAN {start} {count}"))? {
+            Response::Range(pairs) => Ok(pairs),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Number of stored keys.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or protocol errors.
+    pub fn len(&mut self) -> Result<usize> {
+        match self.round_trip("LEN")? {
+            Response::Len(n) => Ok(n),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Closes the session politely.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or protocol errors.
+    pub fn quit(mut self) -> Result<()> {
+        match self.round_trip("QUIT")? {
+            Response::Bye => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(resp: Response) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("unexpected response: {resp:?}"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_covers_all_requests() {
+        let store = ConcurrentDyTis::new();
+        assert_eq!(apply(&store, &Request::Set(1, 10)), Response::Ok);
+        assert_eq!(apply(&store, &Request::Get(1)), Response::Value(10));
+        assert_eq!(apply(&store, &Request::Get(2)), Response::Miss);
+        assert_eq!(apply(&store, &Request::Len), Response::Len(1));
+        assert_eq!(
+            apply(&store, &Request::Scan(0, 10)),
+            Response::Range(vec![(1, 10)])
+        );
+        assert_eq!(apply(&store, &Request::Del(1)), Response::Deleted(10));
+        assert_eq!(apply(&store, &Request::Del(1)), Response::Miss);
+        assert_eq!(apply(&store, &Request::Quit), Response::Bye);
+    }
+
+    #[test]
+    fn server_round_trip() {
+        let server = Server::start("127.0.0.1:0").expect("bind");
+        let mut c = Client::connect(server.addr()).expect("connect");
+        c.set(10, 100).expect("set");
+        c.set(20, 200).expect("set");
+        assert_eq!(c.get(10).expect("get"), Some(100));
+        assert_eq!(c.get(30).expect("get"), None);
+        assert_eq!(c.len().expect("len"), 2);
+        assert_eq!(c.scan(0, 10).expect("scan"), vec![(10, 100), (20, 200)]);
+        assert_eq!(c.del(10).expect("del"), Some(100));
+        assert_eq!(c.get(10).expect("get"), None);
+        c.quit().expect("quit");
+        server.shutdown();
+    }
+
+    #[test]
+    fn multiple_clients_share_the_store() {
+        let server = Server::start("127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+        let writers: Vec<_> = (0..4u64)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr).expect("connect");
+                    for i in 0..200u64 {
+                        c.set(t * 1_000 + i, i).expect("set");
+                    }
+                    c.quit().expect("quit");
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().expect("writer");
+        }
+        let mut c = Client::connect(addr).expect("connect");
+        assert_eq!(c.len().expect("len"), 800);
+        for t in 0..4u64 {
+            assert_eq!(c.get(t * 1_000 + 123).expect("get"), Some(123));
+        }
+        // Scans across client writes stay sorted.
+        let scan = c.scan(0, 800).expect("scan");
+        assert_eq!(scan.len(), 800);
+        assert!(scan.windows(2).all(|w| w[0].0 < w[1].0));
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_lines_keep_connection_alive() {
+        let server = Server::start("127.0.0.1:0").expect("bind");
+        let mut c = Client::connect(server.addr()).expect("connect");
+        // Speak raw protocol to trigger an error path.
+        let resp = c.round_trip("SET nope").expect("round trip");
+        assert!(matches!(resp, Response::Err(_)));
+        // The connection still works.
+        c.set(1, 1).expect("set");
+        assert_eq!(c.get(1).expect("get"), Some(1));
+        server.shutdown();
+    }
+
+    #[test]
+    fn in_process_store_access() {
+        let store = Arc::new(ConcurrentDyTis::new());
+        let server = Server::with_store("127.0.0.1:0", Arc::clone(&store)).expect("bind");
+        let mut c = Client::connect(server.addr()).expect("connect");
+        c.set(5, 55).expect("set");
+        assert_eq!(store.get(5), Some(55));
+        store.insert(6, 66);
+        assert_eq!(c.get(6).expect("get"), Some(66));
+        server.shutdown();
+    }
+}

@@ -1,0 +1,186 @@
+//! The line-oriented text protocol of the KV service.
+//!
+//! One request per line, space-separated, ASCII decimal integers:
+//!
+//! ```text
+//! SET <key> <value>      -> OK
+//! GET <key>              -> VALUE <v> | MISS
+//! DEL <key>              -> DELETED <v> | MISS
+//! SCAN <start> <count>   -> RANGE <k1> <v1> <k2> <v2> ... | RANGE
+//! LEN                    -> LEN <n>
+//! QUIT                   -> BYE (closes the connection)
+//! ```
+//!
+//! Malformed input yields `ERR <reason>` and keeps the connection open.
+
+use index_traits::{Key, Value};
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Insert or update a pair.
+    Set(Key, Value),
+    /// Point lookup.
+    Get(Key),
+    /// Delete a key.
+    Del(Key),
+    /// Ordered scan: start key and count.
+    Scan(Key, usize),
+    /// Number of stored keys.
+    Len,
+    /// Close the connection.
+    Quit,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// `SET` acknowledged.
+    Ok,
+    /// Value found.
+    Value(Value),
+    /// Key absent.
+    Miss,
+    /// Value removed.
+    Deleted(Value),
+    /// Scan results.
+    Range(Vec<(Key, Value)>),
+    /// Key count.
+    Len(usize),
+    /// Goodbye (connection closes after this).
+    Bye,
+    /// Protocol error.
+    Err(String),
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let mut it = line.split_ascii_whitespace();
+    let cmd = it.next().ok_or("empty request")?;
+    let mut num = |what: &str| -> Result<u64, String> {
+        it.next()
+            .ok_or(format!("missing {what}"))?
+            .parse::<u64>()
+            .map_err(|e| format!("bad {what}: {e}"))
+    };
+    let req = match cmd.to_ascii_uppercase().as_str() {
+        "SET" => Request::Set(num("key")?, num("value")?),
+        "GET" => Request::Get(num("key")?),
+        "DEL" => Request::Del(num("key")?),
+        "SCAN" => Request::Scan(num("start")?, num("count")? as usize),
+        "LEN" => Request::Len,
+        "QUIT" => Request::Quit,
+        other => return Err(format!("unknown command {other}")),
+    };
+    if it.next().is_some() {
+        return Err("trailing arguments".into());
+    }
+    Ok(req)
+}
+
+/// Serializes a response line (without the trailing newline).
+pub fn format_response(resp: &Response) -> String {
+    match resp {
+        Response::Ok => "OK".into(),
+        Response::Value(v) => format!("VALUE {v}"),
+        Response::Miss => "MISS".into(),
+        Response::Deleted(v) => format!("DELETED {v}"),
+        Response::Range(pairs) => {
+            let mut s = String::from("RANGE");
+            for (k, v) in pairs {
+                s.push_str(&format!(" {k} {v}"));
+            }
+            s
+        }
+        Response::Len(n) => format!("LEN {n}"),
+        Response::Bye => "BYE".into(),
+        Response::Err(e) => format!("ERR {e}"),
+    }
+}
+
+/// Parses a response line (used by the client).
+pub fn parse_response(line: &str) -> Result<Response, String> {
+    let mut it = line.split_ascii_whitespace();
+    let tag = it.next().ok_or("empty response")?;
+    let resp = match tag {
+        "OK" => Response::Ok,
+        "MISS" => Response::Miss,
+        "BYE" => Response::Bye,
+        "VALUE" => Response::Value(
+            it.next()
+                .ok_or("missing value")?
+                .parse()
+                .map_err(|e| format!("bad value: {e}"))?,
+        ),
+        "DELETED" => Response::Deleted(
+            it.next()
+                .ok_or("missing value")?
+                .parse()
+                .map_err(|e| format!("bad value: {e}"))?,
+        ),
+        "LEN" => Response::Len(
+            it.next()
+                .ok_or("missing len")?
+                .parse()
+                .map_err(|e| format!("bad len: {e}"))?,
+        ),
+        "RANGE" => {
+            let nums: Result<Vec<u64>, _> = it.map(|t| t.parse::<u64>()).collect();
+            let nums = nums.map_err(|e| format!("bad range: {e}"))?;
+            if nums.len() % 2 != 0 {
+                return Err("odd range payload".into());
+            }
+            Response::Range(nums.chunks(2).map(|c| (c[0], c[1])).collect())
+        }
+        "ERR" => Response::Err(line[3..].trim().to_string()),
+        other => return Err(format!("unknown response {other}")),
+    };
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_valid_requests() {
+        assert_eq!(parse_request("SET 1 2"), Ok(Request::Set(1, 2)));
+        assert_eq!(parse_request("get 7"), Ok(Request::Get(7)));
+        assert_eq!(parse_request("DEL 9"), Ok(Request::Del(9)));
+        assert_eq!(parse_request("SCAN 5 100"), Ok(Request::Scan(5, 100)));
+        assert_eq!(parse_request("LEN"), Ok(Request::Len));
+        assert_eq!(parse_request("QUIT"), Ok(Request::Quit));
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("SET 1").is_err());
+        assert!(parse_request("SET a b").is_err());
+        assert!(parse_request("GET 1 2").is_err());
+        assert!(parse_request("FROB 1").is_err());
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        for resp in [
+            Response::Ok,
+            Response::Value(42),
+            Response::Miss,
+            Response::Deleted(7),
+            Response::Range(vec![(1, 2), (3, 4)]),
+            Response::Range(vec![]),
+            Response::Len(100),
+            Response::Bye,
+        ] {
+            let line = format_response(&resp);
+            assert_eq!(parse_response(&line), Ok(resp), "line {line}");
+        }
+    }
+
+    #[test]
+    fn err_response_keeps_message() {
+        let line = format_response(&Response::Err("bad key".into()));
+        assert_eq!(parse_response(&line), Ok(Response::Err("bad key".into())));
+    }
+}

@@ -1,0 +1,249 @@
+//! Sharded single-threaded engines (§3.4).
+//!
+//! "Storage systems developed for distributed clusters and/or multi-core
+//! servers may leverage multiple single-threaded engines for data access as
+//! in H-Store and Redis Cluster. Such systems may also use the
+//! single-threaded version of DyTIS that does not use locks."
+//!
+//! [`ShardedStore`] is that deployment: N worker threads, each owning a
+//! *lock-free-by-construction* single-threaded [`DyTis`], with keys
+//! partitioned by their most-significant bits so the shards cover ordered,
+//! disjoint key ranges — which keeps cross-shard scans a simple in-order
+//! visit.
+
+use dytis::DyTis;
+use index_traits::{Key, KvIndex, Value};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+enum Cmd {
+    Set(Key, Value),
+    Get(Key, SyncSender<Option<Value>>),
+    Del(Key, SyncSender<Option<Value>>),
+    Scan(Key, usize, SyncSender<Vec<(Key, Value)>>),
+    Len(SyncSender<usize>),
+    Stop,
+}
+
+/// A store partitioned over single-threaded DyTIS engines.
+pub struct ShardedStore {
+    senders: Vec<SyncSender<Cmd>>,
+    handles: Vec<JoinHandle<()>>,
+    shard_bits: u32,
+}
+
+impl ShardedStore {
+    /// Spawns `2^shard_bits` engine threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_bits > 8`.
+    pub fn new(shard_bits: u32) -> Self {
+        assert!(shard_bits <= 8, "at most 256 shards");
+        let n = 1usize << shard_bits;
+        let mut senders = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx): (SyncSender<Cmd>, Receiver<Cmd>) = sync_channel(1024);
+            senders.push(tx);
+            handles.push(std::thread::spawn(move || {
+                // The single-threaded engine: no locks anywhere.
+                let mut idx = DyTis::new();
+                while let Ok(cmd) = rx.recv() {
+                    match cmd {
+                        Cmd::Set(k, v) => idx.insert(k, v),
+                        Cmd::Get(k, reply) => {
+                            let _ = reply.send(idx.get(k));
+                        }
+                        Cmd::Del(k, reply) => {
+                            let _ = reply.send(idx.remove(k));
+                        }
+                        Cmd::Scan(start, count, reply) => {
+                            let mut out = Vec::with_capacity(count.min(1024));
+                            idx.scan(start, count, &mut out);
+                            let _ = reply.send(out);
+                        }
+                        Cmd::Len(reply) => {
+                            let _ = reply.send(idx.len());
+                        }
+                        Cmd::Stop => break,
+                    }
+                }
+            }));
+        }
+        ShardedStore {
+            senders,
+            handles,
+            shard_bits,
+        }
+    }
+
+    #[inline]
+    fn shard_of(&self, key: Key) -> usize {
+        if self.shard_bits == 0 {
+            0
+        } else {
+            (key >> (64 - self.shard_bits)) as usize
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Inserts or updates a pair (fire-and-forget to the owning engine).
+    pub fn set(&self, key: Key, value: Value) {
+        self.senders[self.shard_of(key)]
+            .send(Cmd::Set(key, value))
+            .expect("engine alive");
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: Key) -> Option<Value> {
+        let (tx, rx) = sync_channel(1);
+        self.senders[self.shard_of(key)]
+            .send(Cmd::Get(key, tx))
+            .expect("engine alive");
+        rx.recv().expect("engine replies")
+    }
+
+    /// Deletes a key.
+    pub fn del(&self, key: Key) -> Option<Value> {
+        let (tx, rx) = sync_channel(1);
+        self.senders[self.shard_of(key)]
+            .send(Cmd::Del(key, tx))
+            .expect("engine alive");
+        rx.recv().expect("engine replies")
+    }
+
+    /// Ordered scan across shards: shards own ordered, disjoint key ranges,
+    /// so visiting them in index order yields globally sorted output.
+    pub fn scan(&self, start: Key, count: usize) -> Vec<(Key, Value)> {
+        let mut out = Vec::with_capacity(count.min(4096));
+        let mut cursor = start;
+        for s in self.shard_of(start)..self.senders.len() {
+            let (tx, rx) = sync_channel(1);
+            self.senders[s]
+                .send(Cmd::Scan(cursor, count - out.len(), tx))
+                .expect("engine alive");
+            out.extend(rx.recv().expect("engine replies"));
+            if out.len() >= count {
+                break;
+            }
+            cursor = 0; // Later shards start from their range beginning.
+        }
+        out
+    }
+
+    /// Total keys across shards.
+    pub fn len(&self) -> usize {
+        let mut total = 0;
+        for s in &self.senders {
+            let (tx, rx) = sync_channel(1);
+            s.send(Cmd::Len(tx)).expect("engine alive");
+            total += rx.recv().expect("engine replies");
+        }
+        total
+    }
+
+    /// Returns `true` when no shard holds a key.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stops every engine and joins its thread.
+    pub fn shutdown(mut self) {
+        for s in &self.senders {
+            let _ = s.send(Cmd::Stop);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ShardedStore {
+    fn drop(&mut self) {
+        for s in &self.senders {
+            let _ = s.send(Cmd::Stop);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops_across_shards() {
+        let store = ShardedStore::new(2);
+        assert_eq!(store.shards(), 4);
+        // Keys spread over all four shards (top 2 bits 00/01/10/11).
+        let keys: Vec<u64> = (0..4).map(|s| (s as u64) << 62 | 42).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            store.set(k, i as u64);
+        }
+        assert_eq!(store.len(), 4);
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(store.get(k), Some(i as u64));
+        }
+        assert_eq!(store.get(7), None);
+        assert_eq!(store.del(keys[0]), Some(0));
+        assert_eq!(store.len(), 3);
+        store.shutdown();
+    }
+
+    #[test]
+    fn cross_shard_scan_is_globally_sorted() {
+        let store = ShardedStore::new(2);
+        let keys: Vec<u64> = (0..2_000u64)
+            .map(|k| k.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
+        for &k in &keys {
+            store.set(k, k);
+        }
+        let got = store.scan(0, 2_000);
+        assert_eq!(got.len(), 2_000);
+        assert!(got.windows(2).all(|w| w[0].0 < w[1].0));
+        // A mid-space scan crosses shard boundaries.
+        let mid = 1u64 << 62;
+        let tail = store.scan(mid, 500);
+        assert!(tail.iter().all(|&(k, _)| k >= mid));
+        assert!(tail.windows(2).all(|w| w[0].0 < w[1].0));
+        store.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_share_engines() {
+        let store = std::sync::Arc::new(ShardedStore::new(1));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let store = std::sync::Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        store.set(t * 10_000 + i, i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client");
+        }
+        assert_eq!(store.len(), 8_000);
+        assert_eq!(store.get(10_123), Some(123));
+    }
+
+    #[test]
+    fn single_shard_degenerates_gracefully() {
+        let store = ShardedStore::new(0);
+        store.set(1, 1);
+        store.set(u64::MAX, 2);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.scan(0, 10).len(), 2);
+        store.shutdown();
+    }
+}

@@ -1,0 +1,243 @@
+//! Dynamic-dataset metrics (paper §2.1, Figures 1–3).
+//!
+//! The paper defines two quantities that characterize a *dynamic dataset*:
+//!
+//! - **Variance of skewness** — the average number of maximum error-bounded
+//!   PLR linear models needed to approximate the CDF per fixed-size key-range
+//!   chunk, where the error bound is calibrated so a Uniform dataset needs
+//!   exactly one model per chunk.
+//! - **Key Distribution Divergence (KDD)** — the average Kullback–Leibler
+//!   divergence between histograms of consecutive fixed-size *insertion
+//!   order* sub-datasets.
+
+pub mod plr;
+
+pub use plr::{greedy_plr, max_error, models_for_chunk, PlrSegment};
+
+/// Calibrates the PLR error bound so a uniform chunk of `chunk_size` keys
+/// needs exactly one linear model (the paper's calibration rule, §2.1
+/// footnote 2): binary-searches the smallest bound with one segment on a
+/// deterministic pseudo-uniform sample.
+pub fn calibrated_error_bound(chunk_size: usize) -> f64 {
+    // Take the worst calibration over several deterministic uniform samples
+    // so *any* uniform chunk needs one model, then add a small margin;
+    // uniform deviations vary by O(1) factors across samples while skewed
+    // CDFs are orders of magnitude off.
+    let mut worst = 0.0f64;
+    for seed in 0..5u64 {
+        let mut keys: Vec<u64> = (0..chunk_size as u64)
+            .map(|i| {
+                let mut z = i
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(0x1234_5678 + seed.wrapping_mul(0xABCD_EF01));
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (z ^ (z >> 31)) >> 1
+            })
+            .collect();
+        keys.sort_unstable();
+        let (mut lo, mut hi) = (0.0f64, chunk_size as f64);
+        for _ in 0..40 {
+            let mid = 0.5 * (lo + hi);
+            if models_for_chunk(&keys, mid) <= 1 {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        worst = worst.max(hi);
+    }
+    1.5 * worst
+}
+
+/// Variance of skewness: average PLR model count per sorted chunk of
+/// `chunk_size` keys at error bound `delta`.
+///
+/// The paper uses 0.1 M keys per chunk and notes the metric is insensitive
+/// to this choice; pass a proportionally smaller chunk for scaled datasets.
+pub fn variance_of_skewness(keys: &[u64], chunk_size: usize, delta: f64) -> f64 {
+    if keys.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = keys.to_vec();
+    sorted.sort_unstable();
+    let mut total_models = 0usize;
+    let mut chunks = 0usize;
+    for chunk in sorted.chunks(chunk_size) {
+        if chunk.len() < chunk_size / 2 {
+            continue; // Skip a tiny trailing chunk, as averaging assumes full chunks.
+        }
+        total_models += models_for_chunk(chunk, delta);
+        chunks += 1;
+    }
+    if chunks == 0 {
+        total_models = models_for_chunk(&sorted, delta);
+        chunks = 1;
+    }
+    total_models as f64 / chunks as f64
+}
+
+/// Histogram of `keys` over `[min, max]` with `bins` buckets, add-one
+/// smoothed and normalized to a probability distribution.
+fn histogram(keys: &[u64], min: u64, max: u64, bins: usize) -> Vec<f64> {
+    let mut h = vec![1.0f64; bins]; // Add-one smoothing avoids log(0).
+    let width = (max - min).max(1);
+    for &k in keys {
+        let b = (((k - min) as u128 * bins as u128) / (width as u128 + 1)) as usize;
+        h[b.min(bins - 1)] += 1.0;
+    }
+    let total: f64 = h.iter().sum();
+    for v in &mut h {
+        *v /= total;
+    }
+    h
+}
+
+/// Kullback–Leibler divergence `KL(p || q)` in nats.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    debug_assert_eq!(p.len(), q.len());
+    p.iter()
+        .zip(q)
+        .filter(|&(&pi, _)| pi > 0.0)
+        .map(|(&pi, &qi)| pi * (pi / qi).ln())
+        .sum()
+}
+
+/// Key Distribution Divergence: average KL divergence between histograms of
+/// consecutive insertion-order sub-datasets of `chunk_size` keys (§2.1).
+///
+/// Each pair's histogram range is `[min, max]` over the *two* chunks, as the
+/// paper specifies.
+pub fn key_distribution_divergence(keys: &[u64], chunk_size: usize, bins: usize) -> f64 {
+    let chunks: Vec<&[u64]> = keys
+        .chunks(chunk_size)
+        .filter(|c| c.len() == chunk_size)
+        .collect();
+    if chunks.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for w in chunks.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let min = a.iter().chain(b).min().copied().unwrap_or(0);
+        let max = a.iter().chain(b).max().copied().unwrap_or(0);
+        let ha = histogram(a, min, max, bins);
+        let hb = histogram(b, min, max, bins);
+        total += kl_divergence(&hb, &ha);
+    }
+    total / (chunks.len() - 1) as f64
+}
+
+/// Convenience: both dynamic-characteristic metrics for a dataset, using a
+/// chunk size scaled from the paper's 0.1 M keys.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynamicProfile {
+    /// Variance of skewness (average PLR models per chunk).
+    pub skewness: f64,
+    /// Key distribution divergence (average KL divergence).
+    pub kdd: f64,
+}
+
+/// Computes the Figure 1 coordinates of a dataset.
+pub fn dynamic_profile(keys: &[u64], chunk_size: usize) -> DynamicProfile {
+    let delta = calibrated_error_bound(chunk_size);
+    DynamicProfile {
+        skewness: variance_of_skewness(keys, chunk_size, delta),
+        kdd: key_distribution_divergence(keys, chunk_size, 64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn splitmix(i: u64) -> u64 {
+        let mut z = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(99);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) >> 1
+    }
+
+    #[test]
+    fn calibration_gives_one_model_for_uniform() {
+        let chunk = 10_000;
+        let delta = calibrated_error_bound(chunk);
+        let keys: Vec<u64> = (0..chunk as u64).map(splitmix).collect();
+        let skew = variance_of_skewness(&keys, chunk, delta);
+        assert!(skew <= 1.5, "uniform skewness {skew}");
+    }
+
+    #[test]
+    fn clustered_keys_are_more_skewed_than_uniform() {
+        let chunk = 5_000;
+        let delta = calibrated_error_bound(chunk);
+        let uniform: Vec<u64> = (0..10_000u64).map(splitmix).collect();
+        // Heavy cluster: 90% of keys inside a tiny range.
+        let mut clustered: Vec<u64> = (0..9_000u64).map(|i| 1 << 40 | i).collect();
+        clustered.extend((0..1_000u64).map(splitmix));
+        let su = variance_of_skewness(&uniform, chunk, delta);
+        let sc = variance_of_skewness(&clustered, chunk, delta);
+        assert!(sc > su, "clustered {sc} <= uniform {su}");
+    }
+
+    #[test]
+    fn kl_divergence_zero_for_identical() {
+        let p = vec![0.25; 4];
+        assert!(kl_divergence(&p, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_divergence_positive_for_different() {
+        let p = vec![0.7, 0.1, 0.1, 0.1];
+        let q = vec![0.1, 0.1, 0.1, 0.7];
+        assert!(kl_divergence(&p, &q) > 0.1);
+    }
+
+    #[test]
+    fn stationary_stream_has_low_kdd() {
+        let keys: Vec<u64> = (0..50_000u64).map(splitmix).collect();
+        let kdd = key_distribution_divergence(&keys, 5_000, 64);
+        assert!(kdd < 0.05, "stationary kdd {kdd}");
+    }
+
+    #[test]
+    fn drifting_stream_has_high_kdd() {
+        // Each window occupies a fresh key range (taxi-like drift).
+        let keys: Vec<u64> = (0..50_000u64)
+            .map(|i| (i / 5_000) << 40 | splitmix(i) & 0xFFFF_FFFF)
+            .collect();
+        let drifting = key_distribution_divergence(&keys, 5_000, 64);
+        let stationary: Vec<u64> = (0..50_000u64).map(splitmix).collect();
+        let base = key_distribution_divergence(&stationary, 5_000, 64);
+        assert!(
+            drifting > 10.0 * base.max(1e-6),
+            "drift {drifting} base {base}"
+        );
+    }
+
+    #[test]
+    fn shuffling_reduces_kdd() {
+        let keys: Vec<u64> = (0..40_000u64)
+            .map(|i| (i / 4_000) << 40 | splitmix(i) & 0xFFFF_FFFF)
+            .collect();
+        let mut shuffled = keys.clone();
+        // Deterministic Fisher-Yates.
+        let mut state = 7u64;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let orig = key_distribution_divergence(&keys, 4_000, 64);
+        let shuf = key_distribution_divergence(&shuffled, 4_000, 64);
+        assert!(shuf < orig / 2.0, "orig {orig} shuf {shuf}");
+    }
+
+    #[test]
+    fn dynamic_profile_combines_both() {
+        let keys: Vec<u64> = (0..20_000u64).map(splitmix).collect();
+        let p = dynamic_profile(&keys, 5_000);
+        assert!(p.skewness >= 1.0);
+        assert!(p.kdd >= 0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Maximum error-bounded Piecewise Linear Representation (Xie et al.,
+//! VLDB '14), used by the paper to quantify *variance of skewness* (§2.1).
+//!
+//! The CDF of a sorted key chunk is the point set `(key_i, i)`. A greedy
+//! one-pass algorithm maintains the feasible slope cone of the current
+//! segment; when a new point empties the cone, a new segment starts. Every
+//! produced segment is guaranteed to approximate each of its points with
+//! vertical error at most `delta`.
+
+/// One linear segment `y = slope * (x - x0) + y0` of a PLR.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlrSegment {
+    /// First x covered by this segment.
+    pub x0: f64,
+    /// y value at `x0`.
+    pub y0: f64,
+    /// Slope of the segment.
+    pub slope: f64,
+    /// Number of points the segment covers.
+    pub points: usize,
+}
+
+impl PlrSegment {
+    /// Evaluates the segment at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.y0 + self.slope * (x - self.x0)
+    }
+}
+
+/// Greedy maximum-error-bounded PLR over strictly increasing `xs` with
+/// implicit ranks `0..n` as y values.
+///
+/// # Panics
+///
+/// Panics if `delta < 0` (a zero bound is allowed: every pair of collinear
+/// points still shares a segment).
+pub fn greedy_plr(xs: &[f64], delta: f64) -> Vec<PlrSegment> {
+    assert!(delta >= 0.0);
+    let mut segments = Vec::new();
+    let n = xs.len();
+    if n == 0 {
+        return segments;
+    }
+    let mut start = 0usize;
+    let (mut lo, mut hi) = (f64::NEG_INFINITY, f64::INFINITY);
+    let mut i = 1usize;
+    while i < n {
+        let dx = xs[i] - xs[start];
+        debug_assert!(dx > 0.0, "xs must be strictly increasing");
+        let dy = (i - start) as f64;
+        let new_lo = (dy - delta) / dx;
+        let new_hi = (dy + delta) / dx;
+        let cand_lo = lo.max(new_lo);
+        let cand_hi = hi.min(new_hi);
+        if cand_lo <= cand_hi {
+            lo = cand_lo;
+            hi = cand_hi;
+            i += 1;
+        } else {
+            segments.push(PlrSegment {
+                x0: xs[start],
+                y0: start as f64,
+                slope: midpoint_slope(lo, hi),
+                points: i - start,
+            });
+            start = i;
+            lo = f64::NEG_INFINITY;
+            hi = f64::INFINITY;
+            i += 1;
+        }
+    }
+    segments.push(PlrSegment {
+        x0: xs[start],
+        y0: start as f64,
+        slope: if n - start > 1 {
+            midpoint_slope(lo, hi)
+        } else {
+            0.0
+        },
+        points: n - start,
+    });
+    segments
+}
+
+/// A representative slope from the feasible cone.
+fn midpoint_slope(lo: f64, hi: f64) -> f64 {
+    match (lo.is_finite(), hi.is_finite()) {
+        (true, true) => 0.5 * (lo + hi),
+        (true, false) => lo,
+        (false, true) => hi,
+        (false, false) => 0.0,
+    }
+}
+
+/// Verifies that `segments` approximates `(xs[i], i)` within `delta`
+/// (test helper; returns the maximum observed error).
+pub fn max_error(xs: &[f64], segments: &[PlrSegment]) -> f64 {
+    let mut worst = 0.0f64;
+    let mut idx = 0usize;
+    for seg in segments {
+        for _ in 0..seg.points {
+            let err = (seg.eval(xs[idx]) - idx as f64).abs();
+            worst = worst.max(err);
+            idx += 1;
+        }
+    }
+    debug_assert_eq!(idx, xs.len());
+    worst
+}
+
+/// Number of PLR models needed for a sorted `u64` key chunk at bound `delta`.
+pub fn models_for_chunk(sorted_keys: &[u64], delta: f64) -> usize {
+    let xs: Vec<f64> = dedup_increasing(sorted_keys);
+    if xs.is_empty() {
+        return 0;
+    }
+    greedy_plr(&xs, delta).len()
+}
+
+/// Converts sorted keys to strictly increasing f64 x values (f64 rounding
+/// can collapse adjacent huge keys; keep one representative per value).
+fn dedup_increasing(sorted_keys: &[u64]) -> Vec<f64> {
+    let mut xs: Vec<f64> = Vec::with_capacity(sorted_keys.len());
+    for &k in sorted_keys {
+        let x = k as f64;
+        if xs.last().is_none_or(|&last| x > last) {
+            xs.push(x);
+        }
+    }
+    xs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_linear_points_need_one_segment() {
+        let xs: Vec<f64> = (0..1000).map(|i| i as f64 * 3.0).collect();
+        let segs = greedy_plr(&xs, 0.5);
+        assert_eq!(segs.len(), 1);
+        assert!(max_error(&xs, &segs) <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn two_slopes_need_two_segments() {
+        // Steep then shallow: ranks advance 1 per unit then 1 per 100 units.
+        let mut xs: Vec<f64> = (0..500).map(|i| i as f64).collect();
+        xs.extend((0..500).map(|i| 500.0 + i as f64 * 100.0));
+        let segs = greedy_plr(&xs, 2.0);
+        assert!(segs.len() >= 2);
+        assert!(max_error(&xs, &segs) <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn error_bound_holds_on_random_monotone_input() {
+        let mut x = 0.0;
+        let mut xs = Vec::new();
+        let mut state = 12345u64;
+        for _ in 0..5_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x += 1.0 + (state >> 40) as f64 / 1000.0;
+            xs.push(x);
+        }
+        for delta in [1.0, 5.0, 25.0] {
+            let segs = greedy_plr(&xs, delta);
+            assert!(
+                max_error(&xs, &segs) <= delta + 1e-6,
+                "bound violated at delta {delta}"
+            );
+        }
+    }
+
+    #[test]
+    fn larger_delta_means_fewer_segments() {
+        let xs: Vec<f64> = (0..2_000)
+            .map(|i| (i as f64).powf(1.7)) // Smoothly curving CDF.
+            .collect();
+        let tight = greedy_plr(&xs, 1.0).len();
+        let loose = greedy_plr(&xs, 50.0).len();
+        assert!(loose < tight, "loose {loose} tight {tight}");
+        assert!(loose >= 1);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert!(greedy_plr(&[], 1.0).is_empty());
+        let one = greedy_plr(&[5.0], 1.0);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].points, 1);
+    }
+
+    #[test]
+    fn models_for_chunk_handles_u64_keys() {
+        let keys: Vec<u64> = (0..10_000u64).map(|k| k * 1_000_003).collect();
+        assert_eq!(models_for_chunk(&keys, 10.0), 1);
+    }
+}

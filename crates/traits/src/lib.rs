@@ -1,0 +1,192 @@
+//! Common traits shared by every index structure in the DyTIS reproduction.
+//!
+//! The paper (§4) compares DyTIS against the STX B+-tree, ALEX, XIndex, and
+//! hash baselines under an identical workload harness. These traits are the
+//! contract the harness programs against: 64-bit keys and 64-bit values (the
+//! paper configures both to 8 bytes, §4.2), point operations plus ordered
+//! scans.
+
+/// Key type used throughout the reproduction (8-byte integer keys, §4.2).
+pub type Key = u64;
+
+/// Value type (8-byte values, or a pointer-sized handle to a larger record).
+pub type Value = u64;
+
+/// A single-threaded ordered key-value index.
+///
+/// All five indexes of the paper's evaluation implement this trait. `insert`
+/// performs an *upsert*: inserting an existing key updates its value in place
+/// (the paper modified ALEX and the B+-tree to do the same, §4.1).
+pub trait KvIndex {
+    /// Inserts `key` with `value`, updating in place if `key` already exists.
+    fn insert(&mut self, key: Key, value: Value);
+
+    /// Returns the value associated with `key`, or `None` if absent.
+    fn get(&self, key: Key) -> Option<Value>;
+
+    /// Updates `key` in place. Returns `false` if `key` does not exist.
+    fn update(&mut self, key: Key, value: Value) -> bool {
+        if self.get(key).is_some() {
+            self.insert(key, value);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `key`, returning its value if it was present.
+    fn remove(&mut self, key: Key) -> Option<Value>;
+
+    /// Reads up to `count` key-value pairs in ascending key order, starting
+    /// from the smallest key `>= start`, appending them to `out`.
+    ///
+    /// This is the paper's scan operation (§3.3): a starting key and a scan
+    /// key range `c`.
+    fn scan(&self, start: Key, count: usize, out: &mut Vec<(Key, Value)>);
+
+    /// Number of keys currently stored.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the index holds no keys.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Short human-readable name used in benchmark tables.
+    fn name(&self) -> &'static str;
+
+    /// Structural memory footprint in bytes (used by the §4.3 memory-usage
+    /// analysis in place of the paper's `dstat` max-RSS measurement).
+    fn memory_bytes(&self) -> usize;
+}
+
+/// A thread-safe ordered key-value index (used by the §4.5 concurrency
+/// evaluation, Figure 12).
+///
+/// All methods take `&self`; implementations synchronize internally (DyTIS
+/// and XIndex both use two-level reader/writer locking).
+pub trait ConcurrentKvIndex: Send + Sync {
+    /// Inserts `key` with `value`, updating in place if present.
+    fn insert(&self, key: Key, value: Value);
+
+    /// Returns the value associated with `key`, or `None` if absent.
+    fn get(&self, key: Key) -> Option<Value>;
+
+    /// Removes `key`, returning its value if it was present.
+    fn remove(&self, key: Key) -> Option<Value>;
+
+    /// Ordered scan as in [`KvIndex::scan`].
+    fn scan(&self, start: Key, count: usize, out: &mut Vec<(Key, Value)>);
+
+    /// Number of keys currently stored.
+    fn len(&self) -> usize;
+
+    /// Short human-readable name used in benchmark tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Indexes that can be built from a sorted key array (the "bulk loading" the
+/// learned-index baselines require, §4.1; DyTIS deliberately does *not* need
+/// this, but implements it for completeness).
+pub trait BulkLoad: Sized {
+    /// Builds an index from `pairs`, which must be sorted by key and free of
+    /// duplicate keys.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `pairs` is unsorted or contains
+    /// duplicates.
+    fn bulk_load(pairs: &[(Key, Value)]) -> Self;
+}
+
+/// Statistics describing index-structure maintenance work, used by the §4.3
+/// insertion-breakdown analysis.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// Number of segment/node splits performed.
+    pub splits: u64,
+    /// Number of segment/node expansions performed.
+    pub expansions: u64,
+    /// Number of remapping (model readjustment / retraining) operations.
+    pub remaps: u64,
+    /// Number of directory doublings (or tree-depth increases).
+    pub doublings: u64,
+    /// Keys copied while rebuilding structures (memory-copy overhead proxy).
+    pub keys_moved: u64,
+}
+
+impl MaintenanceStats {
+    /// Total number of structure-changing operations.
+    pub fn total_ops(&self) -> u64 {
+        self.splits + self.expansions + self.remaps + self.doublings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// A trivial reference implementation to exercise the trait defaults.
+    #[derive(Default)]
+    struct Oracle(BTreeMap<Key, Value>);
+
+    impl KvIndex for Oracle {
+        fn insert(&mut self, key: Key, value: Value) {
+            self.0.insert(key, value);
+        }
+        fn get(&self, key: Key) -> Option<Value> {
+            self.0.get(&key).copied()
+        }
+        fn remove(&mut self, key: Key) -> Option<Value> {
+            self.0.remove(&key)
+        }
+        fn scan(&self, start: Key, count: usize, out: &mut Vec<(Key, Value)>) {
+            out.extend(self.0.range(start..).take(count).map(|(k, v)| (*k, *v)));
+        }
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn name(&self) -> &'static str {
+            "oracle"
+        }
+        fn memory_bytes(&self) -> usize {
+            self.0.len() * 16
+        }
+    }
+
+    #[test]
+    fn default_update_hits_existing_key() {
+        let mut o = Oracle::default();
+        o.insert(1, 10);
+        assert!(o.update(1, 20));
+        assert_eq!(o.get(1), Some(20));
+    }
+
+    #[test]
+    fn default_update_misses_absent_key() {
+        let mut o = Oracle::default();
+        assert!(!o.update(7, 1));
+        assert_eq!(o.get(7), None);
+    }
+
+    #[test]
+    fn is_empty_tracks_len() {
+        let mut o = Oracle::default();
+        assert!(o.is_empty());
+        o.insert(3, 3);
+        assert!(!o.is_empty());
+    }
+
+    #[test]
+    fn maintenance_stats_total() {
+        let s = MaintenanceStats {
+            splits: 1,
+            expansions: 2,
+            remaps: 3,
+            doublings: 4,
+            keys_moved: 100,
+        };
+        assert_eq!(s.total_ops(), 10);
+    }
+}

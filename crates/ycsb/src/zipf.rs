@@ -1,0 +1,170 @@
+//! Zipfian request generators, following the YCSB implementation
+//! (Cooper et al., SoCC '10; Gray et al., SIGMOD '94).
+//!
+//! The paper selects operation keys "using Zipfian distribution (with the
+//! default Zipfian constant in YCSB, 0.99)" (§4.3).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// YCSB's default Zipfian constant.
+pub const DEFAULT_THETA: f64 = 0.99;
+
+/// Gray et al.'s incremental Zipfian generator over `0..n`.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: usize,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipfian {
+    /// Builds a generator for ranks `0..n` with skew `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is not in `(0, 1)`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0);
+        assert!(theta > 0.0 && theta < 1.0);
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
+    }
+
+    fn zeta(n: usize, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Draws a rank in `0..n` (rank 0 is the most popular).
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let spread = self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha);
+        (spread as usize).min(self.n - 1)
+    }
+
+    /// The number of ranks.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Zeta(2, theta) — exposed for tests.
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+/// Scrambled Zipfian: Zipfian popularity spread over the item space with a
+/// hash, so popular items are not clustered (YCSB's default request
+/// distribution).
+#[derive(Debug, Clone)]
+pub struct ScrambledZipfian {
+    inner: Zipfian,
+}
+
+impl ScrambledZipfian {
+    /// Builds a scrambled generator over `0..n`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        ScrambledZipfian {
+            inner: Zipfian::new(n, theta),
+        }
+    }
+
+    /// Draws an item index in `0..n`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let rank = self.inner.sample(rng) as u64;
+        (fnv_hash(rank) % self.inner.n() as u64) as usize
+    }
+}
+
+/// FNV-1a 64-bit hash (YCSB's scrambling hash).
+#[inline]
+pub fn fnv_hash(mut v: u64) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for _ in 0..8 {
+        let octet = v & 0xFF;
+        v >>= 8;
+        hash ^= octet;
+        hash = hash.wrapping_mul(0x100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipfian_is_head_heavy() {
+        let z = Zipfian::new(10_000, DEFAULT_THETA);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut head = 0usize;
+        let total = 50_000;
+        for _ in 0..total {
+            if z.sample(&mut rng) < 100 {
+                head += 1;
+            }
+        }
+        // With theta = 0.99, the top 1% of ranks should receive far more
+        // than 1% of requests.
+        assert!(head > total / 4, "head hits {head}");
+    }
+
+    #[test]
+    fn zipfian_stays_in_range() {
+        let z = Zipfian::new(1_000, 0.5);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 1_000);
+        }
+    }
+
+    #[test]
+    fn scrambled_spreads_popularity() {
+        let s = ScrambledZipfian::new(10_000, DEFAULT_THETA);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = vec![0usize; 10_000];
+        for _ in 0..100_000 {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        // The hottest item is hot...
+        let max = counts.iter().max().copied().unwrap();
+        assert!(max > 1_000);
+        // ...but the top-10 hottest items are not all adjacent.
+        let mut order: Vec<usize> = (0..counts.len()).collect();
+        order.sort_by(|&a, &b| counts[b].cmp(&counts[a]));
+        let top: Vec<usize> = order[..10].to_vec();
+        let adjacent = top
+            .iter()
+            .flat_map(|&a| top.iter().map(move |&b| (a, b)))
+            .filter(|&(a, b)| a != b && a.abs_diff(b) == 1)
+            .count();
+        assert!(adjacent < 8, "popular items clustered: {top:?}");
+    }
+
+    #[test]
+    fn fnv_is_deterministic() {
+        assert_eq!(fnv_hash(42), fnv_hash(42));
+        assert_ne!(fnv_hash(42), fnv_hash(43));
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: the DyTIS index in five minutes.
+//!
+//! DyTIS needs no bulk loading or training phase — create it and start
+//! inserting. Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dytis_repro::dytis::DyTis;
+use dytis_repro::index_traits::KvIndex;
+
+fn main() {
+    // An index with the paper's default parameters (R = 9, 2 KiB buckets,
+    // U_t = 0.6, L_start = 6).
+    let mut index = DyTis::new();
+
+    // Insert one million keys — no bulk loading required.
+    for i in 0..1_000_000u64 {
+        index.insert(i * 37, i);
+    }
+    println!("inserted {} keys", index.len());
+
+    // Point lookups.
+    assert_eq!(index.get(37), Some(1));
+    assert_eq!(index.get(38), None);
+
+    // In-place update (upsert semantics).
+    index.insert(37, 999);
+    assert_eq!(index.get(37), Some(999));
+
+    // Ordered scan — the operation hash indexes cannot do, and the reason
+    // DyTIS remaps keys instead of hashing them.
+    let mut out = Vec::new();
+    index.scan(100, 10, &mut out);
+    println!(
+        "scan(100, 10) -> {:?}",
+        out.iter().map(|p| p.0).collect::<Vec<_>>()
+    );
+    assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+
+    // Deletion.
+    assert_eq!(index.remove(74), Some(2));
+    assert_eq!(index.get(74), None);
+
+    // Introspection: how much maintenance work the inserts caused.
+    let stats = index.stats();
+    println!(
+        "maintenance: {} splits, {} remaps, {} expansions, {} doublings, {} keys moved",
+        stats.ops.splits,
+        stats.ops.remaps,
+        stats.ops.expansions,
+        stats.ops.doublings,
+        stats.ops.keys_moved
+    );
+    println!("memory: {:.1} MB", index.memory_bytes() as f64 / 1e6);
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate for the DyTIS reproduction.
+//!
+//! Re-exports the public API of every crate in the workspace so examples and
+//! integration tests can use a single dependency.
+
+pub use alex_index;
+pub use datasets;
+pub use dyn_metrics;
+pub use dytis;
+pub use exhash;
+pub use index_traits;
+pub use kvstore;
+pub use lipp;
+pub use stx_btree;
+pub use xindex;
+pub use ycsb;

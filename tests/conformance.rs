@@ -1,0 +1,195 @@
+//! Cross-crate conformance suite: every index must behave identically to a
+//! `BTreeMap` oracle on every dataset family, under a mixed operation
+//! stream of inserts, updates, lookups, scans, and deletes.
+
+use dytis_repro::alex_index::Alex;
+use dytis_repro::datasets::{Dataset, DatasetSpec};
+use dytis_repro::dytis::{DyTis, Params};
+use dytis_repro::exhash::{Cceh, ExtendibleHash};
+use dytis_repro::index_traits::KvIndex;
+use dytis_repro::lipp::Lipp;
+use dytis_repro::stx_btree::BPlusTree;
+use dytis_repro::xindex::XIndex;
+use std::collections::BTreeMap;
+
+/// Dataset size per conformance run: smaller under `cargo test` (debug),
+/// larger when the suite is compiled with optimizations.
+const N: usize = if cfg!(debug_assertions) {
+    8_000
+} else {
+    60_000
+};
+
+/// Runs the full conformance protocol for one index on one dataset.
+fn conform<I: KvIndex>(mut idx: I, keys: &[u64], scans: bool) {
+    let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+
+    // Phase 1: insert everything.
+    for (i, &k) in keys.iter().enumerate() {
+        idx.insert(k, i as u64);
+        oracle.insert(k, i as u64);
+    }
+    assert_eq!(idx.len(), oracle.len(), "{} len after load", idx.name());
+
+    // Phase 2: point lookups (hits and misses).
+    for &k in keys.iter().step_by(17) {
+        assert_eq!(
+            idx.get(k),
+            oracle.get(&k).copied(),
+            "{} get {k}",
+            idx.name()
+        );
+    }
+    for probe in 0..500u64 {
+        let k = probe.wrapping_mul(0xDEADBEEFCAFE) | 1;
+        assert_eq!(
+            idx.get(k),
+            oracle.get(&k).copied(),
+            "{} miss {k}",
+            idx.name()
+        );
+    }
+
+    // Phase 3: updates in place.
+    for &k in keys.iter().step_by(13) {
+        idx.insert(k, 7_777_777);
+        oracle.insert(k, 7_777_777);
+    }
+    assert_eq!(idx.len(), oracle.len(), "{} len after updates", idx.name());
+    for &k in keys.iter().step_by(13) {
+        assert_eq!(idx.get(k), Some(7_777_777), "{} updated {k}", idx.name());
+    }
+
+    // Phase 4: ordered scans from random starting points.
+    if scans {
+        let mut got = Vec::new();
+        for &start in keys.iter().step_by(997) {
+            got.clear();
+            idx.scan(start, 50, &mut got);
+            let want: Vec<(u64, u64)> = oracle
+                .range(start..)
+                .take(50)
+                .map(|(&k, &v)| (k, v))
+                .collect();
+            assert_eq!(got, want, "{} scan from {start}", idx.name());
+        }
+    }
+
+    // Phase 5: deletions.
+    for &k in keys.iter().step_by(3) {
+        assert_eq!(
+            idx.remove(k),
+            oracle.remove(&k),
+            "{} remove {k}",
+            idx.name()
+        );
+    }
+    assert_eq!(idx.len(), oracle.len(), "{} len after removes", idx.name());
+    for &k in keys.iter().step_by(29) {
+        assert_eq!(
+            idx.get(k),
+            oracle.get(&k).copied(),
+            "{} get-after-remove {k}",
+            idx.name()
+        );
+    }
+}
+
+fn keys_for(ds: Dataset) -> Vec<u64> {
+    DatasetSpec::new(ds, N).generate()
+}
+
+macro_rules! conformance_tests {
+    ($($name:ident: $ds:expr;)*) => {
+        $(
+            mod $name {
+                use super::*;
+
+                #[test]
+                fn dytis() {
+                    conform(DyTis::with_params(Params::small()), &keys_for($ds), true);
+                }
+
+                #[test]
+                fn dytis_default_params() {
+                    conform(DyTis::new(), &keys_for($ds), true);
+                }
+
+                #[test]
+                fn btree() {
+                    conform(BPlusTree::new(), &keys_for($ds), true);
+                }
+
+                #[test]
+                fn alex() {
+                    conform(Alex::new(), &keys_for($ds), true);
+                }
+
+                #[test]
+                fn xindex() {
+                    conform(XIndex::new(), &keys_for($ds), true);
+                }
+
+                #[test]
+                fn lipp() {
+                    conform(Lipp::new(), &keys_for($ds), true);
+                }
+
+                #[test]
+                fn cceh() {
+                    conform(Cceh::new(), &keys_for($ds), false);
+                }
+
+                #[test]
+                fn extendible_hash() {
+                    conform(ExtendibleHash::new(), &keys_for($ds), false);
+                }
+            }
+        )*
+    };
+}
+
+conformance_tests! {
+    map_m: Dataset::MapM;
+    review_m: Dataset::ReviewM;
+    taxi: Dataset::Taxi;
+    uniform: Dataset::Uniform;
+    lognormal: Dataset::Lognormal;
+    longlat: Dataset::Longlat;
+}
+
+#[test]
+fn dytis_matches_oracle_on_shuffled_taxi() {
+    let keys = DatasetSpec::new(Dataset::Taxi, N).shuffled().generate();
+    conform(DyTis::new(), &keys, true);
+}
+
+#[test]
+fn all_indexes_agree_with_each_other() {
+    let keys = keys_for(Dataset::ReviewL);
+    let mut dytis = DyTis::new();
+    let mut btree = BPlusTree::new();
+    let mut alex = Alex::new();
+    let mut xindex = XIndex::new();
+    for (i, &k) in keys.iter().enumerate() {
+        dytis.insert(k, i as u64);
+        btree.insert(k, i as u64);
+        alex.insert(k, i as u64);
+        xindex.insert(k, i as u64);
+    }
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    for &start in keys.iter().step_by(1_777) {
+        a.clear();
+        dytis.scan(start, 64, &mut a);
+        b.clear();
+        btree.scan(start, 64, &mut b);
+        assert_eq!(a, b, "dytis vs btree scan from {start}");
+        b.clear();
+        alex.scan(start, 64, &mut b);
+        assert_eq!(a, b, "dytis vs alex scan from {start}");
+        b.clear();
+        xindex.scan(start, 64, &mut b);
+        assert_eq!(a, b, "dytis vs xindex scan from {start}");
+    }
+}

@@ -1,0 +1,125 @@
+//! Validates that the synthetic datasets land in the paper's Figure 1
+//! classes under our own metric implementations — the reproduction of the
+//! paper's dataset-characterization claims (§2.1, Table 1).
+
+use dytis_repro::datasets::{stats, Dataset, DatasetSpec};
+use dytis_repro::dyn_metrics::{
+    calibrated_error_bound, dynamic_profile, key_distribution_divergence, variance_of_skewness,
+};
+
+const N: usize = if cfg!(debug_assertions) {
+    60_000
+} else {
+    200_000
+};
+const CHUNK: usize = N / 10;
+
+fn keys(ds: Dataset) -> Vec<u64> {
+    DatasetSpec::new(ds, N).generate()
+}
+
+#[test]
+fn uniform_has_no_skewness_or_divergence() {
+    let p = dynamic_profile(&keys(Dataset::Uniform), CHUNK);
+    assert!(p.skewness <= 2.0, "uniform skewness {}", p.skewness);
+    assert!(p.kdd < 0.05, "uniform kdd {}", p.kdd);
+}
+
+#[test]
+fn review_is_high_skew_low_kdd() {
+    let delta = calibrated_error_bound(CHUNK);
+    let rm = keys(Dataset::ReviewM);
+    let mm = keys(Dataset::MapM);
+    let skew_rm = variance_of_skewness(&rm, CHUNK, delta);
+    let skew_mm = variance_of_skewness(&mm, CHUNK, delta);
+    assert!(
+        skew_rm > 2.0 * skew_mm,
+        "review skew {skew_rm} not >> map skew {skew_mm}"
+    );
+    let kdd_rm = key_distribution_divergence(&rm, CHUNK, 64);
+    let kdd_tx = key_distribution_divergence(&keys(Dataset::Taxi), CHUNK, 64);
+    assert!(
+        kdd_tx > 3.0 * kdd_rm,
+        "taxi kdd {kdd_tx} not >> review kdd {kdd_rm}"
+    );
+}
+
+#[test]
+fn taxi_is_highest_kdd_of_group1() {
+    let kdds: Vec<(Dataset, f64)> = Dataset::GROUP1
+        .iter()
+        .map(|&ds| (ds, key_distribution_divergence(&keys(ds), CHUNK, 64)))
+        .collect();
+    let taxi = kdds
+        .iter()
+        .find(|(d, _)| *d == Dataset::Taxi)
+        .expect("taxi present")
+        .1;
+    for (d, k) in &kdds {
+        assert!(taxi >= *k, "taxi kdd {taxi} < {d:?} kdd {k}");
+    }
+}
+
+#[test]
+fn shuffling_lowers_kdd_for_every_group1_dataset() {
+    for ds in Dataset::GROUP1 {
+        let orig = key_distribution_divergence(&keys(ds), CHUNK, 64);
+        let shuf =
+            key_distribution_divergence(&DatasetSpec::new(ds, N).shuffled().generate(), CHUNK, 64);
+        // Near-stationary datasets (RM/RL) have KDD ~ 0 both ways; allow
+        // noise there while requiring a real drop for drifting streams.
+        assert!(
+            shuf <= orig * 1.2 + 0.05,
+            "{ds:?}: shuffled kdd {shuf} not below original {orig}"
+        );
+    }
+}
+
+#[test]
+fn shuffling_preserves_skewness_class() {
+    // Skewness is a property of the key *set*, not the insertion order.
+    let delta = calibrated_error_bound(CHUNK);
+    for ds in [Dataset::ReviewM, Dataset::MapM] {
+        let orig = variance_of_skewness(&keys(ds), CHUNK, delta);
+        let shuf =
+            variance_of_skewness(&DatasetSpec::new(ds, N).shuffled().generate(), CHUNK, delta);
+        let ratio = orig / shuf.max(1e-9);
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "{ds:?}: skewness changed under shuffle: {orig} vs {shuf}"
+        );
+    }
+}
+
+#[test]
+fn table1_relative_sizes_hold() {
+    // ML must be the largest dataset and RM the smallest, per Table 1.
+    let sizes: Vec<(Dataset, f64)> = Dataset::GROUP1
+        .iter()
+        .map(|&ds| (ds, ds.relative_size()))
+        .collect();
+    let ml = sizes
+        .iter()
+        .find(|(d, _)| *d == Dataset::MapL)
+        .expect("ML")
+        .1;
+    let rm = sizes
+        .iter()
+        .find(|(d, _)| *d == Dataset::ReviewM)
+        .expect("RM")
+        .1;
+    for (_, s) in &sizes {
+        assert!(*s <= ml && *s >= rm);
+    }
+}
+
+#[test]
+fn dataset_stats_are_consistent() {
+    for ds in Dataset::GROUP1 {
+        let k = keys(ds);
+        let s = stats(&k);
+        assert_eq!(s.num_keys, N);
+        assert_eq!(s.bytes, N * 16);
+        assert!(s.key_range > 0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Cross-crate persistence integration: checkpoint + WAL recovery over real
+//! files, fed by the synthetic datasets.
+
+use dytis_repro::datasets::{load_keys, save_keys, Dataset, DatasetSpec};
+use dytis_repro::dytis::persist::{load_from, replay, save_to, Wal};
+use dytis_repro::dytis::{DyTis, Params};
+use dytis_repro::index_traits::KvIndex;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+const N: usize = if cfg!(debug_assertions) {
+    8_000
+} else {
+    50_000
+};
+
+fn tempdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dytis_persist_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tempdir");
+    dir
+}
+
+#[test]
+fn checkpoint_file_roundtrip_per_dataset() {
+    let dir = tempdir();
+    for ds in [Dataset::ReviewM, Dataset::Taxi, Dataset::Uniform] {
+        let keys = DatasetSpec::new(ds, N).generate();
+        let mut idx = DyTis::new();
+        for (i, &k) in keys.iter().enumerate() {
+            idx.insert(k, i as u64);
+        }
+        let path = dir.join(format!("{}.ckpt", ds.short_name()));
+        let mut w = BufWriter::new(File::create(&path).expect("create"));
+        save_to(&idx, &mut w).expect("save");
+        drop(w);
+        let mut r = BufReader::new(File::open(&path).expect("open"));
+        let restored = load_from(&mut r, Params::default()).expect("load");
+        assert_eq!(restored.len(), idx.len(), "{ds:?}");
+        for (i, &k) in keys.iter().enumerate().step_by(479) {
+            assert_eq!(restored.get(k), Some(i as u64), "{ds:?} key {k}");
+        }
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+}
+
+#[test]
+fn crash_recovery_checkpoint_plus_wal() {
+    let dir = tempdir();
+    let keys = DatasetSpec::new(Dataset::ReviewL, N).generate();
+    let split = keys.len() / 2;
+
+    // Run 1: load half, checkpoint, keep writing through a WAL, "crash".
+    let mut idx = DyTis::new();
+    for (i, k) in keys[..split].iter().enumerate() {
+        idx.insert(*k, i as u64);
+    }
+    let ckpt_path = dir.join("crash.ckpt");
+    let mut w = BufWriter::new(File::create(&ckpt_path).expect("create"));
+    save_to(&idx, &mut w).expect("checkpoint");
+    drop(w);
+
+    let wal_path = dir.join("crash.wal");
+    let mut wal = Wal::new(BufWriter::new(File::create(&wal_path).expect("create")));
+    for (i, k) in keys[split..].iter().enumerate() {
+        idx.insert(*k, (split + i) as u64);
+        wal.log_insert(*k, (split + i) as u64).expect("log");
+    }
+    // Deletions also go through the log.
+    for k in keys[..100].iter() {
+        idx.remove(*k);
+        wal.log_remove(*k).expect("log");
+    }
+    drop(wal.into_inner().expect("flush"));
+
+    // Run 2: recover from disk only.
+    let mut r = BufReader::new(File::open(&ckpt_path).expect("open"));
+    let mut recovered = load_from(&mut r, Params::default()).expect("restore");
+    let mut lr = BufReader::new(File::open(&wal_path).expect("open"));
+    let applied = replay(&mut lr, &mut recovered).expect("replay");
+    assert_eq!(applied, (keys.len() - split) + 100);
+    assert_eq!(recovered.len(), idx.len());
+    for (i, k) in keys.iter().enumerate().step_by(331) {
+        assert_eq!(recovered.get(*k), idx.get(*k), "key {k} (i={i})");
+    }
+    std::fs::remove_file(&ckpt_path).expect("cleanup");
+    std::fs::remove_file(&wal_path).expect("cleanup");
+}
+
+#[test]
+fn sosd_key_file_feeds_the_index() {
+    let dir = tempdir();
+    let path = dir.join("keys.sosd");
+    let keys = DatasetSpec::new(Dataset::Lognormal, N).generate();
+    save_keys(&path, &keys).expect("save");
+    let loaded = load_keys(&path).expect("load");
+    assert_eq!(loaded, keys);
+    let mut idx = DyTis::new();
+    for &k in &loaded {
+        idx.insert(k, k);
+    }
+    assert_eq!(idx.len(), keys.len());
+    std::fs::remove_file(&path).expect("cleanup");
+}

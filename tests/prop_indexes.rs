@@ -1,0 +1,174 @@
+//! Property-based tests: random operation sequences against a `BTreeMap`
+//! oracle, plus structural invariants of the core data structures.
+
+use dytis_repro::alex_index::Alex;
+use dytis_repro::dytis::remap::RemapFn;
+use dytis_repro::dytis::{DyTis, Params};
+use dytis_repro::index_traits::KvIndex;
+use dytis_repro::lipp::Lipp;
+use dytis_repro::stx_btree::BPlusTree;
+use dytis_repro::xindex::XIndex;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A randomly generated index operation.
+#[derive(Debug, Clone)]
+enum OpKind {
+    Insert(u64, u64),
+    Get(u64),
+    Remove(u64),
+    Scan(u64, usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = OpKind> {
+    // Keys drawn from a small space force collisions between inserts,
+    // lookups, and removes; a second unrestricted space exercises sparse
+    // regions of the 64-bit domain.
+    let key = prop_oneof![0u64..2_000, any::<u64>()];
+    prop_oneof![
+        4 => (key.clone(), any::<u64>()).prop_map(|(k, v)| OpKind::Insert(k, v)),
+        2 => key.clone().prop_map(OpKind::Get),
+        1 => key.clone().prop_map(OpKind::Remove),
+        1 => (key, 0usize..64).prop_map(|(k, c)| OpKind::Scan(k, c)),
+    ]
+}
+
+fn check_against_oracle<I: KvIndex>(mut idx: I, ops: &[OpKind]) {
+    let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut got = Vec::new();
+    for op in ops {
+        match *op {
+            OpKind::Insert(k, v) => {
+                idx.insert(k, v);
+                oracle.insert(k, v);
+            }
+            OpKind::Get(k) => {
+                assert_eq!(idx.get(k), oracle.get(&k).copied(), "get {k}");
+            }
+            OpKind::Remove(k) => {
+                assert_eq!(idx.remove(k), oracle.remove(&k), "remove {k}");
+            }
+            OpKind::Scan(k, c) => {
+                got.clear();
+                idx.scan(k, c, &mut got);
+                let want: Vec<(u64, u64)> =
+                    oracle.range(k..).take(c).map(|(&k, &v)| (k, v)).collect();
+                assert_eq!(got, want, "scan {k} x{c}");
+            }
+        }
+        assert_eq!(idx.len(), oracle.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(debug_assertions) { 24 } else { 64 }))]
+
+    #[test]
+    fn dytis_equals_btreemap(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        check_against_oracle(DyTis::with_params(Params::small()), &ops);
+    }
+
+    #[test]
+    fn dytis_default_equals_btreemap(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        check_against_oracle(DyTis::new(), &ops);
+    }
+
+    #[test]
+    fn btree_equals_btreemap(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        check_against_oracle(BPlusTree::new(), &ops);
+    }
+
+    #[test]
+    fn alex_equals_btreemap(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        check_against_oracle(Alex::new(), &ops);
+    }
+
+    #[test]
+    fn xindex_equals_btreemap(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        check_against_oracle(XIndex::new(), &ops);
+    }
+
+    #[test]
+    fn lipp_equals_btreemap(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        check_against_oracle(Lipp::new(), &ops);
+    }
+
+    /// The remapping function must be a monotone surjection onto its
+    /// buckets for any bucket-count vector.
+    #[test]
+    fn remap_fn_monotone_and_surjective(
+        counts in prop::collection::vec(0u32..6, 1..=16),
+    ) {
+        // Lengths are rounded down to a power of two and at least one
+        // bucket is enforced.
+        let len = counts.len().next_power_of_two() / 2;
+        let mut counts = counts;
+        counts.truncate(len.max(1));
+        if counts.iter().all(|&c| c == 0) {
+            counts[0] = 1;
+        }
+        let f = RemapFn::from_counts(counts);
+        let m = 10u32;
+        let mut prev = 0usize;
+        let mut hit = std::collections::HashSet::new();
+        for k in 0..(1u64 << m) {
+            let b = f.bucket_index(k, m);
+            prop_assert!(b >= prev, "non-monotone at {k}");
+            prop_assert!(b < f.total_buckets() as usize);
+            hit.insert(b);
+            prev = b;
+        }
+        // Surjective up to zero-count tails: at least one bucket per
+        // non-empty piece must be hit.
+        let nonzero = f.counts().iter().filter(|&&c| c > 0).count();
+        prop_assert!(hit.len() >= nonzero);
+    }
+
+    /// DyTIS scans always return globally sorted, duplicate-free runs.
+    #[test]
+    fn dytis_scan_sorted(keys in prop::collection::hash_set(any::<u64>(), 1..500)) {
+        let mut idx = DyTis::with_params(Params::small());
+        for &k in &keys {
+            idx.insert(k, k);
+        }
+        let mut out = Vec::new();
+        idx.scan(0, keys.len() + 10, &mut out);
+        prop_assert_eq!(out.len(), keys.len());
+        prop_assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    /// Insert-then-remove of arbitrary key sets leaves an empty index.
+    #[test]
+    fn dytis_drains_to_empty(keys in prop::collection::hash_set(any::<u64>(), 1..300)) {
+        let mut idx = DyTis::with_params(Params::small());
+        for &k in &keys {
+            idx.insert(k, 1);
+        }
+        for &k in &keys {
+            prop_assert_eq!(idx.remove(k), Some(1));
+        }
+        prop_assert_eq!(idx.len(), 0);
+        for &k in &keys {
+            prop_assert_eq!(idx.get(k), None);
+        }
+    }
+
+    /// The PLR error bound is respected for arbitrary monotone inputs.
+    #[test]
+    fn plr_error_bound_holds(
+        deltas in prop::collection::vec(1u64..1_000_000, 2..300),
+        bound in 1.0f64..100.0,
+    ) {
+        let mut xs = Vec::with_capacity(deltas.len());
+        let mut acc = 0u64;
+        for d in deltas {
+            acc += d;
+            xs.push(acc as f64);
+        }
+        let segs = dytis_repro::dyn_metrics::greedy_plr(&xs, bound);
+        let err = dytis_repro::dyn_metrics::max_error(&xs, &segs);
+        prop_assert!(err <= bound + 1e-6, "error {err} > bound {bound}");
+        let total: usize = segs.iter().map(|s| s.points).sum();
+        prop_assert_eq!(total, xs.len());
+    }
+}
