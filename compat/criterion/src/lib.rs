@@ -1,0 +1,230 @@
+//! Offline drop-in replacement for the subset of `criterion` 0.5 this
+//! workspace's benches use: `Criterion::benchmark_group`, `sample_size`,
+//! `bench_function`, `Bencher::iter` / `iter_batched`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — wall-clock samples with a short
+//! warm-up, reporting min / median / mean — because the point of this shim
+//! is to keep the bench targets compiling and runnable without crates.io
+//! access, not to reproduce criterion's statistical machinery. Numbers it
+//! prints are indicative, not publication-grade.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped per measurement; only the variants the
+/// workspace uses are provided. The shim times one routine call per sample
+/// regardless of variant, so the distinction only documents intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output; criterion would batch many per allocation.
+    SmallInput,
+    /// Large setup output; criterion would batch few per allocation.
+    LargeInput,
+}
+
+/// Timing loop handle passed to `bench_function` closures.
+pub struct Bencher {
+    samples: usize,
+    /// Per-sample durations of the most recent run.
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            times: Vec::with_capacity(samples),
+        }
+    }
+
+    /// Times `routine` over `samples` samples; each sample is one call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: one untimed call.
+        let _ = routine();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            let out = routine();
+            self.times.push(t0.elapsed());
+            drop(out);
+        }
+    }
+
+    /// Times `routine` over freshly set-up inputs, excluding setup cost.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let _ = routine(setup());
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            let out = routine(input);
+            self.times.push(t0.elapsed());
+            drop(out);
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark and prints a one-line summary.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        let mut times = b.times;
+        if times.is_empty() {
+            println!("{}/{}: no samples recorded", self.name, id);
+            return self;
+        }
+        times.sort_unstable();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let total: Duration = times.iter().sum();
+        let mean = total / times.len() as u32;
+        println!(
+            "{}/{}: min {} · median {} · mean {} ({} samples)",
+            self.name,
+            id,
+            fmt_dur(min),
+            fmt_dur(median),
+            fmt_dur(mean),
+            times.len(),
+        );
+        self
+    }
+
+    /// Ends the group. The shim prints eagerly, so this is a no-op.
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; the shim ignores CLI arguments
+    /// (cargo-bench passes `--bench`).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+
+    /// Prints the closing banner; called by `criterion_main!`.
+    pub fn final_summary(&self) {
+        println!("(criterion shim: wall-clock timings, indicative only)");
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares `main()` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        let mut calls = 0u32;
+        g.sample_size(5).bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        g.finish();
+        // 5 measured samples + 1 warm-up.
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 8],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}

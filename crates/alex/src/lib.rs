@@ -18,7 +18,7 @@
 
 pub mod node;
 
-use index_traits::{BulkLoad, Key, KvIndex, Value};
+use index_traits::{AuditReport, Auditable, BulkLoad, Key, KvIndex, Value};
 use node::{DataNode, Linear};
 
 /// Tuning knobs of the ALEX reimplementation.
@@ -180,6 +180,9 @@ impl Alex {
         for w in leaves.windows(2) {
             alex.leaf_next[w[0] as usize] = Some(w[1]);
         }
+        // One full audit per bulk load is O(n), same as the build itself.
+        #[cfg(debug_assertions)]
+        alex.audit().assert_clean();
         alex
     }
 
@@ -318,6 +321,103 @@ impl Alex {
                 self.root = new_root;
             }
         }
+        // Node-scoped audit of both halves against the separator; a full
+        // tree walk here would make every split O(n).
+        #[cfg(debug_assertions)]
+        {
+            let mut report = AuditReport::new("ALEX split");
+            self.data(id)
+                .audit_into(None, Some(sep), "split left", &mut report);
+            self.data(right_id)
+                .audit_into(Some(sep), None, "split right", &mut report);
+            report.assert_clean();
+        }
+    }
+
+    /// Node-scoped debug audit used after expansions.
+    #[cfg(debug_assertions)]
+    fn debug_audit_data(&self, id: NodeId) {
+        let mut report = AuditReport::new("ALEX data node");
+        self.data(id)
+            .audit_into(None, None, &format!("node {id}"), &mut report);
+        report.assert_clean();
+    }
+
+    /// Recursive audit walk. `low`/`high` bracket the keys the subtree may
+    /// hold (`low` inclusive, `high` exclusive); data nodes are appended to
+    /// `leaves` in key order and `total` accumulates the key count.
+    fn audit_node(
+        &self,
+        id: NodeId,
+        low: Option<Key>,
+        high: Option<Key>,
+        leaves: &mut Vec<NodeId>,
+        total: &mut usize,
+        report: &mut AuditReport,
+    ) {
+        let loc = || format!("node {id}");
+        let Some(node) = self.nodes.get(id as usize) else {
+            report.fail("node-dangling", loc(), "child id outside the arena".into());
+            return;
+        };
+        match node {
+            Node::Internal(inner) => {
+                if !report.check(
+                    inner.children.len() == inner.bounds.len() && inner.children.len() >= 2,
+                    "internal-shape",
+                    || {
+                        (
+                            loc(),
+                            format!(
+                                "{} children for {} bounds",
+                                inner.children.len(),
+                                inner.bounds.len()
+                            ),
+                        )
+                    },
+                ) {
+                    return;
+                }
+                report.check(
+                    inner.bounds.windows(2).all(|w| w[0] <= w[1]),
+                    "bounds-order",
+                    || (loc(), "child boundary array decreases".into()),
+                );
+                report.check(
+                    inner.model.slope.is_finite()
+                        && inner.model.intercept.is_finite()
+                        && inner.model.slope >= 0.0,
+                    "model-bounds",
+                    || {
+                        (
+                            loc(),
+                            format!(
+                                "routing model not finite/monotone: slope {} intercept {}",
+                                inner.model.slope, inner.model.intercept
+                            ),
+                        )
+                    },
+                );
+                for (c, &child) in inner.children.iter().enumerate() {
+                    let lo = if c == 0 {
+                        low
+                    } else {
+                        let b = inner.bounds[c];
+                        Some(low.map_or(b, |l| l.max(b)))
+                    };
+                    let hi = match inner.bounds.get(c + 1) {
+                        Some(&b) => Some(high.map_or(b, |h| h.min(b))),
+                        None => high,
+                    };
+                    self.audit_node(child, lo, hi, leaves, total, report);
+                }
+            }
+            Node::Data(d) => {
+                d.audit_into(low, high, &loc(), report);
+                *total += d.num_keys();
+                leaves.push(id);
+            }
+        }
     }
 
     /// Depth of the tree (1 = a single data node).
@@ -341,6 +441,70 @@ impl Alex {
     }
 }
 
+impl Auditable for Alex {
+    /// Walks the whole tree: internal-node shape and routing-model bounds,
+    /// gapped-array invariants of every data node within its key bracket,
+    /// the data-node scan chain, and key-count accounting.
+    fn audit(&self) -> AuditReport {
+        let mut report = AuditReport::new("ALEX");
+        report.check(
+            self.leaf_next.len() == self.nodes.len(),
+            "chain-size",
+            || {
+                (
+                    "leaf chain".into(),
+                    format!(
+                        "{} chain entries for {} nodes",
+                        self.leaf_next.len(),
+                        self.nodes.len()
+                    ),
+                )
+            },
+        );
+        let mut leaves = Vec::new();
+        let mut total = 0usize;
+        self.audit_node(self.root, None, None, &mut leaves, &mut total, &mut report);
+        for w in leaves.windows(2) {
+            report.check(
+                self.leaf_next.get(w[0] as usize) == Some(&Some(w[1])),
+                "leaf-chain",
+                || {
+                    (
+                        format!("node {}", w[0]),
+                        format!(
+                            "next = {:?}, expected {}",
+                            self.leaf_next.get(w[0] as usize),
+                            w[1]
+                        ),
+                    )
+                },
+            );
+        }
+        if let Some(&last) = leaves.last() {
+            report.check(
+                self.leaf_next.get(last as usize) == Some(&None),
+                "leaf-chain",
+                || {
+                    (
+                        format!("node {last}"),
+                        format!(
+                            "rightmost data node links to {:?}",
+                            self.leaf_next.get(last as usize)
+                        ),
+                    )
+                },
+            );
+        }
+        report.check(total == self.num_keys, "index-key-count", || {
+            (
+                "index".into(),
+                format!("nodes hold {total} keys, index claims {}", self.num_keys),
+            )
+        });
+        report
+    }
+}
+
 impl KvIndex for Alex {
     fn insert(&mut self, key: Key, value: Value) {
         loop {
@@ -359,6 +523,8 @@ impl KvIndex for Alex {
                             self.expansions += 1;
                             let d = self.cfg.density_init;
                             self.data_mut(id).expand(d);
+                            #[cfg(debug_assertions)]
+                            self.debug_audit_data(id);
                         }
                     }
                     return;
@@ -372,6 +538,8 @@ impl KvIndex for Alex {
                         self.expansions += 1;
                         let d = self.cfg.density_init;
                         self.data_mut(id).expand(d);
+                        #[cfg(debug_assertions)]
+                        self.debug_audit_data(id);
                     }
                 }
             }
@@ -564,6 +732,54 @@ mod tests {
         assert_eq!(a.len(), 1_000);
         assert_eq!(a.get(500), None);
         assert_eq!(a.get(1_500), Some(1_500));
+    }
+
+    #[test]
+    fn audit_clean_after_mixed_workload() {
+        let pairs: Vec<(u64, u64)> = (0..10_000u64).map(|k| (k * 6, k)).collect();
+        let mut a = Alex::bulk_load_with_config(&pairs, small_cfg());
+        for k in 0..10_000u64 {
+            a.insert(k.wrapping_mul(0x9E3779B97F4A7C15) | 1, k);
+        }
+        for k in 0..3_000u64 {
+            a.remove(k * 6);
+        }
+        let report = a.audit();
+        assert!(report.checks > 10_000);
+        report.assert_clean();
+    }
+
+    #[test]
+    fn audit_detects_corrupted_key_count() {
+        let mut a = Alex::with_config(small_cfg());
+        for k in 0..1_000u64 {
+            a.insert(k, k);
+        }
+        a.num_keys += 1;
+        let report = a.audit();
+        assert!(!report.is_clean());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "index-key-count"));
+    }
+
+    #[test]
+    fn audit_detects_broken_leaf_chain() {
+        let mut a = Alex::with_config(small_cfg());
+        for k in 0..5_000u64 {
+            a.insert(k, k);
+        }
+        assert!(a.splits > 0, "need several data nodes");
+        let mut path = Vec::new();
+        let first = a.descend(0, &mut path);
+        assert!(a.leaf_next[first as usize].is_some());
+        a.leaf_next[first as usize] = None;
+        let report = a.audit();
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "leaf-chain"));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! `partition_point` is correct; the first slot holding a present key's
 //! value is always the occupied one.
 
-use index_traits::{Key, Value};
+use index_traits::{AuditReport, Key, Value};
 
 /// A linear model `slot = slope * key + intercept`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -278,6 +278,7 @@ impl DataNode {
             self.vals[pos] = value;
             self.set_bit(gap);
         } else {
+            // invariant: num_keys < cap was checked above, so a gap exists.
             let gap = self
                 .last_gap_before(pos)
                 .expect("non-full node must have a gap");
@@ -359,6 +360,96 @@ impl DataNode {
     /// Heap bytes of this node's allocations.
     pub fn heap_bytes(&self) -> usize {
         self.keys.capacity() * 8 + self.vals.capacity() * 8 + self.bitmap.capacity() * 8
+    }
+
+    /// Audits this node's gapped-array invariants into `report`: slot/bitmap
+    /// shape, occupancy accounting, non-decreasing slot keys with strictly
+    /// ascending occupied keys inside `[low, high)`, and a finite monotone
+    /// model.
+    pub(crate) fn audit_into(
+        &self,
+        low: Option<Key>,
+        high: Option<Key>,
+        loc: &str,
+        report: &mut AuditReport,
+    ) {
+        let cap = self.keys.len();
+        let parity_ok = report.check(self.vals.len() == cap, "slot-parity", || {
+            (
+                loc.to_string(),
+                format!("{} keys vs {} values", cap, self.vals.len()),
+            )
+        });
+        let bitmap_ok = report.check(self.bitmap.len() == cap.div_ceil(64), "bitmap-size", || {
+            (
+                loc.to_string(),
+                format!("{} bitmap words for {cap} slots", self.bitmap.len()),
+            )
+        });
+        if !parity_ok || !bitmap_ok {
+            return;
+        }
+        if !cap.is_multiple_of(64) {
+            if let Some(&tail) = self.bitmap.last() {
+                report.check(tail >> (cap % 64) == 0, "bitmap-tail", || {
+                    (
+                        loc.to_string(),
+                        "occupancy bits set beyond the slot capacity".into(),
+                    )
+                });
+            }
+        }
+        let pop: usize = self.bitmap.iter().map(|w| w.count_ones() as usize).sum();
+        report.check(pop == self.num_keys, "node-key-count", || {
+            (
+                loc.to_string(),
+                format!("bitmap holds {pop} keys, node claims {}", self.num_keys),
+            )
+        });
+        report.check(
+            self.keys.windows(2).all(|w| w[0] <= w[1]),
+            "gap-order",
+            || (loc.to_string(), "slot keys (with gap dups) decrease".into()),
+        );
+        let mut prev: Option<Key> = None;
+        for i in 0..cap {
+            if !self.occupied(i) {
+                continue;
+            }
+            let k = self.keys[i];
+            report.check(prev.is_none_or(|p| p < k), "key-order", || {
+                (
+                    format!("{loc} / slot {i}"),
+                    format!("occupied key {k:#x} not above predecessor {prev:?}"),
+                )
+            });
+            prev = Some(k);
+            report.check(
+                low.is_none_or(|lo| lo <= k) && high.is_none_or(|hi| k < hi),
+                "key-bounds",
+                || {
+                    (
+                        format!("{loc} / slot {i}"),
+                        format!("key {k:#x} outside [{low:?}, {high:?})"),
+                    )
+                },
+            );
+        }
+        report.check(
+            self.model.slope.is_finite()
+                && self.model.intercept.is_finite()
+                && self.model.slope >= 0.0,
+            "model-bounds",
+            || {
+                (
+                    loc.to_string(),
+                    format!(
+                        "model not finite/monotone: slope {} intercept {}",
+                        self.model.slope, self.model.intercept
+                    ),
+                )
+            },
+        );
     }
 }
 
@@ -469,6 +560,51 @@ mod tests {
         assert_eq!(n.get(1), Some(99));
         let sorted = n.sorted_pairs();
         assert_eq!(sorted[0], (1, 99));
+    }
+
+    #[test]
+    fn audit_clean_after_churn() {
+        let ps = pairs(500, 3);
+        let mut n = DataNode::build(&ps, 0.7);
+        for i in 0..100u64 {
+            n.remove(i * 3 + 5);
+        }
+        for i in 0..50u64 {
+            assert_eq!(n.insert(i * 3 + 6, i), Ok(true));
+        }
+        let mut report = AuditReport::new("data node");
+        n.audit_into(None, None, "node", &mut report);
+        assert!(report.checks > 500);
+        report.assert_clean();
+    }
+
+    #[test]
+    fn audit_detects_phantom_occupancy() {
+        let ps = pairs(100, 10);
+        let mut n = DataNode::build(&ps, 0.7);
+        let i = (0..n.capacity())
+            .find(|&i| n.occupied(i))
+            .expect("occupied slot");
+        n.clear_bit(i); // Occupancy drops without touching num_keys.
+        let mut report = AuditReport::new("data node");
+        n.audit_into(None, None, "node", &mut report);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "node-key-count"));
+    }
+
+    #[test]
+    fn audit_detects_unsorted_occupied_keys() {
+        let ps = pairs(100, 10);
+        let mut n = DataNode::build(&ps, 1.0);
+        let i = (0..n.capacity() - 1)
+            .find(|&i| n.occupied(i) && n.occupied(i + 1))
+            .expect("adjacent occupied slots");
+        n.keys.swap(i, i + 1);
+        let mut report = AuditReport::new("data node");
+        n.audit_into(None, None, "node", &mut report);
+        assert!(report.violations.iter().any(|v| v.invariant == "key-order"));
     }
 
     #[test]

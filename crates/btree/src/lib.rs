@@ -7,7 +7,7 @@
 //! `FANOUT - 1` separator keys and whose leaves hold up to `FANOUT`
 //! key-value pairs with sibling links for ordered scans.
 
-use index_traits::{BulkLoad, Key, KvIndex, Value};
+use index_traits::{AuditReport, Auditable, BulkLoad, Key, KvIndex, Value};
 
 /// Maximum children per inner node / pairs per leaf (the paper's fanout).
 pub const FANOUT: usize = 128;
@@ -180,6 +180,9 @@ impl BPlusTree {
             children: vec![old_root, right],
         }));
         self.depth += 1;
+        // Root growth is rare (log n times), so a full audit is affordable.
+        #[cfg(debug_assertions)]
+        self.audit().assert_clean();
     }
 
     /// Removes an empty leaf from its parent chain (lazy rebalancing: nodes
@@ -213,6 +216,10 @@ impl BPlusTree {
                 break;
             }
         }
+        // Structural deletion already costs O(n) (relink_leaves), so the
+        // full-tree audit does not change the complexity of the hook site.
+        #[cfg(debug_assertions)]
+        self.audit().assert_clean();
     }
 
     /// Rebuilds the leaf sibling chain left-to-right (only after structural
@@ -239,6 +246,121 @@ impl BPlusTree {
         }
     }
 
+    /// Checks that a just-split leaf pair is locally consistent: the left
+    /// half sorted and below the separator, the right sibling starting at
+    /// it. Cheap (O(FANOUT)), so it can run after every leaf split.
+    #[cfg(debug_assertions)]
+    fn debug_audit_leaf_split(&self, left: NodeId, sep: Key) {
+        let l = self.leaf(left);
+        debug_assert!(l.keys.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(l.keys.last().is_none_or(|&k| k < sep));
+        // invariant: split_leaf always links the left half to the new right.
+        let r = self.leaf(l.next.expect("split leaf keeps a right sibling"));
+        debug_assert_eq!(r.keys.first(), Some(&sep));
+    }
+
+    /// Recursive audit walk. `low`/`high` bracket the keys node `id` may
+    /// hold (`low` inclusive, `high` exclusive); `depth` is 1 at the root.
+    /// Leaves are appended to `leaves` in key order for the sibling-chain
+    /// check and `total` accumulates the key count.
+    fn audit_node(
+        &self,
+        id: NodeId,
+        low: Option<Key>,
+        high: Option<Key>,
+        depth: u32,
+        walk: &mut AuditWalk,
+    ) {
+        let loc = || format!("node {id}");
+        let Some(node) = self.nodes.get(id as usize) else {
+            walk.report
+                .fail("node-dangling", loc(), "child id outside the arena".into());
+            return;
+        };
+        let in_range = |k: Key| low.is_none_or(|lo| lo <= k) && high.is_none_or(|hi| k < hi);
+        match node {
+            Node::Inner(inner) => {
+                walk.report.check(depth < self.depth, "leaf-depth", || {
+                    (
+                        loc(),
+                        format!("inner node at depth {depth} of {}", self.depth),
+                    )
+                });
+                if !walk.report.check(
+                    inner.children.len() == inner.keys.len() + 1,
+                    "inner-shape",
+                    || {
+                        (
+                            loc(),
+                            format!(
+                                "{} children for {} separators",
+                                inner.children.len(),
+                                inner.keys.len()
+                            ),
+                        )
+                    },
+                ) {
+                    return;
+                }
+                walk.report
+                    .check(inner.keys.len() < FANOUT, "fanout-bound", || {
+                        (
+                            loc(),
+                            format!("{} separators at fanout {FANOUT}", inner.keys.len()),
+                        )
+                    });
+                walk.report.check(
+                    inner.keys.windows(2).all(|w| w[0] < w[1]),
+                    "key-order",
+                    || (loc(), "separator keys not strictly ascending".into()),
+                );
+                walk.report.check(
+                    inner.keys.iter().all(|&k| in_range(k)),
+                    "key-bounds",
+                    || (loc(), format!("separator outside ({low:?}, {high:?})")),
+                );
+                for (i, &child) in inner.children.iter().enumerate() {
+                    let lo = if i == 0 { low } else { Some(inner.keys[i - 1]) };
+                    let hi = inner.keys.get(i).copied().or(high);
+                    self.audit_node(child, lo, hi, depth + 1, walk);
+                }
+            }
+            Node::Leaf(leaf) => {
+                walk.report.check(depth == self.depth, "leaf-depth", || {
+                    (
+                        loc(),
+                        format!("leaf at depth {depth}, tree depth {}", self.depth),
+                    )
+                });
+                walk.report
+                    .check(leaf.keys.len() == leaf.vals.len(), "slot-parity", || {
+                        (
+                            loc(),
+                            format!("{} keys vs {} values", leaf.keys.len(), leaf.vals.len()),
+                        )
+                    });
+                walk.report
+                    .check(leaf.keys.len() <= FANOUT, "fanout-bound", || {
+                        (
+                            loc(),
+                            format!("{} pairs at fanout {FANOUT}", leaf.keys.len()),
+                        )
+                    });
+                walk.report.check(
+                    leaf.keys.windows(2).all(|w| w[0] < w[1]),
+                    "key-order",
+                    || (loc(), "leaf keys not strictly ascending".into()),
+                );
+                walk.report
+                    .check(leaf.keys.iter().all(|&k| in_range(k)), "key-bounds", || {
+                        (loc(), format!("key outside ({low:?}, {high:?})"))
+                    });
+                walk.total += leaf.keys.len();
+                walk.leaves.push(id);
+            }
+        }
+    }
+
     /// Average leaf fill factor (for the Figure 8 workload-E discussion of
     /// data-node sizes).
     pub fn avg_leaf_fill(&self) -> f64 {
@@ -246,6 +368,55 @@ impl BPlusTree {
         self.collect_leaves(self.root, &mut leaves);
         let total: usize = leaves.iter().map(|&l| self.leaf(l).keys.len()).sum();
         total as f64 / (leaves.len() * FANOUT) as f64
+    }
+}
+
+/// Mutable state threaded through the recursive audit walk.
+struct AuditWalk {
+    leaves: Vec<NodeId>,
+    total: usize,
+    report: AuditReport,
+}
+
+impl Auditable for BPlusTree {
+    /// Walks the whole tree: node shape and fanout bounds, strict key
+    /// ordering within separator brackets, uniform leaf depth, the leaf
+    /// sibling chain, and key-count accounting.
+    fn audit(&self) -> AuditReport {
+        let mut walk = AuditWalk {
+            leaves: Vec::new(),
+            total: 0,
+            report: AuditReport::new("B+-tree"),
+        };
+        self.audit_node(self.root, None, None, 1, &mut walk);
+        let AuditWalk {
+            leaves,
+            total,
+            mut report,
+        } = walk;
+        for w in leaves.windows(2) {
+            report.check(self.leaf(w[0]).next == Some(w[1]), "sibling-chain", || {
+                (
+                    format!("node {}", w[0]),
+                    format!("next = {:?}, expected {}", self.leaf(w[0]).next, w[1]),
+                )
+            });
+        }
+        if let Some(&last) = leaves.last() {
+            report.check(self.leaf(last).next.is_none(), "sibling-chain", || {
+                (
+                    format!("node {last}"),
+                    format!("rightmost leaf links to {:?}", self.leaf(last).next),
+                )
+            });
+        }
+        report.check(total == self.num_keys, "tree-key-count", || {
+            (
+                "tree".into(),
+                format!("leaves hold {total} keys, tree claims {}", self.num_keys),
+            )
+        });
+        report
     }
 }
 
@@ -268,6 +439,8 @@ impl KvIndex for BPlusTree {
         if self.leaf(leaf_id).keys.len() > FANOUT {
             let (sep, right) = self.split_leaf(leaf_id);
             self.propagate_split(sep, right, &mut path);
+            #[cfg(debug_assertions)]
+            self.debug_audit_leaf_split(leaf_id, sep);
         }
     }
 
@@ -383,6 +556,8 @@ impl BulkLoad for BPlusTree {
             t.depth += 1;
         }
         t.root = level[0].1;
+        #[cfg(debug_assertions)]
+        t.audit().assert_clean();
         t
     }
 }
@@ -514,6 +689,71 @@ mod tests {
         let t = BPlusTree::bulk_load(&[]);
         assert_eq!(t.len(), 0);
         assert_eq!(t.get(0), None);
+    }
+
+    #[test]
+    fn audit_clean_after_churn() {
+        let mut t = BPlusTree::new();
+        for k in 0..40_000u64 {
+            t.insert(k.wrapping_mul(0x9E3779B97F4A7C15), k);
+        }
+        for k in 0..15_000u64 {
+            t.remove(k.wrapping_mul(0x9E3779B97F4A7C15));
+        }
+        let report = t.audit();
+        assert!(report.checks > 25_000 / FANOUT);
+        report.assert_clean();
+    }
+
+    #[test]
+    fn audit_detects_unsorted_leaf() {
+        let mut t = BPlusTree::new();
+        for k in 0..5_000u64 {
+            t.insert(k, k);
+        }
+        let leaf = t
+            .nodes
+            .iter_mut()
+            .find_map(|n| match n {
+                Node::Leaf(l) if l.keys.len() >= 2 => Some(l),
+                _ => None,
+            })
+            .expect("tree has a populated leaf");
+        leaf.keys.swap(0, 1);
+        let report = t.audit();
+        assert!(!report.is_clean());
+        assert!(report.violations.iter().any(|v| v.invariant == "key-order"));
+    }
+
+    #[test]
+    fn audit_detects_broken_sibling_chain() {
+        let mut t = BPlusTree::new();
+        for k in 0..5_000u64 {
+            t.insert(k, k);
+        }
+        let mut leaves = Vec::new();
+        t.collect_leaves(t.root, &mut leaves);
+        assert!(leaves.len() >= 2, "need several leaves");
+        t.leaf_mut(leaves[0]).next = None;
+        let report = t.audit();
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "sibling-chain"));
+    }
+
+    #[test]
+    fn audit_detects_corrupted_key_count() {
+        let mut t = BPlusTree::new();
+        for k in 0..1_000u64 {
+            t.insert(k, k);
+        }
+        t.num_keys += 1;
+        let report = t.audit();
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "tree-key-count"));
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use crate::params::Params;
 use crate::remap::mask64;
 use crate::segment::{RemapOutcome, Segment};
-use index_traits::{ConcurrentKvIndex, Key, Value};
+use index_traits::{AuditReport, Auditable, ConcurrentKvIndex, Key, Value};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -120,7 +120,9 @@ impl ConcurrentDyTis {
             if seg.buckets[b].len() < p.bucket_entries {
                 seg.buckets[b].insert(key, value);
                 seg.num_keys += 1;
-                table.num_keys.fetch_add(1, Ordering::Relaxed);
+                // Release pairs with the Acquire loads in `len()` and the
+                // audit so key-count accounting observes the insert.
+                table.num_keys.fetch_add(1, Ordering::Release);
                 return true;
             }
             // Bucket full. Segment-local fixes (remapping, expansion) are
@@ -137,6 +139,8 @@ impl ConcurrentDyTis {
                 match seg.remap_adjust(k, self.m_total, cap_buckets, p) {
                     RemapOutcome::Failed => return false, // Split.
                     _ => {
+                        // relaxed: monotonic stats counter; reads happen
+                        // under the directory write lock (see `maintain`).
                         table.remaps.fetch_add(1, Ordering::Relaxed);
                         continue; // Retry the insert.
                     }
@@ -145,6 +149,8 @@ impl ConcurrentDyTis {
                 let ok = if high {
                     let ok = seg.expand(self.m_total, cap_buckets, p);
                     if ok {
+                        // relaxed: monotonic stats counter; reads happen
+                        // under the directory write lock (see `maintain`).
                         table.expansions.fetch_add(1, Ordering::Relaxed);
                     }
                     ok
@@ -152,6 +158,8 @@ impl ConcurrentDyTis {
                     let ok =
                         seg.remap_adjust(k, self.m_total, cap_buckets, p) != RemapOutcome::Failed;
                     if ok {
+                        // relaxed: monotonic stats counter; reads happen
+                        // under the directory write lock (see `maintain`).
                         table.remaps.fetch_add(1, Ordering::Relaxed);
                     }
                     ok
@@ -186,7 +194,11 @@ impl ConcurrentDyTis {
             // Adaptive limit decision at doubling time (GD only grows here).
             if !dir.limit_decided && dir.global_depth + 1 >= p.l_start + 2 {
                 dir.limit_decided = true;
+                // relaxed: every increment happened under a directory read
+                // lock, so holding the write lock here orders all of them
+                // before these loads; the counters need no own ordering.
                 let e = table.expansions.load(Ordering::Relaxed);
+                // relaxed: same reasoning as the load above.
                 let tot =
                     e + table.splits.load(Ordering::Relaxed) + table.remaps.load(Ordering::Relaxed);
                 if tot > 0 && e as f64 / tot as f64 >= p.expansion_heavy_fraction {
@@ -216,6 +228,8 @@ impl ConcurrentDyTis {
         for e in &mut dir.entries[base + span..base + 2 * span] {
             *e = Arc::clone(&right);
         }
+        // relaxed: monotonic stats counter; reads happen under the
+        // directory write lock (see the limit decision above).
         table.splits.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -231,7 +245,9 @@ impl ConcurrentDyTis {
         out: &mut Vec<(Key, Value)>,
     ) -> bool {
         let dir = table.dir.read();
-        if table.num_keys.load(Ordering::Relaxed) == 0 {
+        // Acquire pairs with the Release increments so a table observed
+        // non-empty has its inserts visible to the scan below.
+        if table.num_keys.load(Ordering::Acquire) == 0 {
             return out.len() >= count;
         }
         let mut idx = if from_start {
@@ -308,7 +324,8 @@ impl ConcurrentKvIndex for ConcurrentDyTis {
         let b = seg.bucket_of(k, self.m_total);
         let v = seg.buckets[b].remove(key)?;
         seg.num_keys -= 1;
-        table.num_keys.fetch_sub(1, Ordering::Relaxed);
+        // Release pairs with the Acquire loads in `len()` and the audit.
+        table.num_keys.fetch_sub(1, Ordering::Release);
         // Deletion merge (§3.3): a shrink only changes the segment object's
         // contents, so the segment write lock suffices (§3.4).
         if seg.total_buckets() > 1 && seg.utilization(&self.params) < self.params.shrink_threshold {
@@ -333,12 +350,114 @@ impl ConcurrentKvIndex for ConcurrentDyTis {
     fn len(&self) -> usize {
         self.tables
             .iter()
-            .map(|t| t.num_keys.load(Ordering::Relaxed))
+            // Acquire pairs with the Release key-count updates so `len()`
+            // reflects every completed insert/remove.
+            .map(|t| t.num_keys.load(Ordering::Acquire))
             .sum()
     }
 
     fn name(&self) -> &'static str {
         "DyTIS (concurrent)"
+    }
+}
+
+impl Auditable for ConcurrentDyTis {
+    /// Deep audit under the documented lock order: per table, the directory
+    /// read lock is taken first, then each segment's read lock in directory
+    /// order (one at a time). Must not be called by a thread already
+    /// holding one of this index's locks.
+    fn audit(&self) -> AuditReport {
+        let mut report = AuditReport::new("DyTIS (concurrent)");
+        for (t, table) in self.tables.iter().enumerate() {
+            let dir = table.dir.read();
+            let gd = dir.global_depth;
+            report.check(dir.entries.len() == 1usize << gd, "dir-size", || {
+                (
+                    format!("table {t}"),
+                    format!("directory has {} entries at GD {gd}", dir.entries.len()),
+                )
+            });
+            let mut total = 0usize;
+            let mut last_key: Option<Key> = None;
+            let mut idx = 0usize;
+            while idx < dir.entries.len() {
+                let seg = dir.entries[idx].read();
+                let ld = seg.local_depth;
+                if !report.check(ld <= gd, "local-depth", || {
+                    (
+                        format!("table {t} / dir[{idx}]"),
+                        format!("local_depth {ld} exceeds global_depth {gd}"),
+                    )
+                }) {
+                    idx += 1;
+                    continue;
+                }
+                let span = 1usize << (gd - ld);
+                report.check(idx.is_multiple_of(span), "dir-alignment", || {
+                    (
+                        format!("table {t} / dir[{idx}]"),
+                        format!("segment (span {span}) starts unaligned"),
+                    )
+                });
+                let end = (idx + span).min(dir.entries.len());
+                report.check(
+                    dir.entries[idx..end]
+                        .iter()
+                        .all(|e| Arc::ptr_eq(e, &dir.entries[idx])),
+                    "dir-coverage",
+                    || {
+                        (
+                            format!("table {t} / dir[{idx}..{end}]"),
+                            "span mixes directory targets".into(),
+                        )
+                    },
+                );
+                let loc = format!("table {t} / dir[{idx}]");
+                crate::audit::audit_segment(&seg, self.m_total, &self.params, &loc, &mut report);
+                if let Some((first, last)) = crate::audit::segment_key_bounds(&seg) {
+                    let prefix = (idx / span) as u64;
+                    let shift = self.m_total - ld;
+                    for key in [first, last] {
+                        let sk = key & mask64(self.m_total);
+                        report.check(ld == 0 || sk >> shift == prefix, "key-range", || {
+                            (
+                                loc.clone(),
+                                format!("key {key:#x} outside directory prefix {prefix:#x}"),
+                            )
+                        });
+                    }
+                    report.check(
+                        last_key.is_none_or(|p| p < first),
+                        "table-key-order",
+                        || {
+                            (
+                                loc.clone(),
+                                format!(
+                                    "first key {first:#x} not above previous segment's {last_key:?}"
+                                ),
+                            )
+                        },
+                    );
+                    last_key = Some(last);
+                }
+                total += seg.num_keys;
+                idx += span;
+            }
+            report.check(
+                total == table.num_keys.load(Ordering::Acquire),
+                "table-key-count",
+                || {
+                    (
+                        format!("table {t}"),
+                        format!(
+                            "segments hold {total} keys, table claims {}",
+                            table.num_keys.load(Ordering::Acquire)
+                        ),
+                    )
+                },
+            );
+        }
+        report
     }
 }
 
@@ -460,6 +579,47 @@ mod tests {
         assert_eq!(reader.join().unwrap(), 15_000);
         scanner.join().unwrap();
         assert_eq!(idx.len(), 15_000);
+    }
+
+    #[test]
+    fn audit_clean_after_concurrent_growth() {
+        let idx = StdArc::new(small());
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let idx = StdArc::clone(&idx);
+                std::thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        idx.insert((t * 5_000 + i).wrapping_mul(0x9E3779B97F4A7C15), i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("writer");
+        }
+        let report = idx.audit();
+        assert!(report.checks > 20_000);
+        report.assert_clean();
+    }
+
+    #[test]
+    fn audit_detects_corrupted_segment_key_count() {
+        let idx = small();
+        for k in 0..2_000u64 {
+            idx.insert(k, k);
+        }
+        idx.audit().assert_clean();
+        {
+            let dir = idx.tables[0].dir.read();
+            let mut seg = dir.entries[0].write();
+            seg.num_keys += 1;
+        }
+        let report = idx.audit();
+        assert!(!report.is_clean());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "segment-key-count" || v.invariant == "table-key-count"));
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::bucket::Bucket;
 use crate::params::Params;
 use crate::remap::{mask64, RemapFn};
 use crate::segment::{RemapOutcome, Segment};
-use index_traits::{ConcurrentKvIndex, Key, Value};
+use index_traits::{AuditReport, Auditable, ConcurrentKvIndex, Key, Value};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -50,7 +50,9 @@ impl FineSegment {
             local_depth: self.local_depth,
             remap: self.remap.clone(),
             buckets: self.buckets.iter().map(|b| b.lock().clone()).collect(),
-            num_keys: self.num_keys.load(Ordering::Relaxed),
+            // Acquire pairs with the Release key-count updates so the copy's
+            // count matches the bucket contents just cloned.
+            num_keys: self.num_keys.load(Ordering::Acquire),
             remap_streak: self.remap_streak,
         }
     }
@@ -59,7 +61,6 @@ impl FineSegment {
     fn bucket_of(&self, k: u64, m_total: u32) -> usize {
         self.remap.bucket_index(k, m_total - self.local_depth)
     }
-
 }
 
 struct FineDir {
@@ -144,8 +145,10 @@ impl ConcurrentDyTisFine {
         }
         if bucket.len() < p.bucket_entries {
             bucket.insert(key, value);
-            seg.num_keys.fetch_add(1, Ordering::Relaxed);
-            table.num_keys.fetch_add(1, Ordering::Relaxed);
+            // Release pairs with the Acquire loads in `len()`,
+            // `to_segment`, and the audit.
+            seg.num_keys.fetch_add(1, Ordering::Release);
+            table.num_keys.fetch_add(1, Ordering::Release);
             return true;
         }
         false
@@ -262,8 +265,10 @@ impl ConcurrentKvIndex for ConcurrentDyTisFine {
         let k = sk & mask64(m);
         let b = seg.bucket_of(k, self.m_total);
         let v = seg.buckets[b].lock().remove(key)?;
-        seg.num_keys.fetch_sub(1, Ordering::Relaxed);
-        table.num_keys.fetch_sub(1, Ordering::Relaxed);
+        // Release pairs with the Acquire loads in `len()`, `to_segment`,
+        // and the audit.
+        seg.num_keys.fetch_sub(1, Ordering::Release);
+        table.num_keys.fetch_sub(1, Ordering::Release);
         Some(v)
     }
 
@@ -272,7 +277,9 @@ impl ConcurrentKvIndex for ConcurrentDyTisFine {
         let start_sk = self.sub_key(start);
         for (t, table) in self.tables.iter().enumerate().skip(first) {
             let dir = table.dir.read();
-            if table.num_keys.load(Ordering::Relaxed) == 0 {
+            // Acquire pairs with the Release increments so a table observed
+            // non-empty has its inserts visible to the scan below.
+            if table.num_keys.load(Ordering::Acquire) == 0 {
                 continue;
             }
             let from_start = t != first;
@@ -323,12 +330,115 @@ impl ConcurrentKvIndex for ConcurrentDyTisFine {
     fn len(&self) -> usize {
         self.tables
             .iter()
-            .map(|t| t.num_keys.load(Ordering::Relaxed))
+            // Acquire pairs with the Release key-count updates so `len()`
+            // reflects every completed insert/remove.
+            .map(|t| t.num_keys.load(Ordering::Acquire))
             .sum()
     }
 
     fn name(&self) -> &'static str {
         "DyTIS (bucket-locked)"
+    }
+}
+
+impl Auditable for ConcurrentDyTisFine {
+    /// Deep audit under the documented lock order: per table, directory
+    /// read lock, then each segment's read lock, then each bucket lock (via
+    /// the plain-segment conversion). Must not be called by a thread
+    /// already holding one of this index's locks.
+    fn audit(&self) -> AuditReport {
+        let mut report = AuditReport::new("DyTIS (bucket-locked)");
+        for (t, table) in self.tables.iter().enumerate() {
+            let dir = table.dir.read();
+            let gd = dir.global_depth;
+            report.check(dir.entries.len() == 1usize << gd, "dir-size", || {
+                (
+                    format!("table {t}"),
+                    format!("directory has {} entries at GD {gd}", dir.entries.len()),
+                )
+            });
+            let mut total = 0usize;
+            let mut last_key: Option<Key> = None;
+            let mut idx = 0usize;
+            while idx < dir.entries.len() {
+                let fine = dir.entries[idx].read();
+                let ld = fine.local_depth;
+                if !report.check(ld <= gd, "local-depth", || {
+                    (
+                        format!("table {t} / dir[{idx}]"),
+                        format!("local_depth {ld} exceeds global_depth {gd}"),
+                    )
+                }) {
+                    idx += 1;
+                    continue;
+                }
+                let span = 1usize << (gd - ld);
+                report.check(idx.is_multiple_of(span), "dir-alignment", || {
+                    (
+                        format!("table {t} / dir[{idx}]"),
+                        format!("segment (span {span}) starts unaligned"),
+                    )
+                });
+                let end = (idx + span).min(dir.entries.len());
+                report.check(
+                    dir.entries[idx..end]
+                        .iter()
+                        .all(|e| Arc::ptr_eq(e, &dir.entries[idx])),
+                    "dir-coverage",
+                    || {
+                        (
+                            format!("table {t} / dir[{idx}..{end}]"),
+                            "span mixes directory targets".into(),
+                        )
+                    },
+                );
+                let loc = format!("table {t} / dir[{idx}]");
+                let seg = fine.to_segment();
+                crate::audit::audit_segment(&seg, self.m_total, &self.params, &loc, &mut report);
+                if let Some((first, last)) = crate::audit::segment_key_bounds(&seg) {
+                    let prefix = (idx / span) as u64;
+                    let shift = self.m_total - ld;
+                    for key in [first, last] {
+                        let sk = key & mask64(self.m_total);
+                        report.check(ld == 0 || sk >> shift == prefix, "key-range", || {
+                            (
+                                loc.clone(),
+                                format!("key {key:#x} outside directory prefix {prefix:#x}"),
+                            )
+                        });
+                    }
+                    report.check(
+                        last_key.is_none_or(|p| p < first),
+                        "table-key-order",
+                        || {
+                            (
+                                loc.clone(),
+                                format!(
+                                    "first key {first:#x} not above previous segment's {last_key:?}"
+                                ),
+                            )
+                        },
+                    );
+                    last_key = Some(last);
+                }
+                total += seg.num_keys;
+                idx += span;
+            }
+            report.check(
+                total == table.num_keys.load(Ordering::Acquire),
+                "table-key-count",
+                || {
+                    (
+                        format!("table {t}"),
+                        format!(
+                            "segments hold {total} keys, table claims {}",
+                            table.num_keys.load(Ordering::Acquire)
+                        ),
+                    )
+                },
+            );
+        }
+        report
     }
 }
 
@@ -394,6 +504,37 @@ mod tests {
         assert_eq!(idx.len(), 2_500);
         assert_eq!(idx.get(0), None);
         assert_eq!(idx.get(3_000), Some(3_000));
+    }
+
+    #[test]
+    fn audit_clean_after_growth() {
+        let idx = small();
+        for k in 0..10_000u64 {
+            idx.insert(k.wrapping_mul(0x9E3779B97F4A7C15), k);
+        }
+        let report = idx.audit();
+        assert!(report.checks > 10_000);
+        report.assert_clean();
+    }
+
+    #[test]
+    fn audit_detects_corrupted_segment_key_count() {
+        let idx = small();
+        for k in 0..2_000u64 {
+            idx.insert(k, k);
+        }
+        idx.audit().assert_clean();
+        {
+            let dir = idx.tables[0].dir.read();
+            let seg = dir.entries[0].read();
+            seg.num_keys.fetch_add(1, Ordering::Release);
+        }
+        let report = idx.audit();
+        assert!(!report.is_clean());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "segment-key-count" || v.invariant == "table-key-count"));
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //! assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
 //! ```
 
+pub mod audit;
 pub mod bucket;
 pub mod concurrent;
 pub mod concurrent_fine;
@@ -50,7 +51,7 @@ pub use params::Params;
 pub use stats::{DytisStats, OpTimes};
 
 use eh::EhTable;
-use index_traits::{BulkLoad, Key, KvIndex, Value};
+use index_traits::{Auditable, BulkLoad, Key, KvIndex, Value};
 
 /// The single-threaded DyTIS index.
 ///
@@ -197,16 +198,15 @@ impl DyTis {
 
     /// Validates structural invariants of every EH table (test helper).
     ///
+    /// Equivalent to `self.audit().assert_clean()`; use
+    /// [`Auditable::audit`] directly to inspect violations without
+    /// panicking.
+    ///
     /// # Panics
     ///
     /// Panics if any invariant is violated.
     pub fn check_invariants(&self) {
-        let mut total = 0;
-        for t in &self.tables {
-            t.check_invariants(&self.params);
-            total += t.len();
-        }
-        assert_eq!(total, self.num_keys);
+        self.audit().assert_clean();
     }
 }
 

@@ -70,7 +70,7 @@ impl Params {
     ///
     /// Panics if `bytes` is not a positive multiple of 16.
     pub fn with_bucket_bytes(mut self, bytes: usize) -> Self {
-        assert!(bytes >= 16 && bytes % 16 == 0);
+        assert!(bytes >= 16 && bytes.is_multiple_of(16));
         self.bucket_entries = bytes / 16;
         self
     }

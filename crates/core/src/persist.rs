@@ -89,6 +89,10 @@ pub fn load_from<R: Read>(r: &mut R, params: Params) -> io::Result<DyTis> {
     if expect != checksum {
         return Err(bad("checksum mismatch"));
     }
+    // Debug-build hook: a freshly recovered index must satisfy every
+    // structural invariant before it is handed to the caller.
+    #[cfg(debug_assertions)]
+    index_traits::Auditable::audit(&index).assert_clean();
     Ok(index)
 }
 
@@ -170,7 +174,9 @@ pub fn replay<R: Read>(r: &mut R, index: &mut DyTis) -> io::Result<usize> {
                 Err(e) => return Err(e),
             }
         }
+        // invariant: both subslices of the 17-byte record are 8 bytes long.
         let key = u64::from_le_bytes(rec[1..9].try_into().expect("fixed slice"));
+        // invariant: both subslices of the 17-byte record are 8 bytes long.
         let value = u64::from_le_bytes(rec[9..17].try_into().expect("fixed slice"));
         match rec[0] {
             1 => index.insert(key, value),

@@ -365,11 +365,8 @@ impl RemapFn {
             .any(|n| matches!(n, Node::Leaf { count, .. } if *count > 0));
         if !any {
             let mut id = f.root;
-            loop {
-                match &f.nodes[id as usize] {
-                    Node::Inner { kids } => id = kids[0],
-                    Node::Leaf { .. } => break,
-                }
+            while let Node::Inner { kids } = &f.nodes[id as usize] {
+                id = kids[0];
             }
             if let Node::Leaf { count, .. } = &mut f.nodes[id as usize] {
                 *count = 1;
@@ -426,6 +423,8 @@ impl RemapFn {
                     }
                 }
             }
+            // invariant: a CPT always has at least one leaf, so the scan
+            // above found a candidate.
             let id = best.expect("trie has leaves");
             if let Node::Leaf { count, .. } = &mut self.nodes[id as usize] {
                 *count += target - acc;

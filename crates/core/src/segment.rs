@@ -269,13 +269,12 @@ impl Segment {
             }
         }
 
-        let outcome;
-        if available >= base {
+        let outcome = if available >= base {
             // Steal, preferring the emptiest donors first (largest
             // surplus). Stealing moves capacity without growing the
             // segment, so the escalated amount is taken when available.
             let take_total = desired.min(available);
-            donors.sort_by(|a, b| b.1.cmp(&a.1));
+            donors.sort_by_key(|d| std::cmp::Reverse(d.1));
             let mut remaining = take_total;
             for (id, surplus, count) in donors {
                 if remaining == 0 {
@@ -286,7 +285,7 @@ impl Segment {
                 remaining -= take;
             }
             remap.set_leaf_count(target.id, target.count + take_total);
-            outcome = RemapOutcome::Stole;
+            RemapOutcome::Stole
         } else {
             // Growth path: grant at least the paper's doubling, more under
             // a streak, but never push the segment's utilization below 1/4
@@ -300,8 +299,8 @@ impl Segment {
             }
             let grant = grant.min((max_buckets - total as usize) as u32);
             remap.set_leaf_count(target.id, target.count + grant);
-            outcome = RemapOutcome::Grew;
-        }
+            RemapOutcome::Grew
+        };
         remap.recompute_cums();
         let streak = self.remap_streak + 1;
         *self = Segment::build(self.local_depth, remap, &pairs, m_total, params);

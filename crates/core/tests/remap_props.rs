@@ -3,6 +3,10 @@
 //! set_leaf_count, split, scale) must preserve the two invariants the whole
 //! index relies on: the function is a monotone map onto `[0, B)`, and every
 //! bucket of a non-empty piece is reachable.
+//!
+//! Gated behind the `proptest` feature (`cargo test --features proptest`)
+//! so the default offline test run stays lean.
+#![cfg(feature = "proptest")]
 
 use dytis::remap::RemapFn;
 use proptest::prelude::*;

@@ -38,6 +38,8 @@ impl WeightedIndex {
 
     /// Draws an index with probability proportional to its weight.
     pub fn sample(&self, rng: &mut StdRng) -> usize {
+        // invariant: new() rejects empty weight slices, so `cum` has at
+        // least one entry.
         let total = *self.cum.last().expect("non-empty");
         let x: f64 = rng.gen_range(0.0..total);
         self.cum

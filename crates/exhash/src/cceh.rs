@@ -8,7 +8,7 @@
 //! than in plain EH (`S` = buckets per segment).
 
 use crate::pseudo_key;
-use index_traits::{Key, KvIndex, Value};
+use index_traits::{AuditReport, Auditable, Key, KvIndex, Value};
 
 /// Buckets per segment (CCEH uses 16 KiB segments of 64 B buckets; we keep
 /// the same 256-bucket geometry scaled to our slot size).
@@ -127,6 +127,7 @@ impl Cceh {
     }
 
     fn split(&mut self, id: u32, hint_idx: usize) {
+        // invariant: directory entries only hold live segment slots.
         let old = self.segs[id as usize].take().expect("dangling segment");
         let new_ld = old.local_depth + 1;
         debug_assert!(new_ld <= self.global_depth);
@@ -153,6 +154,8 @@ impl Cceh {
         for e in &mut self.dir[base + span..base + 2 * span] {
             *e = right_id;
         }
+        #[cfg(debug_assertions)]
+        self.audit_directory_structure().assert_clean();
     }
 
     fn double(&mut self) {
@@ -163,6 +166,172 @@ impl Cceh {
         }
         self.dir = dir;
         self.global_depth += 1;
+        #[cfg(debug_assertions)]
+        self.audit_directory_structure().assert_clean();
+    }
+
+    /// Structure-only audit of the directory (entry validity, alignment,
+    /// span coverage, free list); cheap enough for the debug-build hooks
+    /// fired after every split and doubling.
+    fn audit_directory_structure(&self) -> AuditReport {
+        let mut report = AuditReport::new("CCEH directory");
+        let gd = self.global_depth;
+        report.check(self.dir.len() == 1usize << gd, "dir-size", || {
+            (
+                "directory".into(),
+                format!("{} entries at GD {gd}", self.dir.len()),
+            )
+        });
+        let mut idx = 0usize;
+        let mut referenced = vec![false; self.segs.len()];
+        while idx < self.dir.len() {
+            let id = self.dir[idx];
+            let Some(seg) = self.segs.get(id as usize).and_then(Option::as_ref) else {
+                report.fail(
+                    "dir-dangling",
+                    format!("dir[{idx}]"),
+                    format!("entry points at missing segment {id}"),
+                );
+                idx += 1;
+                continue;
+            };
+            referenced[id as usize] = true;
+            let ld = seg.local_depth;
+            if !report.check(ld <= gd, "local-depth", || {
+                (
+                    format!("seg {id}"),
+                    format!("local_depth {ld} exceeds global_depth {gd}"),
+                )
+            }) {
+                idx += 1;
+                continue;
+            }
+            let span = 1usize << (gd - ld);
+            report.check(idx.is_multiple_of(span), "dir-alignment", || {
+                (
+                    format!("dir[{idx}]"),
+                    format!("segment {id} (span {span}) starts unaligned"),
+                )
+            });
+            let end = (idx + span).min(self.dir.len());
+            report.check(
+                self.dir[idx..end].iter().all(|&e| e == id),
+                "dir-coverage",
+                || {
+                    (
+                        format!("dir[{idx}..{end}]"),
+                        format!("span of segment {id} mixes directory targets"),
+                    )
+                },
+            );
+            idx += span;
+        }
+        for &f in &self.free {
+            report.check(
+                self.segs.get(f as usize).is_some_and(Option::is_none),
+                "free-list",
+                || {
+                    (
+                        "free list".into(),
+                        format!("free slot {f} still holds a live segment"),
+                    )
+                },
+            );
+        }
+        for (i, s) in self.segs.iter().enumerate() {
+            if s.is_some() {
+                report.check(referenced[i], "seg-unreferenced", || {
+                    (
+                        format!("seg {i}"),
+                        "live segment not referenced by the directory".into(),
+                    )
+                });
+            }
+        }
+        report
+    }
+}
+
+impl Auditable for Cceh {
+    /// Directory structure plus per-segment contents: fixed bucket
+    /// geometry, slot capacity, probe-window placement, pseudo-key prefix
+    /// placement, duplicates, and key accounting.
+    fn audit(&self) -> AuditReport {
+        let mut report = self.audit_directory_structure();
+        let gd = self.global_depth;
+        let mut total = 0usize;
+        let mut idx = 0usize;
+        while idx < self.dir.len() {
+            let id = self.dir[idx];
+            let Some(seg) = self.segs.get(id as usize).and_then(Option::as_ref) else {
+                idx += 1;
+                continue;
+            };
+            let ld = seg.local_depth.min(gd);
+            let span = 1usize << (gd - ld);
+            let loc = format!("seg {id}");
+            report.check(seg.buckets.len() == SEG_BUCKETS, "segment-shape", || {
+                (
+                    loc.clone(),
+                    format!("{} buckets, expected {SEG_BUCKETS}", seg.buckets.len()),
+                )
+            });
+            let prefix = (idx / span) as u64;
+            let mut seen = std::collections::HashSet::new();
+            let mut keys = 0usize;
+            for (b, bucket) in seg.buckets.iter().enumerate() {
+                report.check(bucket.len() <= BUCKET_SLOTS, "bucket-capacity", || {
+                    (
+                        format!("{loc} / bucket {b}"),
+                        format!("{} slots exceed capacity {BUCKET_SLOTS}", bucket.len()),
+                    )
+                });
+                for slot in bucket {
+                    keys += 1;
+                    let key = slot.key;
+                    report.check(seen.insert(key), "key-duplicate", || {
+                        (
+                            format!("{loc} / bucket {b}"),
+                            format!("key {key:#x} stored twice"),
+                        )
+                    });
+                    let pk = pseudo_key(key);
+                    report.check(
+                        ld == 0 || pk >> (64 - ld) == prefix,
+                        "key-placement",
+                        || {
+                            (
+                                format!("{loc} / bucket {b}"),
+                                format!("key {key:#x} (pseudo {pk:#x}) outside prefix {prefix:#x}"),
+                            )
+                        },
+                    );
+                    let home = Segment::bucket_of(pk);
+                    let dist = (b + SEG_BUCKETS - home) % SEG_BUCKETS;
+                    report.check(dist < PROBE, "probe-window", || {
+                        (
+                            format!("{loc} / bucket {b}"),
+                            format!("key {key:#x} is {dist} buckets from home {home}"),
+                        )
+                    });
+                }
+            }
+            report.check(keys == seg.num_keys, "segment-key-count", || {
+                (
+                    loc.clone(),
+                    format!("buckets hold {keys} keys, segment claims {}", seg.num_keys),
+                )
+            });
+            total += keys;
+            idx += span;
+        }
+        report.check(total == self.num_keys, "table-key-count", || {
+            (
+                "table".into(),
+                format!("segments hold {total} keys, table claims {}", self.num_keys),
+            )
+        });
+        report
     }
 }
 
@@ -175,6 +344,7 @@ impl KvIndex for Cceh {
             assert!(guard < 128, "CCEH insert failed to converge");
             let idx = self.dir_index(pk);
             let id = self.dir[idx];
+            // invariant: directory entries only hold live segment slots.
             let seg = self.segs[id as usize].as_mut().expect("dangling segment");
             if let Some((b, i)) = seg.find(pk, key) {
                 seg.buckets[b][i].val = value;
@@ -195,6 +365,7 @@ impl KvIndex for Cceh {
     fn get(&self, key: Key) -> Option<Value> {
         let pk = pseudo_key(key);
         let id = self.dir[self.dir_index(pk)];
+        // invariant: directory entries only hold live segment slots.
         let seg = self.segs[id as usize].as_ref().expect("dangling segment");
         seg.find(pk, key).map(|(b, i)| seg.buckets[b][i].val)
     }
@@ -202,6 +373,7 @@ impl KvIndex for Cceh {
     fn remove(&mut self, key: Key) -> Option<Value> {
         let pk = pseudo_key(key);
         let id = self.dir[self.dir_index(pk)];
+        // invariant: directory entries only hold live segment slots.
         let seg = self.segs[id as usize].as_mut().expect("dangling segment");
         let (b, i) = seg.find(pk, key)?;
         let slot = seg.buckets[b].swap_remove(i);
@@ -275,6 +447,59 @@ mod tests {
         }
         assert_eq!(h.len(), 5_000);
         assert_eq!(h.remove(0), None);
+    }
+
+    #[test]
+    fn audit_clean_after_growth() {
+        let mut h = Cceh::new();
+        for k in 0..50_000u64 {
+            h.insert(k.wrapping_mul(7919), k);
+        }
+        for k in 0..10_000u64 {
+            h.remove(k.wrapping_mul(7919));
+        }
+        let report = h.audit();
+        assert!(report.checks > 40_000);
+        report.assert_clean();
+    }
+
+    #[test]
+    fn audit_detects_corrupted_segment_key_count() {
+        let mut h = Cceh::new();
+        for k in 0..2_000u64 {
+            h.insert(k, k);
+        }
+        let id = h.dir[0] as usize;
+        h.segs[id].as_mut().expect("live segment").num_keys += 1;
+        let report = h.audit();
+        assert!(!report.is_clean());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "segment-key-count"));
+    }
+
+    #[test]
+    fn audit_detects_probe_window_escape() {
+        let mut h = Cceh::new();
+        for k in 0..2_000u64 {
+            h.insert(k, k);
+        }
+        // Plant a slot far outside its home bucket's probe window.
+        let key = 123_456_789u64;
+        let pk = pseudo_key(key);
+        let idx = h.dir_index(pk);
+        let id = h.dir[idx] as usize;
+        let seg = h.segs[id].as_mut().expect("live segment");
+        let away = (Segment::bucket_of(pk) + PROBE + 3) % SEG_BUCKETS;
+        seg.buckets[away].push(Slot { key, val: 1 });
+        seg.num_keys += 1;
+        h.num_keys += 1;
+        let report = h.audit();
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "probe-window"));
     }
 
     #[test]

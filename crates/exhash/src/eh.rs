@@ -1,7 +1,7 @@
 //! Classic Extendible hashing (Fagin et al., TODS '79) as described in §3.1.
 
 use crate::pseudo_key;
-use index_traits::{Key, KvIndex, Value};
+use index_traits::{AuditReport, Auditable, Key, KvIndex, Value};
 
 /// Number of key-value slots per bucket (a 2 KiB bucket at 16 B per pair,
 /// matching DyTIS's default bucket size for a fair Figure 9 comparison).
@@ -85,6 +85,7 @@ impl ExtendibleHash {
     }
 
     fn split(&mut self, id: u32, hint_idx: usize) {
+        // invariant: directory entries only hold live bucket slots.
         let old = self.buckets[id as usize].take().expect("dangling bucket");
         let new_ld = old.local_depth + 1;
         debug_assert!(new_ld <= self.global_depth);
@@ -107,6 +108,8 @@ impl ExtendibleHash {
         for e in &mut self.dir[base + span..base + 2 * span] {
             *e = right_id;
         }
+        #[cfg(debug_assertions)]
+        self.audit_directory_structure().assert_clean();
     }
 
     fn double(&mut self) {
@@ -117,6 +120,156 @@ impl ExtendibleHash {
         }
         self.dir = dir;
         self.global_depth += 1;
+        #[cfg(debug_assertions)]
+        self.audit_directory_structure().assert_clean();
+    }
+
+    /// Structure-only audit of the directory (entry validity, alignment,
+    /// span coverage, free list); no key walk, so it is cheap enough for
+    /// the debug-build hooks fired after every split and doubling.
+    fn audit_directory_structure(&self) -> AuditReport {
+        let mut report = AuditReport::new("EH directory");
+        let gd = self.global_depth;
+        report.check(self.dir.len() == 1usize << gd, "dir-size", || {
+            (
+                "directory".into(),
+                format!("{} entries at GD {gd}", self.dir.len()),
+            )
+        });
+        let mut idx = 0usize;
+        let mut referenced = vec![false; self.buckets.len()];
+        while idx < self.dir.len() {
+            let id = self.dir[idx];
+            let Some(bucket) = self.buckets.get(id as usize).and_then(Option::as_ref) else {
+                report.fail(
+                    "dir-dangling",
+                    format!("dir[{idx}]"),
+                    format!("entry points at missing bucket {id}"),
+                );
+                idx += 1;
+                continue;
+            };
+            referenced[id as usize] = true;
+            let ld = bucket.local_depth;
+            if !report.check(ld <= gd, "local-depth", || {
+                (
+                    format!("bucket {id}"),
+                    format!("local_depth {ld} exceeds global_depth {gd}"),
+                )
+            }) {
+                idx += 1;
+                continue;
+            }
+            let span = 1usize << (gd - ld);
+            report.check(idx.is_multiple_of(span), "dir-alignment", || {
+                (
+                    format!("dir[{idx}]"),
+                    format!("bucket {id} (span {span}) starts unaligned"),
+                )
+            });
+            let end = (idx + span).min(self.dir.len());
+            report.check(
+                self.dir[idx..end].iter().all(|&e| e == id),
+                "dir-coverage",
+                || {
+                    (
+                        format!("dir[{idx}..{end}]"),
+                        format!("span of bucket {id} mixes directory targets"),
+                    )
+                },
+            );
+            idx += span;
+        }
+        for &f in &self.free {
+            report.check(
+                self.buckets.get(f as usize).is_some_and(Option::is_none),
+                "free-list",
+                || {
+                    (
+                        "free list".into(),
+                        format!("free slot {f} still holds a live bucket"),
+                    )
+                },
+            );
+        }
+        for (i, b) in self.buckets.iter().enumerate() {
+            if b.is_some() {
+                report.check(referenced[i], "bucket-unreferenced", || {
+                    (
+                        format!("bucket {i}"),
+                        "live bucket not referenced by the directory".into(),
+                    )
+                });
+            }
+        }
+        report
+    }
+}
+
+impl Auditable for ExtendibleHash {
+    /// Directory structure plus per-bucket contents: slot parity, capacity,
+    /// pseudo-key placement, duplicate detection, and key accounting.
+    fn audit(&self) -> AuditReport {
+        let mut report = self.audit_directory_structure();
+        let gd = self.global_depth;
+        let mut total = 0usize;
+        let mut idx = 0usize;
+        while idx < self.dir.len() {
+            let id = self.dir[idx];
+            let Some(bucket) = self.buckets.get(id as usize).and_then(Option::as_ref) else {
+                idx += 1;
+                continue;
+            };
+            let ld = bucket.local_depth.min(gd);
+            let span = 1usize << (gd - ld);
+            let loc = format!("bucket {id}");
+            report.check(
+                bucket.keys.len() == bucket.vals.len(),
+                "slot-parity",
+                || {
+                    (
+                        loc.clone(),
+                        format!("{} keys, {} values", bucket.keys.len(), bucket.vals.len()),
+                    )
+                },
+            );
+            report.check(bucket.keys.len() <= BUCKET_SLOTS, "bucket-capacity", || {
+                (
+                    loc.clone(),
+                    format!(
+                        "{} entries exceed capacity {BUCKET_SLOTS}",
+                        bucket.keys.len()
+                    ),
+                )
+            });
+            let mut seen = std::collections::HashSet::new();
+            let prefix = (idx / span) as u64;
+            for &key in &bucket.keys {
+                report.check(seen.insert(key), "key-duplicate", || {
+                    (loc.clone(), format!("key {key:#x} stored twice"))
+                });
+                let pk = pseudo_key(key);
+                report.check(
+                    ld == 0 || pk >> (64 - ld) == prefix,
+                    "key-placement",
+                    || {
+                        (
+                            loc.clone(),
+                            format!("key {key:#x} (pseudo {pk:#x}) outside prefix {prefix:#x}"),
+                        )
+                    },
+                );
+            }
+            total += bucket.keys.len();
+            idx += span;
+        }
+        report.check(total == self.num_keys, "table-key-count", || {
+            (
+                "table".into(),
+                format!("buckets hold {total} keys, table claims {}", self.num_keys),
+            )
+        });
+        report
     }
 }
 
@@ -126,6 +279,7 @@ impl KvIndex for ExtendibleHash {
         loop {
             let idx = self.dir_index(pk);
             let id = self.dir[idx];
+            // invariant: directory entries only hold live bucket slots.
             let bucket = self.buckets[id as usize].as_mut().expect("dangling bucket");
             if let Some(i) = bucket.find(key) {
                 bucket.vals[i] = value;
@@ -148,6 +302,7 @@ impl KvIndex for ExtendibleHash {
     fn get(&self, key: Key) -> Option<Value> {
         let pk = pseudo_key(key);
         let id = self.dir[self.dir_index(pk)];
+        // invariant: directory entries only hold live bucket slots.
         let bucket = self.buckets[id as usize].as_ref().expect("dangling bucket");
         bucket.find(key).map(|i| bucket.vals[i])
     }
@@ -155,6 +310,7 @@ impl KvIndex for ExtendibleHash {
     fn remove(&mut self, key: Key) -> Option<Value> {
         let pk = pseudo_key(key);
         let id = self.dir[self.dir_index(pk)];
+        // invariant: directory entries only hold live bucket slots.
         let bucket = self.buckets[id as usize].as_mut().expect("dangling bucket");
         let i = bucket.find(key)?;
         bucket.keys.swap_remove(i);
@@ -226,6 +382,54 @@ mod tests {
             h.insert(k, k);
         }
         assert!(h.global_depth() >= 7);
+    }
+
+    #[test]
+    fn audit_clean_after_growth() {
+        let mut h = ExtendibleHash::new();
+        for k in 0..30_000u64 {
+            h.insert(k, k);
+        }
+        for k in 0..10_000u64 {
+            h.remove(k);
+        }
+        let report = h.audit();
+        assert!(report.checks > 20_000);
+        report.assert_clean();
+    }
+
+    #[test]
+    fn audit_detects_corrupted_key_count() {
+        let mut h = ExtendibleHash::new();
+        for k in 0..1_000u64 {
+            h.insert(k, k);
+        }
+        h.num_keys += 1;
+        let report = h.audit();
+        assert!(!report.is_clean());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "table-key-count"));
+    }
+
+    #[test]
+    fn audit_detects_slot_parity_break() {
+        let mut h = ExtendibleHash::new();
+        for k in 0..100u64 {
+            h.insert(k, k);
+        }
+        let id = h.dir[0] as usize;
+        h.buckets[id]
+            .as_mut()
+            .expect("live bucket")
+            .keys
+            .push(u64::MAX);
+        let report = h.audit();
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "slot-parity"));
     }
 
     #[test]

@@ -92,6 +92,9 @@ impl Server {
         let accept_stop = Arc::clone(&stop);
         let accept_thread = std::thread::spawn(move || {
             for conn in listener.incoming() {
+                // relaxed: standalone stop flag; the dummy wake-up
+                // connection in stop_inner() forces a fresh iteration, so
+                // no ordering with other memory is needed.
                 if accept_stop.load(Ordering::Relaxed) {
                     break;
                 }
@@ -134,6 +137,8 @@ impl Server {
     }
 
     fn stop_inner(&mut self) {
+        // relaxed: standalone stop flag; the wake-up connection below makes
+        // the accept loop re-check it, and one stale accept is harmless.
         self.stop.store(true, Ordering::Relaxed);
         // Unblock the accept loop with a dummy connection.
         let _ = TcpStream::connect(self.addr);
@@ -266,6 +271,15 @@ impl Client {
             Response::Len(n) => Ok(n),
             other => Err(unexpected(other)),
         }
+    }
+
+    /// Returns `true` when the store holds no keys.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or protocol errors.
+    pub fn is_empty(&mut self) -> Result<bool> {
+        Ok(self.len()? == 0)
     }
 
     /// Closes the session politely.

@@ -94,6 +94,8 @@ impl ShardedStore {
 
     /// Inserts or updates a pair (fire-and-forget to the owning engine).
     pub fn set(&self, key: Key, value: Value) {
+        // invariant: each engine thread holds its receiver until it sees
+        // Cmd::Stop, which is only sent from shutdown()/drop.
         self.senders[self.shard_of(key)]
             .send(Cmd::Set(key, value))
             .expect("engine alive");
@@ -102,18 +104,22 @@ impl ShardedStore {
     /// Point lookup.
     pub fn get(&self, key: Key) -> Option<Value> {
         let (tx, rx) = sync_channel(1);
+        // invariant: the engine outlives `self` and replies to every Get.
         self.senders[self.shard_of(key)]
             .send(Cmd::Get(key, tx))
             .expect("engine alive");
+        // invariant: the engine replied above before dropping `tx`.
         rx.recv().expect("engine replies")
     }
 
     /// Deletes a key.
     pub fn del(&self, key: Key) -> Option<Value> {
         let (tx, rx) = sync_channel(1);
+        // invariant: the engine outlives `self` and replies to every Del.
         self.senders[self.shard_of(key)]
             .send(Cmd::Del(key, tx))
             .expect("engine alive");
+        // invariant: the engine replied above before dropping `tx`.
         rx.recv().expect("engine replies")
     }
 
@@ -124,9 +130,11 @@ impl ShardedStore {
         let mut cursor = start;
         for s in self.shard_of(start)..self.senders.len() {
             let (tx, rx) = sync_channel(1);
+            // invariant: the engine outlives `self` and replies to every Scan.
             self.senders[s]
                 .send(Cmd::Scan(cursor, count - out.len(), tx))
                 .expect("engine alive");
+            // invariant: the engine replied above before dropping `tx`.
             out.extend(rx.recv().expect("engine replies"));
             if out.len() >= count {
                 break;
@@ -141,7 +149,9 @@ impl ShardedStore {
         let mut total = 0;
         for s in &self.senders {
             let (tx, rx) = sync_channel(1);
+            // invariant: the engine outlives `self` and replies to every Len.
             s.send(Cmd::Len(tx)).expect("engine alive");
+            // invariant: the engine replied above before dropping `tx`.
             total += rx.recv().expect("engine replies");
         }
         total

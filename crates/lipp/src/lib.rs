@@ -16,7 +16,8 @@
 //! `memory_bytes` accounting here lets the reproduction's experiments show
 //! the same blow-up tendency at scale.
 
-use index_traits::{BulkLoad, Key, KvIndex, Value};
+use index_traits::{AuditReport, Auditable, BulkLoad, Key, KvIndex, Value};
+use std::collections::HashSet;
 
 /// Slots allocated per key at build time (LIPP's gap factor).
 const GAP_FACTOR: usize = 2;
@@ -239,6 +240,106 @@ impl Lipp {
         node.slots = slots;
         node.subtree_keys = pairs.len();
         node.inserts_since_build = 0;
+        // Rebuild already walked the subtree; the scoped audit matches its
+        // cost instead of re-walking the whole tree.
+        #[cfg(debug_assertions)]
+        self.debug_audit_subtree(id);
+    }
+
+    /// Recursive audit walk. Checks each node's model and slot invariants,
+    /// threads `prev` through the in-order traversal for global key
+    /// ordering, and returns the number of entries in the subtree.
+    fn audit_node(
+        &self,
+        id: NodeId,
+        prev: &mut Option<Key>,
+        visited: &mut HashSet<NodeId>,
+        report: &mut AuditReport,
+    ) -> usize {
+        let loc = || format!("node {id}");
+        let Some(node) = self.nodes.get(id as usize) else {
+            report.fail("node-dangling", loc(), "child id outside the arena".into());
+            return 0;
+        };
+        if !visited.insert(id) {
+            report.fail("node-cycle", loc(), "node reachable twice".into());
+            return 0;
+        }
+        report.check(node.slots.len() >= MIN_SLOTS, "slot-count", || {
+            (
+                loc(),
+                format!("{} slots, minimum {MIN_SLOTS}", node.slots.len()),
+            )
+        });
+        report.check(
+            node.model.slope.is_finite()
+                && node.model.intercept.is_finite()
+                && node.model.slope >= 0.0,
+            "model-bounds",
+            || {
+                (
+                    loc(),
+                    format!(
+                        "model not finite/monotone: slope {} intercept {}",
+                        node.model.slope, node.model.intercept
+                    ),
+                )
+            },
+        );
+        let mut count = 0usize;
+        for (p, slot) in node.slots.iter().enumerate() {
+            match *slot {
+                Slot::Empty => {}
+                Slot::Entry(k, _) => {
+                    // LIPP's defining invariant: the model gives the entry's
+                    // exact slot, so lookups never search.
+                    report.check(
+                        node.model.predict(k, node.slots.len()) == p,
+                        "key-placement",
+                        || {
+                            (
+                                format!("{loc} / slot {p}", loc = loc()),
+                                format!(
+                                    "key {k:#x} predicts slot {}, stored at {p}",
+                                    node.model.predict(k, node.slots.len())
+                                ),
+                            )
+                        },
+                    );
+                    report.check(prev.is_none_or(|pk| pk < k), "key-order", || {
+                        (
+                            format!("{loc} / slot {p}", loc = loc()),
+                            format!("key {k:#x} not above in-order predecessor {prev:?}"),
+                        )
+                    });
+                    *prev = Some(k);
+                    count += 1;
+                }
+                Slot::Child(c) => {
+                    count += self.audit_node(c, prev, visited, report);
+                }
+            }
+        }
+        report.check(count == node.subtree_keys, "subtree-key-count", || {
+            (
+                loc(),
+                format!(
+                    "subtree holds {count} keys, node claims {}",
+                    node.subtree_keys
+                ),
+            )
+        });
+        count
+    }
+
+    /// Subtree-scoped debug audit fired after every rebuild.
+    #[cfg(debug_assertions)]
+    fn debug_audit_subtree(&self, id: NodeId) {
+        let mut report = AuditReport::new("LIPP subtree");
+        let mut prev = None;
+        let mut visited = HashSet::new();
+        self.audit_node(id, &mut prev, &mut visited, &mut report);
+        report.assert_clean();
     }
 
     /// Depth of the tree (for the structural analysis).
@@ -260,6 +361,49 @@ impl Lipp {
     /// Number of live nodes.
     pub fn node_count(&self) -> usize {
         self.nodes.len() - self.free.len()
+    }
+}
+
+impl Auditable for Lipp {
+    /// Walks the whole tree: exact model placement of every entry, global
+    /// in-order key ordering, per-subtree and index key accounting, and
+    /// arena hygiene (no cycles, no leaked or doubly-used nodes).
+    fn audit(&self) -> AuditReport {
+        let mut report = AuditReport::new("LIPP");
+        let mut prev = None;
+        let mut visited = HashSet::new();
+        let total = self.audit_node(self.root, &mut prev, &mut visited, &mut report);
+        report.check(total == self.num_keys, "index-key-count", || {
+            (
+                "index".into(),
+                format!("tree holds {total} keys, index claims {}", self.num_keys),
+            )
+        });
+        let mut freed = vec![false; self.nodes.len()];
+        for &f in &self.free {
+            if let Some(slot) = freed.get_mut(f as usize) {
+                *slot = true;
+            }
+            report.check(!visited.contains(&f), "free-list", || {
+                (
+                    "free list".into(),
+                    format!("freed node {f} is still reachable from the root"),
+                )
+            });
+        }
+        for (id, &is_freed) in freed.iter().enumerate() {
+            report.check(
+                visited.contains(&(id as NodeId)) || is_freed,
+                "node-leak",
+                || {
+                    (
+                        format!("node {id}"),
+                        "node neither reachable nor on the free list".into(),
+                    )
+                },
+            );
+        }
+        report
     }
 }
 
@@ -419,6 +563,8 @@ impl BulkLoad for Lipp {
         idx.free.clear();
         idx.root = idx.build_node(pairs);
         idx.num_keys = pairs.len();
+        #[cfg(debug_assertions)]
+        idx.audit().assert_clean();
         idx
     }
 }
@@ -537,13 +683,90 @@ mod tests {
     }
 
     #[test]
+    fn audit_clean_after_churn() {
+        let mut idx = Lipp::new();
+        for k in 0..20_000u64 {
+            idx.insert(k.wrapping_mul(0x9E3779B97F4A7C15) >> 1, k);
+        }
+        for k in 0..5_000u64 {
+            idx.remove(k.wrapping_mul(0x9E3779B97F4A7C15) >> 1);
+        }
+        let report = idx.audit();
+        assert!(report.checks > 15_000);
+        report.assert_clean();
+    }
+
+    #[test]
+    fn audit_detects_corrupted_key_count() {
+        let mut idx = Lipp::new();
+        for k in 0..1_000u64 {
+            idx.insert(k * 3, k);
+        }
+        idx.num_keys += 1;
+        let report = idx.audit();
+        assert!(!report.is_clean());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "index-key-count"));
+    }
+
+    #[test]
+    fn audit_detects_misplaced_entry() {
+        let mut idx = Lipp::new();
+        for k in 0..5_000u64 {
+            idx.insert(k * 11, k);
+        }
+        // Move an entry to a slot its model does not predict.
+        let mut moved = false;
+        'outer: for node in &mut idx.nodes {
+            let slots_n = node.slots.len();
+            for p in 0..slots_n {
+                if let Slot::Entry(k, v) = node.slots[p] {
+                    for q in 0..slots_n {
+                        if q != p
+                            && node.slots[q] == Slot::Empty
+                            && node.model.predict(k, slots_n) != q
+                        {
+                            node.slots[p] = Slot::Empty;
+                            node.slots[q] = Slot::Entry(k, v);
+                            moved = true;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(moved, "found an entry with a free wrong slot");
+        let report = idx.audit();
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "key-placement"));
+    }
+
+    #[test]
+    fn audit_detects_subtree_count_drift() {
+        let mut idx = Lipp::new();
+        for k in 0..2_000u64 {
+            idx.insert(k * 5, k);
+        }
+        idx.nodes[idx.root as usize].subtree_keys += 1;
+        let report = idx.audit();
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "subtree-key-count"));
+    }
+
+    #[test]
     fn memory_grows_with_conflict_chains() {
         // The footnote-6 behaviour: clustered keys inflate LIPP's memory
         // compared to the raw data size.
         let mut idx = Lipp::new();
         let n = 20_000u64;
         for k in 0..n {
-            idx.insert(1 << 50 | k * 7, k);
+            idx.insert((1 << 50) | (k * 7), k);
         }
         let raw = n as usize * 16;
         assert!(

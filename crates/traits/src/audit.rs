@@ -1,0 +1,224 @@
+//! Structural invariant auditing.
+//!
+//! Every index in the workspace maintains a web of invariants — directory
+//! alignment, sorted buckets, monotone remap functions, key-count
+//! accounting — that no single operation checks end-to-end. [`Auditable`]
+//! is the workspace-wide contract for deep self-inspection: `audit()` walks
+//! the entire structure and reports violations as **structured data** rather
+//! than panicking, so callers (tests, debug hooks, operational tooling) can
+//! decide whether a violation is fatal, log-worthy, or expected mid-repair.
+//!
+//! Audits are read-only and O(n); they are meant for tests, the
+//! `#[cfg(debug_assertions)]` hooks fired after structure-changing
+//! operations, and offline inspection — not for hot paths.
+
+use std::fmt;
+
+/// One detected invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable short identifier of the invariant, e.g. `"bucket-sorted"` or
+    /// `"dir-alignment"`. Tests match on this.
+    pub invariant: &'static str,
+    /// Where in the structure the violation was found, e.g.
+    /// `"table 3 / seg 7 / bucket 2"`.
+    pub location: String,
+    /// Human-readable description of the observed inconsistency.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.invariant, self.location, self.detail)
+    }
+}
+
+/// Upper bound on violations kept verbatim; beyond this only the count
+/// grows. A systematically corrupted structure can otherwise produce one
+/// violation per key.
+const MAX_RECORDED: usize = 256;
+
+/// Outcome of one [`Auditable::audit`] pass.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Name of the audited structure (matches `KvIndex::name` where both
+    /// exist).
+    pub structure: &'static str,
+    /// Number of individual invariant checks evaluated. A report claiming
+    /// cleanliness with zero checks is vacuous; tests assert this is > 0.
+    pub checks: usize,
+    /// Recorded violations, capped at an internal limit.
+    pub violations: Vec<Violation>,
+    /// Total violations detected, including ones dropped past the cap.
+    pub total_violations: usize,
+}
+
+impl AuditReport {
+    /// Creates an empty report for `structure`.
+    pub fn new(structure: &'static str) -> Self {
+        AuditReport {
+            structure,
+            ..AuditReport::default()
+        }
+    }
+
+    /// Returns `true` when no violations were detected.
+    pub fn is_clean(&self) -> bool {
+        self.total_violations == 0
+    }
+
+    /// Records one evaluated check; when `ok` is false, `ctx` supplies the
+    /// `(location, detail)` pair for the violation. `ctx` is lazy so passing
+    /// audits do not allocate. Returns `ok` for chaining.
+    pub fn check(
+        &mut self,
+        ok: bool,
+        invariant: &'static str,
+        ctx: impl FnOnce() -> (String, String),
+    ) -> bool {
+        self.checks += 1;
+        if !ok {
+            let (location, detail) = ctx();
+            self.record(Violation {
+                invariant,
+                location,
+                detail,
+            });
+        }
+        ok
+    }
+
+    /// Records an unconditional violation (counts as one failed check).
+    pub fn fail(&mut self, invariant: &'static str, location: String, detail: String) {
+        self.checks += 1;
+        self.record(Violation {
+            invariant,
+            location,
+            detail,
+        });
+    }
+
+    fn record(&mut self, v: Violation) {
+        self.total_violations += 1;
+        if self.violations.len() < MAX_RECORDED {
+            self.violations.push(v);
+        }
+    }
+
+    /// Folds `other` into `self` (used by composite structures that audit
+    /// sub-components).
+    pub fn merge(&mut self, other: AuditReport) {
+        self.checks += other.checks;
+        self.total_violations += other.total_violations;
+        for v in other.violations {
+            if self.violations.len() >= MAX_RECORDED {
+                break;
+            }
+            self.violations.push(v);
+        }
+    }
+
+    /// Panics with a formatted listing unless the report is clean. Used by
+    /// the debug-build audit hooks and by tests.
+    ///
+    /// # Panics
+    ///
+    /// When at least one violation was recorded.
+    pub fn assert_clean(&self) {
+        assert!(
+            self.is_clean(),
+            "structural audit of `{}` failed:\n{}",
+            self.structure,
+            self
+        );
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "audit of `{}`: {} checks, {} violation(s)",
+            self.structure, self.checks, self.total_violations
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        let dropped = self.total_violations.saturating_sub(self.violations.len());
+        if dropped > 0 {
+            writeln!(f, "  ... and {dropped} more (suppressed)")?;
+        }
+        Ok(())
+    }
+}
+
+/// Structures that can deep-check their own invariants.
+///
+/// Implementations walk the complete structure (every directory entry,
+/// segment, node, and bucket) and report violations instead of panicking.
+/// Concurrent implementations take their internal locks in the documented
+/// order (first-level table → directory → segment → bucket; see DESIGN.md)
+/// and must therefore not be called while the calling thread already holds
+/// one of those locks.
+pub trait Auditable {
+    /// Walks the structure and reports every detected invariant violation.
+    fn audit(&self) -> AuditReport;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_report_asserts_clean() {
+        let mut r = AuditReport::new("x");
+        assert!(r.check(true, "inv", || unreachable!("lazy ctx must not run")));
+        assert!(r.is_clean());
+        assert_eq!(r.checks, 1);
+        r.assert_clean();
+    }
+
+    #[test]
+    fn failed_check_records_violation() {
+        let mut r = AuditReport::new("x");
+        r.check(false, "key-count", || {
+            ("table 0".into(), "expected 3, found 2".into())
+        });
+        assert!(!r.is_clean());
+        assert_eq!(r.total_violations, 1);
+        assert_eq!(r.violations[0].invariant, "key-count");
+        assert!(r.violations[0].detail.contains("expected 3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "structural audit of `x` failed")]
+    fn assert_clean_panics_on_violation() {
+        let mut r = AuditReport::new("x");
+        r.fail("inv", "loc".into(), "broken".into());
+        r.assert_clean();
+    }
+
+    #[test]
+    fn violations_are_capped_but_counted() {
+        let mut r = AuditReport::new("x");
+        for i in 0..1000 {
+            r.fail("inv", format!("loc {i}"), "broken".into());
+        }
+        assert_eq!(r.total_violations, 1000);
+        assert!(r.violations.len() <= 256);
+        let shown = format!("{r}");
+        assert!(shown.contains("more (suppressed)"));
+    }
+
+    #[test]
+    fn merge_accumulates_checks_and_violations() {
+        let mut a = AuditReport::new("a");
+        a.check(true, "inv", || unreachable!());
+        let mut b = AuditReport::new("b");
+        b.fail("inv2", "loc".into(), "bad".into());
+        a.merge(b);
+        assert_eq!(a.checks, 2);
+        assert_eq!(a.total_violations, 1);
+        assert_eq!(a.violations[0].invariant, "inv2");
+    }
+}

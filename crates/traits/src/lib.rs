@@ -6,6 +6,10 @@
 //! paper configures both to 8 bytes, §4.2), point operations plus ordered
 //! scans.
 
+pub mod audit;
+
+pub use audit::{AuditReport, Auditable, Violation};
+
 /// Key type used throughout the reproduction (8-byte integer keys, §4.2).
 pub type Key = u64;
 
@@ -80,6 +84,11 @@ pub trait ConcurrentKvIndex: Send + Sync {
 
     /// Number of keys currently stored.
     fn len(&self) -> usize;
+
+    /// Returns `true` if the index holds no keys.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 
     /// Short human-readable name used in benchmark tables.
     fn name(&self) -> &'static str;

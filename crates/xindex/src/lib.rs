@@ -10,7 +10,7 @@
 //! substitution is documented in DESIGN.md §3 — the delta/merge overhead the
 //! DyTIS paper attributes XIndex's slowdown to is preserved).
 
-use index_traits::{BulkLoad, ConcurrentKvIndex, Key, KvIndex, Value};
+use index_traits::{AuditReport, Auditable, BulkLoad, ConcurrentKvIndex, Key, KvIndex, Value};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -187,6 +187,7 @@ impl Group {
             let k = self.keys[i];
             while let Some(&(dk, _)) = di.peek() {
                 if dk < k {
+                    // invariant: peek above proved the iterator is non-empty.
                     let (dk, dv) = di.next().expect("peeked");
                     if let Some(v) = dv {
                         merged.push((dk, v));
@@ -240,6 +241,7 @@ impl Group {
                     ai += 1;
                 }
                 (None, Some(_)) => {
+                    // invariant: peek above proved the iterator is non-empty.
                     let (k, v) = di.next().expect("peeked");
                     if let Some(v) = v {
                         out.push((*k, *v));
@@ -250,12 +252,14 @@ impl Group {
                         out.push((a, self.vals[ai]));
                         ai += 1;
                     } else if d < a {
+                        // invariant: peek above proved the iterator is non-empty.
                         let (k, v) = di.next().expect("peeked");
                         if let Some(v) = v {
                             out.push((*k, *v));
                         }
                     } else {
                         // Delta shadows the array entry.
+                        // invariant: peek above proved the iterator is non-empty.
                         let (k, v) = di.next().expect("peeked");
                         if let Some(v) = v {
                             out.push((*k, *v));
@@ -276,6 +280,93 @@ impl Group {
             + self.keys.capacity() * 16
             + self.delta.len() * 64
     }
+}
+
+/// Audits one group within its pivot bracket `[low, high)`: array
+/// sortedness and parity, model bounds, delta-key routing, and the `live`
+/// counter against the merged array + delta view.
+fn audit_group(g: &Group, low: Key, high: Option<Key>, loc: &str, report: &mut AuditReport) {
+    report.check(g.keys.len() == g.vals.len(), "slot-parity", || {
+        (
+            loc.to_string(),
+            format!("{} keys vs {} values", g.keys.len(), g.vals.len()),
+        )
+    });
+    report.check(
+        g.keys.windows(2).all(|w| w[0] < w[1]),
+        "group-array-order",
+        || {
+            (
+                loc.to_string(),
+                "learned array not strictly ascending".into(),
+            )
+        },
+    );
+    report.check(
+        g.model.slope.is_finite() && g.model.intercept.is_finite() && g.model.slope >= 0.0,
+        "model-bounds",
+        || {
+            (
+                loc.to_string(),
+                format!(
+                    "model not finite/monotone: slope {} intercept {}",
+                    g.model.slope, g.model.intercept
+                ),
+            )
+        },
+    );
+    let in_range = |k: Key| low <= k && high.is_none_or(|hi| k < hi);
+    for &k in &g.keys {
+        report.check(in_range(k), "key-bounds", || {
+            (
+                loc.to_string(),
+                format!("array key {k:#x} outside [{low:#x}, {high:?})"),
+            )
+        });
+    }
+    let mut live = g.keys.len();
+    for (&k, entry) in &g.delta {
+        report.check(in_range(k), "key-bounds", || {
+            (
+                loc.to_string(),
+                format!("delta key {k:#x} outside [{low:#x}, {high:?})"),
+            )
+        });
+        let in_array = g.keys.binary_search(&k).is_ok();
+        match entry {
+            Some(_) if !in_array => live += 1,
+            None if in_array => live -= 1,
+            _ => {}
+        }
+    }
+    report.check(live == g.live, "group-live-count", || {
+        (
+            loc.to_string(),
+            format!("array+delta hold {live} live keys, group claims {}", g.live),
+        )
+    });
+}
+
+/// Audits the root pivot array: base pivot, strict ordering, and the
+/// pivot-per-group correspondence.
+fn audit_root(root: &Root, n_groups: usize, report: &mut AuditReport) {
+    report.check(root.pivots.len() == n_groups, "root-shape", || {
+        (
+            "root".into(),
+            format!("{} pivots for {n_groups} groups", root.pivots.len()),
+        )
+    });
+    report.check(root.pivots.first() == Some(&0), "pivot-base", || {
+        (
+            "root".into(),
+            format!("first pivot is {:?}, must be 0", root.pivots.first()),
+        )
+    });
+    report.check(
+        root.pivots.windows(2).all(|w| w[0] < w[1]),
+        "pivot-order",
+        || ("root".into(), "pivot array not strictly ascending".into()),
+    );
 }
 
 /// Root: pivot array + model; group `i` covers keys `>= pivots[i]`.
@@ -368,6 +459,45 @@ impl XIndex {
             self.root.pivots.insert(g + 1, pivot);
             self.root = Root::new(std::mem::take(&mut self.root.pivots));
         }
+        // Compaction already rebuilt the group (O(group)), so a group-scoped
+        // audit plus the O(#groups) root audit keeps the same complexity.
+        #[cfg(debug_assertions)]
+        {
+            let mut report = AuditReport::new("XIndex compaction");
+            audit_root(&self.root, self.groups.len(), &mut report);
+            let hi = self.root.pivots.get(g + 1).copied();
+            audit_group(
+                &self.groups[g],
+                self.root.pivots[g],
+                hi,
+                &format!("group {g}"),
+                &mut report,
+            );
+            report.assert_clean();
+        }
+    }
+}
+
+impl Auditable for XIndex {
+    /// Audits the root pivot array, every group within its pivot bracket,
+    /// and key-count accounting.
+    fn audit(&self) -> AuditReport {
+        let mut report = AuditReport::new("XIndex");
+        audit_root(&self.root, self.groups.len(), &mut report);
+        let mut total = 0usize;
+        for (g, group) in self.groups.iter().enumerate() {
+            let low = self.root.pivots.get(g).copied().unwrap_or(0);
+            let high = self.root.pivots.get(g + 1).copied();
+            audit_group(group, low, high, &format!("group {g}"), &mut report);
+            total += group.live;
+        }
+        report.check(total == self.num_keys, "index-key-count", || {
+            (
+                "index".into(),
+                format!("groups hold {total} keys, index claims {}", self.num_keys),
+            )
+        });
+        report
     }
 }
 
@@ -494,7 +624,8 @@ impl ConcurrentKvIndex for ConcurrentXIndex {
             let g = inner.root.group_of(key);
             let mut group = inner.groups[g].write();
             if group.insert(key, value) {
-                self.num_keys.fetch_add(1, Ordering::Relaxed);
+                // Release pairs with the Acquire loads in `len()` and the audit.
+                self.num_keys.fetch_add(1, Ordering::Release);
             }
             if !group.needs_compaction() {
                 return;
@@ -516,6 +647,15 @@ impl ConcurrentKvIndex for ConcurrentXIndex {
             inner.groups.insert(g + 1, Arc::new(RwLock::new(right)));
             inner.root.pivots.insert(g + 1, pivot);
             inner.root = Root::new(std::mem::take(&mut inner.root.pivots));
+            // Still under the root write lock, so only the lock-free root
+            // checks run here (taking group locks would invert nothing, but
+            // keep the hook O(#groups)).
+            #[cfg(debug_assertions)]
+            {
+                let mut report = AuditReport::new("ConcurrentXIndex split");
+                audit_root(&inner.root, inner.groups.len(), &mut report);
+                report.assert_clean();
+            }
         }
     }
 
@@ -531,7 +671,8 @@ impl ConcurrentKvIndex for ConcurrentXIndex {
         let g = inner.root.group_of(key);
         let mut group = inner.groups[g].write();
         let v = group.remove(key)?;
-        self.num_keys.fetch_sub(1, Ordering::Relaxed);
+        // Release pairs with the Acquire loads in `len()` and the audit.
+        self.num_keys.fetch_sub(1, Ordering::Release);
         Some(v)
     }
 
@@ -550,11 +691,44 @@ impl ConcurrentKvIndex for ConcurrentXIndex {
     }
 
     fn len(&self) -> usize {
-        self.num_keys.load(Ordering::Relaxed)
+        self.num_keys.load(Ordering::Acquire)
     }
 
     fn name(&self) -> &'static str {
         "XIndex (concurrent)"
+    }
+}
+
+impl Auditable for ConcurrentXIndex {
+    /// Takes the root read lock, then each group read lock one at a time
+    /// (the documented root → group order), running the same checks as the
+    /// single-threaded [`XIndex`].
+    fn audit(&self) -> AuditReport {
+        let mut report = AuditReport::new("ConcurrentXIndex");
+        let inner = self.inner.read();
+        audit_root(&inner.root, inner.groups.len(), &mut report);
+        let mut total = 0usize;
+        for (g, group) in inner.groups.iter().enumerate() {
+            let low = inner.root.pivots.get(g).copied().unwrap_or(0);
+            let high = inner.root.pivots.get(g + 1).copied();
+            let group = group.read();
+            audit_group(&group, low, high, &format!("group {g}"), &mut report);
+            total += group.live;
+        }
+        report.check(
+            total == self.num_keys.load(Ordering::Acquire),
+            "index-key-count",
+            || {
+                (
+                    "index".into(),
+                    format!(
+                        "groups hold {total} keys, index claims {}",
+                        self.num_keys.load(Ordering::Acquire)
+                    ),
+                )
+            },
+        );
+        report
     }
 }
 
@@ -661,6 +835,83 @@ mod tests {
         for (i, &k) in keys.iter().enumerate().step_by(131) {
             assert_eq!(x.get(k), Some(i as u64), "key {k}");
         }
+    }
+
+    #[test]
+    fn audit_clean_after_mixed_workload() {
+        let pairs: Vec<(u64, u64)> = (0..20_000u64).map(|k| (k * 4, k)).collect();
+        let mut x = XIndex::bulk_load(&pairs);
+        for k in 0..10_000u64 {
+            x.insert(k * 4 + 1, k);
+        }
+        for k in 0..3_000u64 {
+            x.remove(k * 4);
+        }
+        let report = x.audit();
+        assert!(report.checks > 20_000);
+        report.assert_clean();
+    }
+
+    #[test]
+    fn audit_detects_corrupted_key_count() {
+        let mut x = XIndex::new();
+        for k in 0..1_000u64 {
+            x.insert(k, k);
+        }
+        x.num_keys += 1;
+        let report = x.audit();
+        assert!(!report.is_clean());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "index-key-count"));
+    }
+
+    #[test]
+    fn audit_detects_corrupted_group_live_count() {
+        let pairs: Vec<(u64, u64)> = (0..2_000u64).map(|k| (k, k)).collect();
+        let mut x = XIndex::bulk_load(&pairs);
+        x.groups[0].live += 1;
+        let report = x.audit();
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "group-live-count"));
+    }
+
+    #[test]
+    fn concurrent_audit_clean_after_multithreaded_growth() {
+        let x = Arc::new(ConcurrentXIndex::new());
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let x = Arc::clone(&x);
+                std::thread::spawn(move || {
+                    for i in 0..8_000u64 {
+                        x.insert(i * 4 + t, i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let report = x.audit();
+        assert!(report.checks > 30_000);
+        report.assert_clean();
+    }
+
+    #[test]
+    fn concurrent_audit_detects_corrupted_key_count() {
+        let x = ConcurrentXIndex::new();
+        for k in 0..500u64 {
+            x.insert(k, k);
+        }
+        x.num_keys.fetch_add(1, Ordering::Release);
+        let report = x.audit();
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "index-key-count"));
     }
 
     #[test]

@@ -1,5 +1,9 @@
 //! Property-based tests: random operation sequences against a `BTreeMap`
 //! oracle, plus structural invariants of the core data structures.
+//!
+//! Gated behind the `proptest` feature (`cargo test --features proptest`)
+//! so the default offline test run stays lean.
+#![cfg(feature = "proptest")]
 
 use dytis_repro::alex_index::Alex;
 use dytis_repro::dytis::remap::RemapFn;
