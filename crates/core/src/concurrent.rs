@@ -39,6 +39,7 @@ struct CEh {
     splits: AtomicU64,
     expansions: AtomicU64,
     remaps: AtomicU64,
+    doublings: AtomicU64,
 }
 
 /// The multi-threaded DyTIS index (used by the Figure 12 evaluation).
@@ -46,6 +47,9 @@ pub struct ConcurrentDyTis {
     params: Params,
     tables: Vec<CEh>,
     m_total: u32,
+    /// Times an insert lost its fast path to contention or a pending
+    /// structural fix and had to retry through `maintain`.
+    insert_retries: AtomicU64,
 }
 
 impl ConcurrentDyTis {
@@ -75,13 +79,41 @@ impl ConcurrentDyTis {
                 splits: AtomicU64::new(0),
                 expansions: AtomicU64::new(0),
                 remaps: AtomicU64::new(0),
+                doublings: AtomicU64::new(0),
             })
             .collect();
         ConcurrentDyTis {
             params,
             tables,
             m_total,
+            insert_retries: AtomicU64::new(0),
         }
+    }
+
+    /// Totals of the structural maintenance operations performed so far
+    /// (splits, segment expansions, remaps, directory doublings), summed
+    /// over all first-level tables.  Exact once writers have quiesced.
+    /// `keys_moved` is not tracked by the concurrent variant and reads 0.
+    pub fn maintenance_stats(&self) -> index_traits::MaintenanceStats {
+        let mut s = index_traits::MaintenanceStats::default();
+        for t in &self.tables {
+            // relaxed: monotonic advisory counters; exact totals are only
+            // required after the writing threads have been joined.
+            s.splits += t.splits.load(Ordering::Relaxed);
+            // relaxed: see above.
+            s.expansions += t.expansions.load(Ordering::Relaxed);
+            // relaxed: see above.
+            s.remaps += t.remaps.load(Ordering::Relaxed);
+            // relaxed: see above.
+            s.doublings += t.doublings.load(Ordering::Relaxed);
+        }
+        s
+    }
+
+    /// Times an insert had to retry through the slow path (see field doc).
+    pub fn insert_retries(&self) -> u64 {
+        // relaxed: monotonic advisory counter.
+        self.insert_retries.load(Ordering::Relaxed)
     }
 
     #[inline]
@@ -142,6 +174,7 @@ impl ConcurrentDyTis {
                         // relaxed: monotonic stats counter; reads happen
                         // under the directory write lock (see `maintain`).
                         table.remaps.fetch_add(1, Ordering::Relaxed);
+                        obs::counter!("cdytis.remap").inc();
                         continue; // Retry the insert.
                     }
                 }
@@ -152,6 +185,7 @@ impl ConcurrentDyTis {
                         // relaxed: monotonic stats counter; reads happen
                         // under the directory write lock (see `maintain`).
                         table.expansions.fetch_add(1, Ordering::Relaxed);
+                        obs::counter!("cdytis.expand").inc();
                     }
                     ok
                 } else {
@@ -161,6 +195,7 @@ impl ConcurrentDyTis {
                         // relaxed: monotonic stats counter; reads happen
                         // under the directory write lock (see `maintain`).
                         table.remaps.fetch_add(1, Ordering::Relaxed);
+                        obs::counter!("cdytis.remap").inc();
                     }
                     ok
                 };
@@ -212,6 +247,10 @@ impl ConcurrentDyTis {
             }
             dir.entries = entries;
             dir.global_depth += 1;
+            // relaxed: monotonic stats counter; reads happen under the
+            // directory write lock (see the limit decision above).
+            table.doublings.fetch_add(1, Ordering::Relaxed);
+            obs::counter!("cdytis.double").inc();
         }
         // Split the segment (now LD < GD).
         let (left, right) = seg.split(self.m_total, p);
@@ -231,6 +270,7 @@ impl ConcurrentDyTis {
         // relaxed: monotonic stats counter; reads happen under the
         // directory write lock (see the limit decision above).
         table.splits.fetch_add(1, Ordering::Relaxed);
+        obs::counter!("cdytis.split").inc();
     }
 
     /// Scans one table starting at `start_sk`; returns `true` when `count`
@@ -302,6 +342,9 @@ impl ConcurrentKvIndex for ConcurrentDyTis {
         while !self.insert_fast(table, sk, key, value) {
             guard += 1;
             assert!(guard < 10_000, "concurrent insert failed to converge");
+            // relaxed: monotonic advisory counter (lock-acquisition retries).
+            self.insert_retries.fetch_add(1, Ordering::Relaxed);
+            obs::counter!("cdytis.insert_retries").inc();
             self.maintain(table, sk);
         }
     }

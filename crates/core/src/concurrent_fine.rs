@@ -20,7 +20,7 @@ use crate::remap::{mask64, RemapFn};
 use crate::segment::{RemapOutcome, Segment};
 use index_traits::{AuditReport, Auditable, ConcurrentKvIndex, Key, Value};
 use parking_lot::{Mutex, RwLock};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A segment whose buckets are individually locked.
@@ -79,6 +79,13 @@ pub struct ConcurrentDyTisFine {
     params: Params,
     tables: Vec<FineEh>,
     m_total: u32,
+    /// Times an insert lost its fast path to contention or a pending
+    /// structural fix and had to retry through `maintain`.
+    insert_retries: AtomicU64,
+    splits: AtomicU64,
+    expansions: AtomicU64,
+    remaps: AtomicU64,
+    doublings: AtomicU64,
 }
 
 impl ConcurrentDyTisFine {
@@ -111,7 +118,36 @@ impl ConcurrentDyTisFine {
             params,
             tables,
             m_total,
+            insert_retries: AtomicU64::new(0),
+            splits: AtomicU64::new(0),
+            expansions: AtomicU64::new(0),
+            remaps: AtomicU64::new(0),
+            doublings: AtomicU64::new(0),
         }
+    }
+
+    /// Totals of the structural maintenance operations performed so far.
+    /// Exact once writers have quiesced; `keys_moved` is not tracked and
+    /// reads 0.
+    pub fn maintenance_stats(&self) -> index_traits::MaintenanceStats {
+        index_traits::MaintenanceStats {
+            // relaxed: monotonic advisory counters; exact totals are only
+            // required after the writing threads have been joined.
+            splits: self.splits.load(Ordering::Relaxed),
+            // relaxed: see above.
+            expansions: self.expansions.load(Ordering::Relaxed),
+            // relaxed: see above.
+            remaps: self.remaps.load(Ordering::Relaxed),
+            // relaxed: see above.
+            doublings: self.doublings.load(Ordering::Relaxed),
+            ..Default::default()
+        }
+    }
+
+    /// Times an insert had to retry through the slow path (see field doc).
+    pub fn insert_retries(&self) -> u64 {
+        // relaxed: monotonic advisory counter.
+        self.insert_retries.load(Ordering::Relaxed)
     }
 
     #[inline]
@@ -183,13 +219,31 @@ impl ConcurrentDyTisFine {
             && seg.remap_adjust(k, self.m_total, cap_buckets, p) != RemapOutcome::Failed
         {
             *seg_arc.write() = FineSegment::from_segment(seg);
+            // relaxed: monotonic stats counter, written under the directory
+            // write lock.
+            self.remaps.fetch_add(1, Ordering::Relaxed);
+            obs::counter!("cdytis_fine.remap").inc();
             return;
         }
         if !warmup && ld == gd {
             let ok = if high {
-                seg.expand(self.m_total, cap_buckets, p)
+                let ok = seg.expand(self.m_total, cap_buckets, p);
+                if ok {
+                    // relaxed: monotonic stats counter, written under the
+                    // directory write lock.
+                    self.expansions.fetch_add(1, Ordering::Relaxed);
+                    obs::counter!("cdytis_fine.expand").inc();
+                }
+                ok
             } else {
-                seg.remap_adjust(k, self.m_total, cap_buckets, p) != RemapOutcome::Failed
+                let ok = seg.remap_adjust(k, self.m_total, cap_buckets, p) != RemapOutcome::Failed;
+                if ok {
+                    // relaxed: monotonic stats counter, written under the
+                    // directory write lock.
+                    self.remaps.fetch_add(1, Ordering::Relaxed);
+                    obs::counter!("cdytis_fine.remap").inc();
+                }
+                ok
             };
             if ok {
                 *seg_arc.write() = FineSegment::from_segment(seg);
@@ -205,6 +259,10 @@ impl ConcurrentDyTisFine {
             }
             dir.entries = entries;
             dir.global_depth += 1;
+            // relaxed: monotonic stats counter, written under the directory
+            // write lock.
+            self.doublings.fetch_add(1, Ordering::Relaxed);
+            obs::counter!("cdytis_fine.double").inc();
         }
         let (left, right) = seg.split(self.m_total, p);
         let gd = dir.global_depth;
@@ -219,6 +277,10 @@ impl ConcurrentDyTisFine {
         for e in &mut dir.entries[base + span..base + 2 * span] {
             *e = Arc::clone(&right);
         }
+        // relaxed: monotonic stats counter, written under the directory
+        // write lock.
+        self.splits.fetch_add(1, Ordering::Relaxed);
+        obs::counter!("cdytis_fine.split").inc();
     }
 }
 
@@ -236,6 +298,9 @@ impl ConcurrentKvIndex for ConcurrentDyTisFine {
         while !self.insert_fast(table, sk, key, value) {
             guard += 1;
             assert!(guard < 10_000, "fine-grained insert failed to converge");
+            // relaxed: monotonic advisory counter (lock-acquisition retries).
+            self.insert_retries.fetch_add(1, Ordering::Relaxed);
+            obs::counter!("cdytis_fine.insert_retries").inc();
             self.maintain(table, sk);
         }
     }

@@ -243,7 +243,10 @@ impl EhTable {
         }
         self.stats.ops.remaps += 1;
         self.stats.ops.keys_moved += n;
-        self.stats.times.remap_ns += t0.elapsed().as_nanos() as u64;
+        let dt = t0.elapsed().as_nanos() as u64;
+        self.stats.times.remap_ns += dt;
+        obs::counter!("dytis.remap").inc();
+        obs::histogram!("dytis.remap_ns").record(dt);
         #[cfg(debug_assertions)]
         self.debug_audit_segment(id, params);
         true
@@ -258,7 +261,10 @@ impl EhTable {
         }
         self.stats.ops.expansions += 1;
         self.stats.ops.keys_moved += n;
-        self.stats.times.expansion_ns += t0.elapsed().as_nanos() as u64;
+        let dt = t0.elapsed().as_nanos() as u64;
+        self.stats.times.expansion_ns += dt;
+        obs::counter!("dytis.expand").inc();
+        obs::histogram!("dytis.expand_ns").record(dt);
         #[cfg(debug_assertions)]
         self.debug_audit_segment(id, params);
         true
@@ -295,7 +301,10 @@ impl EhTable {
         }
         self.stats.ops.splits += 1;
         self.stats.ops.keys_moved += n;
-        self.stats.times.split_ns += t0.elapsed().as_nanos() as u64;
+        let dt = t0.elapsed().as_nanos() as u64;
+        self.stats.times.split_ns += dt;
+        obs::counter!("dytis.split").inc();
+        obs::histogram!("dytis.split_ns").record(dt);
         #[cfg(debug_assertions)]
         {
             self.debug_audit_directory();
@@ -315,7 +324,10 @@ impl EhTable {
         self.dir = dir;
         self.global_depth += 1;
         self.stats.ops.doublings += 1;
-        self.stats.times.doubling_ns += t0.elapsed().as_nanos() as u64;
+        let dt = t0.elapsed().as_nanos() as u64;
+        self.stats.times.doubling_ns += dt;
+        obs::counter!("dytis.double").inc();
+        obs::histogram!("dytis.double_ns").record(dt);
         #[cfg(debug_assertions)]
         self.debug_audit_directory();
     }

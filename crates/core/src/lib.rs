@@ -211,7 +211,12 @@ impl DyTis {
 }
 
 impl KvIndex for DyTis {
+    // The obs timers/counters below compile to no-ops unless the `metrics`
+    // feature is on (see crates/obs): `Timer` is then zero-sized and the
+    // handle lookups fold away, so the default hot path is unchanged.
     fn insert(&mut self, key: Key, value: Value) {
+        let _t = obs::Timer::start(obs::histogram!("dytis.insert_ns"));
+        obs::counter!("dytis.insert").inc();
         let t = self.table_of(key);
         let sk = self.sub_key(key);
         let before = self.tables[t].len();
@@ -220,6 +225,8 @@ impl KvIndex for DyTis {
     }
 
     fn get(&self, key: Key) -> Option<Value> {
+        let _t = obs::Timer::start(obs::histogram!("dytis.get_ns"));
+        obs::counter!("dytis.get").inc();
         let t = self.table_of(key);
         self.tables[t].get(self.sub_key(key), key, &self.params)
     }
@@ -233,6 +240,8 @@ impl KvIndex for DyTis {
     }
 
     fn scan(&self, start: Key, count: usize, out: &mut Vec<(Key, Value)>) {
+        let _t = obs::Timer::start(obs::histogram!("dytis.scan_ns"));
+        obs::counter!("dytis.scan").inc();
         let first = self.table_of(start);
         if self.tables[first].scan(self.sub_key(start), start, count, out) {
             return;

@@ -23,7 +23,9 @@
 pub mod protocol;
 pub mod shard;
 
-pub use protocol::{format_response, parse_request, parse_response, Request, Response};
+pub use protocol::{
+    format_request, format_response, parse_request, parse_response, Request, Response,
+};
 pub use shard::ShardedStore;
 
 use dytis::ConcurrentDyTis;
@@ -35,7 +37,13 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Executes one request against the store.
+///
+/// With the `metrics` feature on, each call records its latency into the
+/// `kv.request_ns` histogram and bumps a per-command counter; by default
+/// both compile to no-ops (see `crates/obs`).
 pub fn apply(store: &ConcurrentDyTis, req: &Request) -> Response {
+    let _t = obs::Timer::start(obs::histogram!("kv.request_ns"));
+    obs::counter!("kv.request").inc();
     match *req {
         Request::Set(k, v) => {
             store.insert(k, v);
@@ -158,13 +166,22 @@ impl Drop for Server {
 
 fn handle_connection(stream: TcpStream, store: &ConcurrentDyTis) -> Result<()> {
     let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
+    let mut reader = BufReader::new(stream);
+    // Read raw bytes rather than `lines()`: a line that is not valid UTF-8
+    // must be answered with `ERR`, not surfaced as an io::Error that drops
+    // the whole connection.
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        if reader.read_until(b'\n', &mut buf)? == 0 {
+            break; // EOF
+        }
+        let line = String::from_utf8_lossy(&buf);
+        let line = line.trim_matches(|c: char| c == '\r' || c == '\n');
         if line.trim().is_empty() {
             continue;
         }
-        let resp = match parse_request(&line) {
+        let resp = match parse_request(line) {
             Ok(req) => {
                 let resp = apply(store, &req);
                 let quit = resp == Response::Bye;
@@ -176,6 +193,7 @@ fn handle_connection(stream: TcpStream, store: &ConcurrentDyTis) -> Result<()> {
             }
             Err(e) => Response::Err(e),
         };
+        obs::counter!("kv.malformed").inc();
         writeln!(writer, "{}", format_response(&resp))?;
     }
     Ok(())
@@ -217,7 +235,7 @@ impl Client {
     ///
     /// Returns I/O or protocol errors.
     pub fn set(&mut self, key: Key, value: Value) -> Result<()> {
-        match self.round_trip(&format!("SET {key} {value}"))? {
+        match self.round_trip(&format_request(&Request::Set(key, value)))? {
             Response::Ok => Ok(()),
             other => Err(unexpected(other)),
         }
@@ -229,7 +247,7 @@ impl Client {
     ///
     /// Returns I/O or protocol errors.
     pub fn get(&mut self, key: Key) -> Result<Option<Value>> {
-        match self.round_trip(&format!("GET {key}"))? {
+        match self.round_trip(&format_request(&Request::Get(key)))? {
             Response::Value(v) => Ok(Some(v)),
             Response::Miss => Ok(None),
             other => Err(unexpected(other)),
@@ -242,7 +260,7 @@ impl Client {
     ///
     /// Returns I/O or protocol errors.
     pub fn del(&mut self, key: Key) -> Result<Option<Value>> {
-        match self.round_trip(&format!("DEL {key}"))? {
+        match self.round_trip(&format_request(&Request::Del(key)))? {
             Response::Deleted(v) => Ok(Some(v)),
             Response::Miss => Ok(None),
             other => Err(unexpected(other)),
@@ -255,7 +273,7 @@ impl Client {
     ///
     /// Returns I/O or protocol errors.
     pub fn scan(&mut self, start: Key, count: usize) -> Result<Vec<(Key, Value)>> {
-        match self.round_trip(&format!("SCAN {start} {count}"))? {
+        match self.round_trip(&format_request(&Request::Scan(start, count)))? {
             Response::Range(pairs) => Ok(pairs),
             other => Err(unexpected(other)),
         }
@@ -267,7 +285,7 @@ impl Client {
     ///
     /// Returns I/O or protocol errors.
     pub fn len(&mut self) -> Result<usize> {
-        match self.round_trip("LEN")? {
+        match self.round_trip(&format_request(&Request::Len))? {
             Response::Len(n) => Ok(n),
             other => Err(unexpected(other)),
         }
@@ -288,7 +306,7 @@ impl Client {
     ///
     /// Returns I/O or protocol errors.
     pub fn quit(mut self) -> Result<()> {
-        match self.round_trip("QUIT")? {
+        match self.round_trip(&format_request(&Request::Quit))? {
             Response::Bye => Ok(()),
             other => Err(unexpected(other)),
         }

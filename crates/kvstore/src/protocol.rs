@@ -78,6 +78,20 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     Ok(req)
 }
 
+/// Serializes a request line (without the trailing newline).  Inverse of
+/// [`parse_request`]; used by the client so the wire format has a single
+/// source of truth.
+pub fn format_request(req: &Request) -> String {
+    match req {
+        Request::Set(k, v) => format!("SET {k} {v}"),
+        Request::Get(k) => format!("GET {k}"),
+        Request::Del(k) => format!("DEL {k}"),
+        Request::Scan(start, count) => format!("SCAN {start} {count}"),
+        Request::Len => "LEN".into(),
+        Request::Quit => "QUIT".into(),
+    }
+}
+
 /// Serializes a response line (without the trailing newline).
 pub fn format_response(resp: &Response) -> String {
     match resp {

@@ -30,6 +30,9 @@ pub struct ShardedStore {
     senders: Vec<SyncSender<Cmd>>,
     handles: Vec<JoinHandle<()>>,
     shard_bits: u32,
+    /// One obs counter per shard (`kv.shard.<i>.ops`); no-ops unless the
+    /// `metrics` feature is on.
+    shard_ops: Vec<&'static obs::Counter>,
 }
 
 impl ShardedStore {
@@ -71,10 +74,14 @@ impl ShardedStore {
                 }
             }));
         }
+        let shard_ops = (0..n)
+            .map(|i| obs::counter(&format!("kv.shard.{i}.ops")))
+            .collect();
         ShardedStore {
             senders,
             handles,
             shard_bits,
+            shard_ops,
         }
     }
 
@@ -94,18 +101,22 @@ impl ShardedStore {
 
     /// Inserts or updates a pair (fire-and-forget to the owning engine).
     pub fn set(&self, key: Key, value: Value) {
+        let shard = self.shard_of(key);
+        self.shard_ops[shard].inc();
         // invariant: each engine thread holds its receiver until it sees
         // Cmd::Stop, which is only sent from shutdown()/drop.
-        self.senders[self.shard_of(key)]
+        self.senders[shard]
             .send(Cmd::Set(key, value))
             .expect("engine alive");
     }
 
     /// Point lookup.
     pub fn get(&self, key: Key) -> Option<Value> {
+        let shard = self.shard_of(key);
+        self.shard_ops[shard].inc();
         let (tx, rx) = sync_channel(1);
         // invariant: the engine outlives `self` and replies to every Get.
-        self.senders[self.shard_of(key)]
+        self.senders[shard]
             .send(Cmd::Get(key, tx))
             .expect("engine alive");
         // invariant: the engine replied above before dropping `tx`.
@@ -114,9 +125,11 @@ impl ShardedStore {
 
     /// Deletes a key.
     pub fn del(&self, key: Key) -> Option<Value> {
+        let shard = self.shard_of(key);
+        self.shard_ops[shard].inc();
         let (tx, rx) = sync_channel(1);
         // invariant: the engine outlives `self` and replies to every Del.
-        self.senders[self.shard_of(key)]
+        self.senders[shard]
             .send(Cmd::Del(key, tx))
             .expect("engine alive");
         // invariant: the engine replied above before dropping `tx`.
@@ -129,6 +142,7 @@ impl ShardedStore {
         let mut out = Vec::with_capacity(count.min(4096));
         let mut cursor = start;
         for s in self.shard_of(start)..self.senders.len() {
+            self.shard_ops[s].inc();
             let (tx, rx) = sync_channel(1);
             // invariant: the engine outlives `self` and replies to every Scan.
             self.senders[s]

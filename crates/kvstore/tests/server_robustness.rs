@@ -1,0 +1,85 @@
+//! Server-level robustness: raw wire abuse must never drop a connection.
+//! Malformed lines — including bytes that are not valid UTF-8 — get an
+//! `ERR` response and the session keeps working.
+
+use kvstore::Server;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Connects a raw TCP socket (no Client convenience layer).
+fn raw_conn(server: &Server) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(server.addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let reader = BufReader::new(stream.try_clone().expect("clone"));
+    (stream, reader)
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read line");
+    line.trim_end().to_string()
+}
+
+#[test]
+fn invalid_utf8_gets_err_and_connection_survives() {
+    let server = Server::start("127.0.0.1:0").expect("bind");
+    let (mut stream, mut reader) = raw_conn(&server);
+
+    // 0xFF 0xFE is not valid UTF-8 anywhere in a line.
+    stream.write_all(b"\xff\xfe garbage\n").expect("write");
+    let resp = read_line(&mut reader);
+    assert!(resp.starts_with("ERR"), "expected ERR, got {resp:?}");
+
+    // The same connection still serves valid requests.
+    stream.write_all(b"SET 1 100\n").expect("write");
+    assert_eq!(read_line(&mut reader), "OK");
+    stream.write_all(b"GET 1\n").expect("write");
+    assert_eq!(read_line(&mut reader), "VALUE 100");
+    server.shutdown();
+}
+
+#[test]
+fn malformed_command_stream_yields_err_per_line() {
+    let server = Server::start("127.0.0.1:0").expect("bind");
+    let (mut stream, mut reader) = raw_conn(&server);
+
+    // A burst of bad lines, one response each, then a good one.
+    stream
+        .write_all(b"FROB 1\nSET 1\nSET a b\nGET 1 2 3\nLEN\n")
+        .expect("write");
+    for _ in 0..4 {
+        let resp = read_line(&mut reader);
+        assert!(resp.starts_with("ERR"), "expected ERR, got {resp:?}");
+    }
+    assert_eq!(read_line(&mut reader), "LEN 0");
+    server.shutdown();
+}
+
+#[test]
+fn crlf_and_blank_lines_are_tolerated() {
+    let server = Server::start("127.0.0.1:0").expect("bind");
+    let (mut stream, mut reader) = raw_conn(&server);
+
+    // Windows-style line endings and blank lines (skipped, no response).
+    stream
+        .write_all(b"SET 7 70\r\n\r\n\nGET 7\r\n")
+        .expect("write");
+    assert_eq!(read_line(&mut reader), "OK");
+    assert_eq!(read_line(&mut reader), "VALUE 70");
+    server.shutdown();
+}
+
+#[test]
+fn quit_closes_cleanly_after_errors() {
+    let server = Server::start("127.0.0.1:0").expect("bind");
+    let (mut stream, mut reader) = raw_conn(&server);
+
+    stream.write_all(b"\xff\xff\xff\nQUIT\n").expect("write");
+    assert!(read_line(&mut reader).starts_with("ERR"));
+    assert_eq!(read_line(&mut reader), "BYE");
+    // Server closed its end: next read yields EOF.
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("eof");
+    assert!(rest.is_empty());
+    server.shutdown();
+}

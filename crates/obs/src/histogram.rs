@@ -1,0 +1,326 @@
+//! Log2-bucketed latency histograms.
+//!
+//! A [`Histogram`] places each recorded value `v` into bucket
+//! `64 - v.leading_zeros()` (so bucket 0 holds only `v == 0`, bucket `i`
+//! holds `2^(i-1) ..= 2^i - 1`).  Buckets are striped across cache lines
+//! exactly like [`crate::Counter`], so concurrent `record` calls from
+//! different threads do not contend on a shared line.
+//!
+//! Percentiles are extracted from an immutable [`HistogramSnapshot`] by a
+//! cumulative walk over the buckets; the reported value for a bucket is its
+//! inclusive upper bound, so percentiles are conservative (never
+//! under-reported) with at most 2x relative error — the standard trade-off
+//! for log2 bucketing (HdrHistogram makes the same one at precision 1).
+
+#[cfg(feature = "metrics")]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[cfg(feature = "metrics")]
+use crate::{stripe_id, STRIPES};
+
+/// Number of buckets: one for zero plus one per bit position of a `u64`.
+pub const BUCKETS: usize = 65;
+
+/// One cache-line-aligned stripe of histogram state.
+///
+/// `buckets` spans several cache lines, but the alignment guarantees two
+/// stripes never share a line, which is all the striping needs.
+#[cfg(feature = "metrics")]
+#[repr(align(64))]
+struct HistStripe {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+#[cfg(feature = "metrics")]
+impl HistStripe {
+    const fn new() -> Self {
+        HistStripe {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A concurrent log2-bucketed histogram.
+///
+/// With the `metrics` feature off this type is zero-sized and
+/// [`Histogram::record`] is an empty inline function.
+pub struct Histogram {
+    #[cfg(feature = "metrics")]
+    stripes: [HistStripe; STRIPES],
+}
+
+/// Bucket index for a value: 0 for 0, else one past the highest set bit.
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of a bucket (the value percentiles report).
+#[inline]
+pub fn bucket_upper(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+impl Histogram {
+    /// A histogram with all buckets empty (`const` so it can back a static).
+    #[cfg(feature = "metrics")]
+    pub const fn new() -> Self {
+        Histogram {
+            stripes: [const { HistStripe::new() }; STRIPES],
+        }
+    }
+
+    /// A histogram with all buckets empty (`const` so it can back a static).
+    #[cfg(not(feature = "metrics"))]
+    pub const fn new() -> Self {
+        Histogram {}
+    }
+
+    /// Record one sample.  Lock-free; wait-free on x86.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        #[cfg(feature = "metrics")]
+        {
+            let stripe = &self.stripes[stripe_id()];
+            // relaxed: counters are independent monotone accumulators; readers
+            // only consume them via `snapshot()`, which tolerates tearing
+            // between buckets, and exact totals are only asserted after the
+            // writing threads are joined (join provides the happens-before).
+            stripe.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+            // relaxed: same reasoning as the bucket increment above.
+            stripe.sum.fetch_add(value, Ordering::Relaxed);
+            // relaxed: max is a monotone join; ordering with other fields is
+            // not needed for the advisory snapshot.
+            stripe.max.fetch_max(value, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "metrics"))]
+        let _ = value;
+    }
+
+    /// Sum all stripes into an immutable snapshot.
+    ///
+    /// Concurrent writers may land between bucket reads, so a snapshot taken
+    /// mid-flight is approximate; one taken after writers quiesce is exact.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        #[cfg(feature = "metrics")]
+        {
+            let mut snap = HistogramSnapshot::default();
+            for stripe in &self.stripes {
+                for (i, b) in stripe.buckets.iter().enumerate() {
+                    // relaxed: see `record`; exactness is only required after
+                    // writers have been joined.
+                    snap.buckets[i] += b.load(Ordering::Relaxed);
+                }
+                // relaxed: see `record`.
+                snap.sum += stripe.sum.load(Ordering::Relaxed);
+                // relaxed: see `record`.
+                snap.max = snap.max.max(stripe.max.load(Ordering::Relaxed));
+            }
+            snap.count = snap.buckets.iter().sum();
+            snap
+        }
+        #[cfg(not(feature = "metrics"))]
+        HistogramSnapshot::default()
+    }
+
+    /// Zero every bucket.  Intended for test isolation and bench warm-up
+    /// resets; not atomic with respect to concurrent writers.
+    pub fn reset(&self) {
+        #[cfg(feature = "metrics")]
+        for stripe in &self.stripes {
+            for b in &stripe.buckets {
+                // relaxed: reset is only called while writers are quiescent.
+                b.store(0, Ordering::Relaxed);
+            }
+            // relaxed: see above.
+            stripe.sum.store(0, Ordering::Relaxed);
+            // relaxed: see above.
+            stripe.max.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An owned, mergeable view of a histogram's buckets.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`bucket_of`]).
+    pub buckets: [u64; BUCKETS],
+    /// Total number of samples.
+    pub count: u64,
+    /// Sum of all recorded values (for mean extraction).
+    pub sum: u64,
+    /// Largest recorded value (exact, not bucketed).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Fold another snapshot into this one (e.g. per-thread histograms).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the upper bound of the first bucket
+    /// whose cumulative count reaches `ceil(q * count)`.  Returns 0 for an
+    /// empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += *b;
+            if cum >= rank {
+                // Never report past the true maximum.
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean of all recorded values (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Render as a JSON object with count/mean/max and the standard
+    /// percentile set (p50/p90/p99/p999).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"mean\":{:.1},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}",
+            self.count,
+            self.mean(),
+            self.max,
+            self.percentile(0.50),
+            self.percentile(0.90),
+            self.percentile(0.99),
+            self.percentile(0.999),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+        // Every value is <= its bucket's upper bound and > the previous one's.
+        for v in [0u64, 1, 2, 5, 100, 1 << 20, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(v <= bucket_upper(b));
+            if b > 0 {
+                assert!(v > bucket_upper(b - 1));
+            }
+        }
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn percentiles_and_merge() {
+        let h = Histogram::new();
+        // 90 samples of ~100ns, 9 of ~10us, 1 of ~1ms.
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..9 {
+            h.record(10_000);
+        }
+        h.record(1_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max, 1_000_000);
+        // p50 and p90 land in the 100ns bucket [64,127].
+        assert_eq!(s.percentile(0.50), 127);
+        assert_eq!(s.percentile(0.90), 127);
+        // p99 lands in the 10us bucket [8192,16383].
+        assert_eq!(s.percentile(0.99), 16_383);
+        // p99.9 / p100 report the exact max, clamped from the bucket bound.
+        assert_eq!(s.percentile(0.999), 1_000_000);
+        assert_eq!(s.percentile(1.0), 1_000_000);
+
+        let mut merged = s.clone();
+        merged.merge(&s);
+        assert_eq!(merged.count, 200);
+        assert_eq!(merged.sum, 2 * s.sum);
+        assert_eq!(merged.percentile(0.99), 16_383);
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn empty_and_reset() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().count, 0);
+        assert_eq!(h.snapshot().percentile(0.99), 0);
+        h.record(42);
+        assert_eq!(h.snapshot().count, 1);
+        h.reset();
+        let s = h.snapshot();
+        assert_eq!((s.count, s.sum, s.max), (0, 0, 0));
+    }
+
+    #[cfg(not(feature = "metrics"))]
+    #[test]
+    fn disabled_is_zero_sized_noop() {
+        assert_eq!(std::mem::size_of::<Histogram>(), 0);
+        let h = Histogram::new();
+        h.record(42);
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[test]
+    fn json_shape() {
+        let s = HistogramSnapshot::default();
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        for key in ["count", "mean", "max", "p50", "p90", "p99", "p999"] {
+            assert!(j.contains(&format!("\"{key}\"")), "missing {key} in {j}");
+        }
+    }
+}

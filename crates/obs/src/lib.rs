@@ -1,0 +1,507 @@
+//! Runtime observability: lock-free striped counters, log2-bucketed latency
+//! histograms, and a process-wide named registry with JSON export.
+//!
+//! Everything in this crate is **feature-gated to zero cost**: with the
+//! `metrics` feature off (the default), [`Counter`] and [`Histogram`] are
+//! zero-sized types whose methods have empty bodies, [`counter!`] /
+//! [`histogram!`] branch on the compile-time constant [`ENABLED`] so the
+//! registry lookup is dead code the optimizer removes, and [`snapshot`]
+//! returns an empty report.  Instrumented hot paths therefore cost nothing
+//! in default builds — the acceptance bar for threading this layer through
+//! the DyTIS search/insert/scan paths.
+//!
+//! With `metrics` on, counters and histograms stripe their state across
+//! [`STRIPES`] cache-line-aligned atomic slots indexed by a per-thread id,
+//! so concurrent increments from different threads land on different cache
+//! lines (no shared-line ping-pong).  Reads sum all stripes; totals are
+//! exact once the writing threads have been joined.
+//!
+//! Typical use:
+//!
+//! ```
+//! let hits = obs::counter!("dytis.get");
+//! hits.add(1);
+//! let hist = obs::histogram!("dytis.get_ns");
+//! {
+//!     let _t = obs::Timer::start(hist); // records elapsed ns on drop
+//! }
+//! let report = obs::snapshot();
+//! let _json = report.to_json();
+//! ```
+
+mod histogram;
+
+pub use histogram::{bucket_of, bucket_upper, Histogram, HistogramSnapshot, BUCKETS};
+
+#[cfg(feature = "metrics")]
+use std::collections::BTreeMap;
+#[cfg(feature = "metrics")]
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+#[cfg(feature = "metrics")]
+use std::sync::Mutex;
+
+/// Compile-time flag for the `metrics` feature, resolved in *this* crate.
+///
+/// Exported macros must branch on this constant rather than calling
+/// `cfg!(feature = "metrics")` inline, because `cfg!` inside a
+/// `macro_rules!` expansion would consult the *caller's* feature set.
+pub const ENABLED: bool = cfg!(feature = "metrics");
+
+/// Number of cache-line stripes per counter/histogram.  Power of two so the
+/// thread-id fold is a mask.
+pub const STRIPES: usize = 16;
+
+/// Stripe index for the calling thread: a process-unique thread number
+/// folded onto `[0, STRIPES)`.  Distinct long-lived threads get distinct
+/// stripes until more than `STRIPES` threads exist.
+#[cfg(feature = "metrics")]
+#[inline]
+pub(crate) fn stripe_id() -> usize {
+    use std::cell::Cell;
+    thread_local! {
+        static STRIPE: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    STRIPE.with(|slot| {
+        let mut id = slot.get();
+        if id == usize::MAX {
+            static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
+            // relaxed: allocating a unique thread number; no other memory is
+            // published through this counter.
+            id = NEXT_THREAD.fetch_add(1, Ordering::Relaxed) & (STRIPES - 1);
+            slot.set(id);
+        }
+        id
+    })
+}
+
+/// One cache line holding a single atomic slot, padded so neighbouring
+/// stripes never share a line.
+#[cfg(feature = "metrics")]
+#[repr(align(64))]
+struct CachePadded(AtomicU64);
+
+/// A monotonic counter striped across cache lines.
+///
+/// Zero-sized no-op when the `metrics` feature is off.
+pub struct Counter {
+    #[cfg(feature = "metrics")]
+    stripes: [CachePadded; STRIPES],
+}
+
+impl Counter {
+    /// A counter at zero (`const` so it can back a static).
+    #[cfg(feature = "metrics")]
+    pub const fn new() -> Self {
+        Counter {
+            stripes: [const { CachePadded(AtomicU64::new(0)) }; STRIPES],
+        }
+    }
+
+    /// A counter at zero (`const` so it can back a static).
+    #[cfg(not(feature = "metrics"))]
+    pub const fn new() -> Self {
+        Counter {}
+    }
+
+    /// Add `n` to the counter.  Lock-free; wait-free on x86.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(feature = "metrics")]
+        // relaxed: independent monotone accumulator; readers sum stripes via
+        // `get()` and only rely on exact totals after writer threads are
+        // joined (join provides the happens-before edge).
+        self.stripes[stripe_id()].0.fetch_add(n, Ordering::Relaxed);
+        #[cfg(not(feature = "metrics"))]
+        let _ = n;
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Sum of all stripes.  Exact once writers have quiesced; otherwise a
+    /// valid momentary lower bound.
+    pub fn get(&self) -> u64 {
+        #[cfg(feature = "metrics")]
+        {
+            self.stripes
+                .iter()
+                // relaxed: see `add`.
+                .map(|s| s.0.load(Ordering::Relaxed))
+                .sum()
+        }
+        #[cfg(not(feature = "metrics"))]
+        0
+    }
+
+    /// Zero the counter.  For test isolation and bench warm-up resets; not
+    /// atomic with respect to concurrent writers.
+    pub fn reset(&self) {
+        #[cfg(feature = "metrics")]
+        for s in &self.stripes {
+            // relaxed: reset is only called while writers are quiescent.
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A drop guard that records elapsed nanoseconds into a histogram.
+///
+/// With `metrics` off this is zero-sized: no `Instant::now()` call is made
+/// and `Drop` is empty, so timed scopes cost nothing in default builds.
+#[must_use = "a Timer records on drop; binding it to `_` drops it immediately"]
+pub struct Timer<'a> {
+    #[cfg(feature = "metrics")]
+    hist: &'a Histogram,
+    #[cfg(feature = "metrics")]
+    start: std::time::Instant,
+    #[cfg(not(feature = "metrics"))]
+    _hist: std::marker::PhantomData<&'a Histogram>,
+}
+
+impl<'a> Timer<'a> {
+    /// Start timing; the elapsed nanoseconds are recorded into `hist` when
+    /// the returned guard drops.
+    #[inline]
+    pub fn start(hist: &'a Histogram) -> Timer<'a> {
+        #[cfg(feature = "metrics")]
+        {
+            Timer {
+                hist,
+                start: std::time::Instant::now(),
+            }
+        }
+        #[cfg(not(feature = "metrics"))]
+        {
+            let _ = hist;
+            Timer {
+                _hist: std::marker::PhantomData,
+            }
+        }
+    }
+}
+
+impl Drop for Timer<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        #[cfg(feature = "metrics")]
+        self.hist.record(self.start.elapsed().as_nanos() as u64);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// The process-wide registry: name → leaked metric.  `BTreeMap` keeps
+/// snapshots deterministically ordered for stable JSON/diffing.
+#[cfg(feature = "metrics")]
+struct Registry {
+    counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
+    histograms: Mutex<BTreeMap<&'static str, &'static Histogram>>,
+}
+
+#[cfg(feature = "metrics")]
+fn registry() -> &'static Registry {
+    static REGISTRY: std::sync::OnceLock<Registry> = std::sync::OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(BTreeMap::new()),
+        histograms: Mutex::new(BTreeMap::new()),
+    })
+}
+
+/// Shared no-op instances handed out when metrics are disabled, so callers
+/// always hold a `&'static` handle regardless of the feature set.
+#[cfg(not(feature = "metrics"))]
+static NOOP_COUNTER: Counter = Counter::new();
+#[cfg(not(feature = "metrics"))]
+static NOOP_HISTOGRAM: Histogram = Histogram::new();
+
+/// Look up (or register) the counter named `name`.
+///
+/// Registration leaks one small allocation per distinct name for the life
+/// of the process — the standard price for lock-free `&'static` handles.
+/// Prefer the [`counter!`] macro on hot paths: it caches the handle per
+/// call site so the registry mutex is touched once, not per operation.
+pub fn counter(name: &str) -> &'static Counter {
+    #[cfg(feature = "metrics")]
+    {
+        let mut map = registry()
+            .counters
+            .lock()
+            // invariant: registry mutex critical sections only insert into a
+            // map and cannot panic, so the lock is never poisoned.
+            .unwrap();
+        if let Some(c) = map.get(name) {
+            return c;
+        }
+        let leaked_name: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let leaked: &'static Counter = Box::leak(Box::new(Counter::new()));
+        map.insert(leaked_name, leaked);
+        leaked
+    }
+    #[cfg(not(feature = "metrics"))]
+    {
+        let _ = name;
+        &NOOP_COUNTER
+    }
+}
+
+/// Look up (or register) the histogram named `name`.  See [`counter`] for
+/// leak and caching notes; prefer the [`histogram!`] macro on hot paths.
+pub fn histogram(name: &str) -> &'static Histogram {
+    #[cfg(feature = "metrics")]
+    {
+        let mut map = registry()
+            .histograms
+            .lock()
+            // invariant: registry mutex critical sections only insert into a
+            // map and cannot panic, so the lock is never poisoned.
+            .unwrap();
+        if let Some(h) = map.get(name) {
+            return h;
+        }
+        let leaked_name: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let leaked: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+        map.insert(leaked_name, leaked);
+        leaked
+    }
+    #[cfg(not(feature = "metrics"))]
+    {
+        let _ = name;
+        &NOOP_HISTOGRAM
+    }
+}
+
+/// Counter handle cached per call site.  Expands to a registry lookup on
+/// first use and an atomic-free static read afterwards; with `metrics` off
+/// the branch is a compile-time `false` and folds to the shared no-op.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        if $crate::ENABLED {
+            static SITE: ::std::sync::OnceLock<&'static $crate::Counter> =
+                ::std::sync::OnceLock::new();
+            *SITE.get_or_init(|| $crate::counter($name))
+        } else {
+            $crate::counter($name)
+        }
+    }};
+}
+
+/// Histogram handle cached per call site; see [`counter!`].
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        if $crate::ENABLED {
+            static SITE: ::std::sync::OnceLock<&'static $crate::Histogram> =
+                ::std::sync::OnceLock::new();
+            *SITE.get_or_init(|| $crate::histogram($name))
+        } else {
+            $crate::histogram($name)
+        }
+    }};
+}
+
+/// An owned, ordered view of every registered metric.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// `(name, total)` for every registered counter, name-ordered.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, snapshot)` for every registered histogram, name-ordered.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Render the whole snapshot as a JSON object:
+    /// `{"counters":{...},"histograms":{name:{count,mean,max,p50,...}}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{v}", json_string(name)));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json_string(name), h.to_json()));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Snapshot every registered metric.  Empty when `metrics` is off — the
+/// zero-cost guarantee is tested against exactly this observation.
+pub fn snapshot() -> Snapshot {
+    #[cfg(feature = "metrics")]
+    {
+        let reg = registry();
+        let counters = reg
+            .counters
+            .lock()
+            // invariant: registry mutex critical sections cannot panic (see
+            // `counter`), so the lock is never poisoned.
+            .unwrap()
+            .iter()
+            .map(|(name, c)| (name.to_string(), c.get()))
+            .collect();
+        let histograms = reg
+            .histograms
+            .lock()
+            // invariant: registry mutex critical sections cannot panic (see
+            // `histogram`), so the lock is never poisoned.
+            .unwrap()
+            .iter()
+            .map(|(name, h)| (name.to_string(), h.snapshot()))
+            .collect();
+        Snapshot {
+            counters,
+            histograms,
+        }
+    }
+    #[cfg(not(feature = "metrics"))]
+    Snapshot::default()
+}
+
+/// Zero every registered metric (the metrics stay registered).  For test
+/// isolation and bench warm-up resets; callers must quiesce writers first.
+pub fn reset_all() {
+    #[cfg(feature = "metrics")]
+    {
+        let reg = registry();
+        // invariant: registry mutex critical sections cannot panic (see
+        // `counter`), so the lock is never poisoned.
+        for c in reg.counters.lock().unwrap().values() {
+            c.reset();
+        }
+        // invariant: registry mutex critical sections cannot panic (see
+        // `histogram`), so the lock is never poisoned.
+        for h in reg.histograms.lock().unwrap().values() {
+            h.reset();
+        }
+    }
+}
+
+/// Minimal JSON string encoder for metric names (quotes, backslashes, and
+/// control characters; names are code-controlled so nothing fancier is
+/// needed).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn counter_stripes_sum_exactly() {
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn registry_dedups_by_name() {
+        let a = counter("test.registry.dedup");
+        let b = counter("test.registry.dedup");
+        assert!(std::ptr::eq(a, b));
+        a.add(3);
+        assert_eq!(b.get(), 3);
+        let h1 = histogram("test.registry.hist");
+        let h2 = histogram("test.registry.hist");
+        h1.record(7);
+        assert_eq!(h2.snapshot().count, 1);
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn macro_caches_and_snapshot_lists() {
+        let c = counter!("test.macro.counter");
+        c.add(2);
+        let h = histogram!("test.macro.hist");
+        h.record(100);
+        let snap = snapshot();
+        assert!(snap
+            .counters
+            .iter()
+            .any(|(n, v)| n == "test.macro.counter" && *v >= 2));
+        assert!(snap
+            .histograms
+            .iter()
+            .any(|(n, h)| n == "test.macro.hist" && h.count >= 1));
+        let json = snap.to_json();
+        assert!(json.contains("\"test.macro.counter\""));
+        assert!(json.contains("\"test.macro.hist\""));
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn timer_records_on_drop() {
+        let h = Histogram::new();
+        {
+            let _t = Timer::start(&h);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+    }
+
+    #[cfg(not(feature = "metrics"))]
+    #[test]
+    fn disabled_everything_is_noop() {
+        assert_eq!(std::mem::size_of::<Counter>(), 0);
+        assert_eq!(std::mem::size_of::<Timer<'_>>(), 0);
+        let c = counter!("test.disabled.counter");
+        c.add(5);
+        assert_eq!(c.get(), 0);
+        let h = histogram!("test.disabled.hist");
+        {
+            let _t = Timer::start(h);
+        }
+        assert_eq!(h.snapshot().count, 0);
+        let snap = snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert_eq!(snap.to_json(), "{\"counters\":{},\"histograms\":{}}");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\ny"), "\"x\\u000ay\"");
+    }
+}

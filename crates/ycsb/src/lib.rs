@@ -248,13 +248,25 @@ pub struct Summary {
     pub mops: f64,
     /// Average latency in nanoseconds.
     pub avg_ns: f64,
+    /// Median latency in nanoseconds.
+    pub p50_ns: u64,
+    /// 90th percentile latency in nanoseconds.
+    pub p90_ns: u64,
     /// 99th percentile latency in nanoseconds.
     pub p99_ns: u64,
+    /// 99.9th percentile latency in nanoseconds.
+    pub p999_ns: u64,
     /// 99.99th percentile latency in nanoseconds.
     pub p9999_ns: u64,
 }
 
-fn summarize(latencies: &mut [u64], elapsed_ns: u64) -> Summary {
+/// Builds a [`Summary`] from raw per-operation latencies (sorts in place).
+///
+/// Public so multi-threaded drivers can concatenate per-thread latency
+/// vectors (see [`run_ops_concurrent_latencies`]) and extract *exact*
+/// aggregate percentiles, instead of the worst-thread approximation of
+/// [`merge_summaries`].
+pub fn summarize(latencies: &mut [u64], elapsed_ns: u64) -> Summary {
     let ops = latencies.len();
     latencies.sort_unstable();
     let pct = |p: f64| -> u64 {
@@ -278,7 +290,10 @@ fn summarize(latencies: &mut [u64], elapsed_ns: u64) -> Summary {
         } else {
             sum as f64 / ops as f64
         },
+        p50_ns: pct(0.50),
+        p90_ns: pct(0.90),
         p99_ns: pct(0.99),
+        p999_ns: pct(0.999),
         p9999_ns: pct(0.9999),
     }
 }
@@ -319,6 +334,17 @@ pub fn run_ops<I: KvIndex>(idx: &mut I, ops: &[Op]) -> Summary {
 /// Executes `ops` against a concurrent index from one thread (callers fan
 /// out threads themselves and merge the per-thread summaries).
 pub fn run_ops_concurrent<I: ConcurrentKvIndex + ?Sized>(idx: &I, ops: &[Op]) -> Summary {
+    let (mut latencies, elapsed) = run_ops_concurrent_latencies(idx, ops);
+    summarize(&mut latencies, elapsed)
+}
+
+/// Like [`run_ops_concurrent`] but returns the raw per-op latency vector and
+/// the thread's wall-clock nanoseconds, so a multi-threaded driver can pool
+/// latencies across threads and compute exact aggregate percentiles.
+pub fn run_ops_concurrent_latencies<I: ConcurrentKvIndex + ?Sized>(
+    idx: &I,
+    ops: &[Op],
+) -> (Vec<u64>, u64) {
     let mut latencies = Vec::with_capacity(ops.len());
     let mut scan_buf = Vec::with_capacity(SCAN_LEN);
     let mut sink = 0u64;
@@ -342,7 +368,7 @@ pub fn run_ops_concurrent<I: ConcurrentKvIndex + ?Sized>(idx: &I, ops: &[Op]) ->
     }
     let elapsed = start.elapsed().as_nanos() as u64;
     std::hint::black_box(sink);
-    summarize(&mut latencies, elapsed)
+    (latencies, elapsed)
 }
 
 /// Merges per-thread summaries into an aggregate (total ops over max
@@ -364,7 +390,10 @@ pub fn merge_summaries(parts: &[Summary]) -> Summary {
             ops as f64 * 1e3 / elapsed as f64
         },
         avg_ns: avg,
+        p50_ns: parts.iter().map(|s| s.p50_ns).max().unwrap_or(0),
+        p90_ns: parts.iter().map(|s| s.p90_ns).max().unwrap_or(0),
         p99_ns: parts.iter().map(|s| s.p99_ns).max().unwrap_or(0),
+        p999_ns: parts.iter().map(|s| s.p999_ns).max().unwrap_or(0),
         p9999_ns: parts.iter().map(|s| s.p9999_ns).max().unwrap_or(0),
     }
 }
@@ -498,7 +527,10 @@ mod tests {
     fn summary_percentiles_ordered() {
         let mut lat: Vec<u64> = (1..=10_000).collect();
         let s = summarize(&mut lat, 1_000_000);
+        assert_eq!(s.p50_ns, 5_000);
+        assert_eq!(s.p90_ns, 9_000);
         assert_eq!(s.p99_ns, 9_900);
+        assert_eq!(s.p999_ns, 9_990);
         assert_eq!(s.p9999_ns, 9_999);
         assert!((s.avg_ns - 5_000.5).abs() < 1.0);
     }
@@ -510,7 +542,10 @@ mod tests {
             elapsed_ns: 1_000,
             mops: 0.0,
             avg_ns: 10.0,
+            p50_ns: 8,
+            p90_ns: 15,
             p99_ns: 20,
+            p999_ns: 25,
             p9999_ns: 30,
         };
         let b = Summary {
@@ -518,7 +553,10 @@ mod tests {
             elapsed_ns: 2_000,
             mops: 0.0,
             avg_ns: 20.0,
+            p50_ns: 16,
+            p90_ns: 40,
             p99_ns: 50,
+            p999_ns: 55,
             p9999_ns: 60,
         };
         let m = merge_summaries(&[a, b]);

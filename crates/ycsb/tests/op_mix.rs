@@ -1,0 +1,98 @@
+//! Pins the workload A–E (and F) operation mixes to the paper's §4.3
+//! percentages, so a generator regression cannot silently change what the
+//! benchmarks measure.
+
+use ycsb::{generate_ops, Op, Workload};
+
+const N_LOADED: usize = 10_000;
+const N_OPS: usize = 40_000;
+
+struct Mix {
+    reads: usize,
+    updates: usize,
+    inserts: usize,
+    scans: usize,
+    rmws: usize,
+    total: usize,
+}
+
+fn mix_of(workload: Workload, fresh: &[u64]) -> Mix {
+    let loaded: Vec<u64> = (0..N_LOADED as u64).collect();
+    let ops = generate_ops(workload, &loaded, fresh, N_OPS, 0xC0FFEE);
+    let mut m = Mix {
+        reads: 0,
+        updates: 0,
+        inserts: 0,
+        scans: 0,
+        rmws: 0,
+        total: ops.len(),
+    };
+    for op in &ops {
+        match op {
+            Op::Read(_) => m.reads += 1,
+            Op::Update(..) => m.updates += 1,
+            Op::Insert(..) => m.inserts += 1,
+            Op::Scan(_) => m.scans += 1,
+            Op::ReadModifyWrite(..) => m.rmws += 1,
+        }
+    }
+    m
+}
+
+/// Asserts `part / total` is within 1.5 points of `expected` percent.
+fn assert_pct(part: usize, total: usize, expected: f64, what: &str) {
+    let pct = 100.0 * part as f64 / total as f64;
+    assert!(
+        (pct - expected).abs() < 1.5,
+        "{what}: {pct:.2}% of {total}, expected {expected}%"
+    );
+}
+
+#[test]
+fn workload_a_is_50_read_50_update() {
+    let m = mix_of(Workload::A, &[]);
+    assert_eq!(m.total, N_OPS);
+    assert_pct(m.reads, m.total, 50.0, "A reads");
+    assert_pct(m.updates, m.total, 50.0, "A updates");
+    assert_eq!(m.inserts + m.scans + m.rmws, 0);
+}
+
+#[test]
+fn workload_b_is_95_read_5_update() {
+    let m = mix_of(Workload::B, &[]);
+    assert_pct(m.reads, m.total, 95.0, "B reads");
+    assert_pct(m.updates, m.total, 5.0, "B updates");
+    assert_eq!(m.inserts + m.scans + m.rmws, 0);
+}
+
+#[test]
+fn workload_c_is_100_read() {
+    let m = mix_of(Workload::C, &[]);
+    assert_eq!(m.reads, m.total);
+}
+
+#[test]
+fn workload_dp_is_95_read_5_insert() {
+    let fresh: Vec<u64> = (N_LOADED as u64..N_LOADED as u64 + N_OPS as u64).collect();
+    let m = mix_of(Workload::Dp, &fresh);
+    assert_pct(m.reads, m.total, 95.0, "D' reads");
+    assert_pct(m.inserts, m.total, 5.0, "D' inserts");
+    assert_eq!(m.updates + m.scans + m.rmws, 0);
+}
+
+#[test]
+fn workload_e_is_95_scan_5_insert() {
+    let fresh: Vec<u64> = (N_LOADED as u64..N_LOADED as u64 + N_OPS as u64).collect();
+    let m = mix_of(Workload::E, &fresh);
+    assert_pct(m.scans, m.total, 95.0, "E scans");
+    assert_pct(m.inserts, m.total, 5.0, "E inserts");
+    assert_eq!(m.reads + m.updates + m.rmws, 0);
+}
+
+#[test]
+fn workload_f_is_50_read_50_rmw() {
+    let m = mix_of(Workload::F, &[]);
+    assert_pct(m.reads, m.total, 50.0, "F reads");
+    assert_pct(m.rmws, m.total, 50.0, "F read-modify-writes");
+    assert_eq!(m.inserts + m.updates + m.scans, 0);
+}

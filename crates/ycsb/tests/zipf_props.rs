@@ -1,0 +1,107 @@
+//! Property-based tests for the Zipfian request-distribution generators —
+//! the key-popularity engine behind every YCSB workload in the paper (§4.3,
+//! "requests are selected with a scrambled Zipfian distribution with
+//! constant 0.99").  If these drift, every benchmark number in the repo is
+//! measuring a different workload than the paper's.
+//!
+//! Gated behind the `proptest` feature (`cargo test --features proptest`)
+//! so the default offline test run stays lean.
+#![cfg(feature = "proptest")]
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ycsb::{ScrambledZipfian, Zipfian, DEFAULT_THETA};
+
+/// Truncated zeta: `sum_{i=1..n} i^-theta`, the Zipfian normalizer.
+fn zeta(n: usize, theta: f64) -> f64 {
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every Zipfian rank is in `0..n`, for arbitrary n and theta.
+    #[test]
+    fn zipfian_samples_in_range(
+        n in 1usize..10_000,
+        theta_milli in 1u32..1_000,
+        seed in any::<u64>(),
+    ) {
+        let theta = theta_milli as f64 / 1_000.0;
+        let z = Zipfian::new(n, theta);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// Scrambling spreads ranks over the item space but must stay in-range.
+    #[test]
+    fn scrambled_samples_in_range(
+        n in 1usize..10_000,
+        seed in any::<u64>(),
+    ) {
+        let z = ScrambledZipfian::new(n, DEFAULT_THETA);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// Identical seeds must reproduce identical sample streams (benchmarks
+    /// rely on this for run-to-run comparability).
+    #[test]
+    fn identical_seeds_identical_streams(
+        n in 1usize..10_000,
+        seed in any::<u64>(),
+    ) {
+        let z = ScrambledZipfian::new(n, DEFAULT_THETA);
+        let mut a = StdRng::seed_from_u64(seed);
+        let mut b = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+}
+
+/// The Gray et al. sampler returns rank 0 exactly when `u * zeta_n < 1`, so
+/// the head frequency must converge to the analytic Zipf mass of the most
+/// popular item, `1 / zeta_n(theta)`.  Deterministic seed, tight tolerance.
+#[test]
+fn head_frequency_matches_analytic_mass() {
+    const N: usize = 10_000;
+    const SAMPLES: usize = 200_000;
+    let z = Zipfian::new(N, DEFAULT_THETA);
+    let mut rng = StdRng::seed_from_u64(42);
+    let head = (0..SAMPLES).filter(|_| z.sample(&mut rng) == 0).count();
+    let empirical = head as f64 / SAMPLES as f64;
+    let analytic = 1.0 / zeta(N, DEFAULT_THETA);
+    let rel_err = (empirical - analytic).abs() / analytic;
+    assert!(
+        rel_err < 0.05,
+        "head mass: empirical {empirical:.5} vs analytic {analytic:.5} (rel err {rel_err:.3})"
+    );
+}
+
+/// Rank popularity must be non-increasing: rank 0 at least as frequent as
+/// rank 1, which dominates the tail (spot-checks the sampler's shape beyond
+/// just the head).
+#[test]
+fn rank_frequencies_decrease() {
+    const N: usize = 1_000;
+    const SAMPLES: usize = 100_000;
+    let z = Zipfian::new(N, DEFAULT_THETA);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut counts = vec![0usize; N];
+    for _ in 0..SAMPLES {
+        counts[z.sample(&mut rng)] += 1;
+    }
+    assert!(counts[0] > counts[1]);
+    let tail_max = counts[100..].iter().max().copied().unwrap_or(0);
+    assert!(
+        counts[1] > tail_max,
+        "rank 1 ({}) should beat every rank >= 100 (max {tail_max})",
+        counts[1]
+    );
+}

@@ -11,6 +11,7 @@ pub use exhash;
 pub use index_traits;
 pub use kvstore;
 pub use lipp;
+pub use obs;
 pub use stx_btree;
 pub use xindex;
 pub use ycsb;

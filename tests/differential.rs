@@ -1,0 +1,330 @@
+//! Differential testing: every `KvIndex` implementation is driven through a
+//! long randomized trace of mixed operations in lockstep with a
+//! `BTreeMap<u64, u64>` oracle, asserting identical observable behaviour
+//! after every operation and re-checking aggregate state at every batch
+//! boundary. At the end of each trace the structure's invariant audit must
+//! come back clean.
+//!
+//! Unlike `tests/conformance.rs` (phased: all inserts, then all lookups,
+//! ...), these traces interleave insert/update/get/scan/delete in a seeded
+//! pseudo-random order, so maintenance operations (splits, remaps,
+//! expansions, doublings) fire while deletions and scans are in flight.
+//!
+//! The harness itself is tested for non-vacuity: a deliberately corrupted
+//! index (drops every Nth insert) must make `run_trace` report a
+//! divergence.
+
+use dytis_repro::alex_index::Alex;
+use dytis_repro::dytis::{DyTis, Params};
+use dytis_repro::exhash::{Cceh, ExtendibleHash};
+use dytis_repro::index_traits::{Auditable, Key, KvIndex, Value};
+use dytis_repro::lipp::Lipp;
+use dytis_repro::stx_btree::BPlusTree;
+use dytis_repro::xindex::XIndex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Trace length: long enough in release to force DyTIS segment splits,
+/// expansions, and remaps under `Params::small()`; trimmed in debug so
+/// `cargo test` stays responsive.
+const OPS: usize = if cfg!(debug_assertions) {
+    12_000
+} else {
+    100_000
+};
+
+/// Lockstep aggregate checks (len + sampled point lookups) run every batch.
+const BATCH: usize = 2_000;
+
+/// Key universe kept tight relative to `OPS` so updates, deletes, and
+/// lookup hits actually land on live keys.
+const KEY_SPACE: u64 = 1 << 16;
+
+/// Golden-ratio scrambler: spreads the compact key ids across the u64
+/// domain (learned indexes see a realistic spread, hash tables see
+/// well-mixed bits) while staying deterministic.
+fn scramble(id: u64) -> u64 {
+    id.wrapping_mul(0x9E3779B97F4A7C15)
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TraceOp {
+    Insert(Key, Value),
+    Update(Key, Value),
+    Get(Key),
+    Scan(Key, usize),
+    Delete(Key),
+}
+
+/// Generates a seeded mixed trace: 40% inserts (fresh or overwriting), 15%
+/// updates of likely-live keys, 25% point lookups (hits and misses), 10%
+/// scans, 10% deletes.
+fn generate_trace(seed: u64, ops: usize) -> Vec<TraceOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace = Vec::with_capacity(ops);
+    for i in 0..ops {
+        let key = scramble(rng.gen_range(0..KEY_SPACE));
+        let roll = rng.gen_range(0u32..100);
+        trace.push(match roll {
+            0..=39 => TraceOp::Insert(key, i as Value),
+            40..=54 => TraceOp::Update(key, i as Value),
+            55..=79 => TraceOp::Get(key),
+            80..=89 => TraceOp::Scan(key, rng.gen_range(1usize..64)),
+            _ => TraceOp::Delete(key),
+        });
+    }
+    trace
+}
+
+/// Drives `idx` and the oracle through `trace` in lockstep, returning a
+/// description of the first divergence instead of panicking so the
+/// corruption-detection test below can assert the harness actually catches
+/// mismatches.
+fn run_trace<I: KvIndex>(idx: &mut I, trace: &[TraceOp], scans: bool) -> Result<(), String> {
+    let mut oracle: BTreeMap<Key, Value> = BTreeMap::new();
+    let mut got = Vec::with_capacity(64);
+    for (i, &op) in trace.iter().enumerate() {
+        match op {
+            TraceOp::Insert(k, v) => {
+                idx.insert(k, v);
+                oracle.insert(k, v);
+            }
+            TraceOp::Update(k, v) => {
+                let did = idx.update(k, v);
+                let expected = oracle.contains_key(&k);
+                if did != expected {
+                    return Err(format!(
+                        "{} op {i}: update({k}) returned {did}, oracle says {expected}",
+                        idx.name()
+                    ));
+                }
+                if expected {
+                    oracle.insert(k, v);
+                }
+            }
+            TraceOp::Get(k) => {
+                let a = idx.get(k);
+                let b = oracle.get(&k).copied();
+                if a != b {
+                    return Err(format!(
+                        "{} op {i}: get({k}) = {a:?}, oracle {b:?}",
+                        idx.name()
+                    ));
+                }
+            }
+            TraceOp::Scan(start, count) => {
+                if scans {
+                    got.clear();
+                    idx.scan(start, count, &mut got);
+                    let want: Vec<(Key, Value)> = oracle
+                        .range(start..)
+                        .take(count)
+                        .map(|(&k, &v)| (k, v))
+                        .collect();
+                    if got != want {
+                        return Err(format!(
+                            "{} op {i}: scan({start}, {count}) diverged: got {} pairs, want {}",
+                            idx.name(),
+                            got.len(),
+                            want.len()
+                        ));
+                    }
+                }
+            }
+            TraceOp::Delete(k) => {
+                let a = idx.remove(k);
+                let b = oracle.remove(&k);
+                if a != b {
+                    return Err(format!(
+                        "{} op {i}: remove({k}) = {a:?}, oracle {b:?}",
+                        idx.name()
+                    ));
+                }
+            }
+        }
+        // Batch boundary: aggregate state must still agree.
+        if (i + 1) % BATCH == 0 {
+            if idx.len() != oracle.len() {
+                return Err(format!(
+                    "{} op {i}: len {} != oracle len {}",
+                    idx.name(),
+                    idx.len(),
+                    oracle.len()
+                ));
+            }
+            // Sampled re-verification of live keys (every 97th).
+            for (&k, &v) in oracle.iter().step_by(97) {
+                if idx.get(k) != Some(v) {
+                    return Err(format!("{} op {i}: batch check lost key {k}", idx.name()));
+                }
+            }
+        }
+    }
+    if idx.len() != oracle.len() {
+        return Err(format!(
+            "{} final len {} != oracle {}",
+            idx.name(),
+            idx.len(),
+            oracle.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Runs a fresh index through each seeded trace (panicking on divergence)
+/// and then requires a clean, non-trivial invariant audit.
+fn differential<I: KvIndex + Auditable>(build: impl Fn() -> I, scans: bool) {
+    for seed in [0xD1FF_0001u64, 0xD1FF_0002] {
+        let mut idx = build();
+        let trace = generate_trace(seed, OPS);
+        if let Err(e) = run_trace(&mut idx, &trace, scans) {
+            panic!("seed {seed:#x}: {e}");
+        }
+        let report = idx.audit();
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        assert!(report.checks > 100, "audit too shallow: {}", report.checks);
+    }
+}
+
+#[test]
+fn differential_dytis_small_params() {
+    // Small params force splits/expansions/remaps/doublings inside the trace.
+    differential(|| DyTis::with_params(Params::small()), true);
+}
+
+#[test]
+fn differential_dytis_default_params() {
+    differential(DyTis::new, true);
+}
+
+#[test]
+fn differential_btree() {
+    differential(BPlusTree::new, true);
+}
+
+#[test]
+fn differential_alex() {
+    differential(Alex::new, true);
+}
+
+#[test]
+fn differential_xindex() {
+    differential(XIndex::new, true);
+}
+
+#[test]
+fn differential_lipp() {
+    differential(Lipp::new, true);
+}
+
+// The hash baselines implement `scan` as a no-op (unordered layout, paper
+// §4.1), so the trace skips scan comparison for them.
+#[test]
+fn differential_extendible_hash() {
+    differential(ExtendibleHash::new, false);
+}
+
+#[test]
+fn differential_cceh() {
+    differential(Cceh::new, false);
+}
+
+/// A deliberately buggy index: silently drops every Nth insert. Used to
+/// prove the differential harness is not vacuous — it must detect the
+/// divergence, not pass everything.
+struct Corrupted<I> {
+    inner: I,
+    calls: u64,
+    drop_every: u64,
+}
+
+impl<I: KvIndex> KvIndex for Corrupted<I> {
+    fn insert(&mut self, key: Key, value: Value) {
+        self.calls += 1;
+        if self.calls.is_multiple_of(self.drop_every) {
+            return; // the injected bug: lose this write
+        }
+        self.inner.insert(key, value);
+    }
+    fn get(&self, key: Key) -> Option<Value> {
+        self.inner.get(key)
+    }
+    fn remove(&mut self, key: Key) -> Option<Value> {
+        self.inner.remove(key)
+    }
+    fn scan(&self, start: Key, count: usize, out: &mut Vec<(Key, Value)>) {
+        self.inner.scan(start, count, out);
+    }
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn name(&self) -> &'static str {
+        "corrupted"
+    }
+    fn memory_bytes(&self) -> usize {
+        self.inner.memory_bytes()
+    }
+}
+
+#[test]
+fn harness_detects_corrupted_index() {
+    let mut idx = Corrupted {
+        inner: BPlusTree::new(),
+        calls: 0,
+        drop_every: 50,
+    };
+    let trace = generate_trace(0xD1FF_0001, OPS.min(20_000));
+    let result = run_trace(&mut idx, &trace, true);
+    assert!(
+        result.is_err(),
+        "differential harness failed to detect a dropped-insert bug"
+    );
+}
+
+/// The sibling check: a corruption in the *scan* path alone (values
+/// perturbed during range reads) is also caught, showing batch len/get
+/// checks are not the only teeth.
+struct ScanCorrupted<I> {
+    inner: I,
+}
+
+impl<I: KvIndex> KvIndex for ScanCorrupted<I> {
+    fn insert(&mut self, key: Key, value: Value) {
+        self.inner.insert(key, value);
+    }
+    fn get(&self, key: Key) -> Option<Value> {
+        self.inner.get(key)
+    }
+    fn remove(&mut self, key: Key) -> Option<Value> {
+        self.inner.remove(key)
+    }
+    fn scan(&self, start: Key, count: usize, out: &mut Vec<(Key, Value)>) {
+        self.inner.scan(start, count, out);
+        if let Some(last) = out.last_mut() {
+            last.1 ^= 1; // the injected bug: flip a bit of the last value
+        }
+    }
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn name(&self) -> &'static str {
+        "scan-corrupted"
+    }
+    fn memory_bytes(&self) -> usize {
+        self.inner.memory_bytes()
+    }
+}
+
+#[test]
+fn harness_detects_scan_corruption() {
+    let mut idx = ScanCorrupted {
+        inner: BPlusTree::new(),
+    };
+    let trace = generate_trace(0xD1FF_0002, OPS.min(20_000));
+    let result = run_trace(&mut idx, &trace, true);
+    assert!(
+        result.is_err(),
+        "differential harness failed to detect scan corruption"
+    );
+}
