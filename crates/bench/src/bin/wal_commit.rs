@@ -1,0 +1,320 @@
+//! Group-commit throughput: how much does batching fsyncs buy?
+//!
+//! Three experiments over `durability::Wal`:
+//!
+//! 1. **sim**: a single writer syncing every N ∈ {1, 8, 32, 128} appends on
+//!    storage with a fixed simulated sync latency (`--sim-sync-us`,
+//!    default 50). The device cost is deterministic, so the speedup curve
+//!    is too — this is what `--assert-batching` checks (≥5× at N ≥ 32 vs
+//!    per-op fsync), immune to how fast the CI filesystem's real fsync is.
+//! 2. **file**: the same sweep against a real temp file (`sync_data`).
+//! 3. **group**: T ∈ {1, 4, 8} writer threads, each syncing after every
+//!    append, sharing one WAL — the committer's opportunistic batching is
+//!    reported via the always-on `WalStats` (mean records per fsync).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin wal_commit [-- --smoke]
+//!     [--sim-sync-us 50] [--assert-batching] [--out BENCH_wal_commit.json]
+//! ```
+//!
+//! With `--features metrics` the obs registry snapshot (commit-batch
+//! histogram `wal.batch_records`, fsync latency `wal.fsync_ns`) is embedded
+//! in the JSON.
+
+use durability::{Wal, WalOp, WalOptions, WalStorage};
+use std::io;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Storage with a deterministic sync cost: appends are in-memory, `sync`
+/// busy-waits the configured latency (modelling a device flush).
+struct SimStorage {
+    buf: Vec<u8>,
+    sync_us: u64,
+}
+
+impl SimStorage {
+    fn new(sync_us: u64) -> Self {
+        SimStorage {
+            buf: Vec::new(),
+            sync_us,
+        }
+    }
+}
+
+impl WalStorage for SimStorage {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.buf.extend_from_slice(buf);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        let start = Instant::now();
+        while (start.elapsed().as_nanos() as u64) < self.sync_us * 1_000 {
+            std::hint::spin_loop();
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self, header: &[u8]) -> io::Result<()> {
+        self.buf.clear();
+        self.buf.extend_from_slice(header);
+        Ok(())
+    }
+}
+
+struct Cell {
+    label: String,
+    ops: u64,
+    elapsed_s: f64,
+    mean_batch: f64,
+    batches: u64,
+}
+
+impl Cell {
+    fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed_s
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"label\":\"{}\",\"ops\":{},\"elapsed_s\":{:.6},\"ops_per_sec\":{:.0},\
+             \"mean_batch\":{:.2},\"batches\":{}}}",
+            self.label,
+            self.ops,
+            self.elapsed_s,
+            self.ops_per_sec(),
+            self.mean_batch,
+            self.batches
+        )
+    }
+}
+
+/// Single writer, one `sync` per `sync_every` appends.
+fn run_sync_every<S: WalStorage>(label: &str, storage: S, ops: u64, sync_every: u64) -> Cell {
+    let wal = Wal::create(storage, 1, WalOptions::default()).expect("create wal");
+    let start = Instant::now();
+    let mut last = 0;
+    for i in 0..ops {
+        last = wal.append(WalOp::Put, i, i).expect("append");
+        if (i + 1).is_multiple_of(sync_every) {
+            wal.sync(last).expect("sync");
+        }
+    }
+    wal.sync(last).expect("final sync");
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let stats = wal.stats();
+    let (_s, health) = wal.close();
+    health.expect("clean close");
+    Cell {
+        label: label.to_string(),
+        ops,
+        elapsed_s,
+        mean_batch: stats.mean_batch(),
+        batches: stats.batches,
+    }
+}
+
+/// T writers over one WAL, each syncing after every append (the group
+/// commit case: client-visible latency per op, batching by the committer).
+fn run_group<S: WalStorage>(label: &str, storage: S, ops_per_thread: u64, threads: u64) -> Cell {
+    let wal = Arc::new(Wal::create(storage, 1, WalOptions::default()).expect("create wal"));
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let wal = Arc::clone(&wal);
+            s.spawn(move || {
+                for i in 0..ops_per_thread {
+                    let seq = wal
+                        .append(WalOp::Put, t * 1_000_000 + i, i)
+                        .expect("append");
+                    wal.sync(seq).expect("sync");
+                }
+            });
+        }
+    });
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let stats = wal.stats();
+    let wal = Arc::try_unwrap(wal).unwrap_or_else(|_| panic!("writers joined"));
+    let (_s, health) = wal.close();
+    health.expect("clean close");
+    Cell {
+        label: label.to_string(),
+        ops: ops_per_thread * threads,
+        elapsed_s,
+        mean_batch: stats.mean_batch(),
+        batches: stats.batches,
+    }
+}
+
+fn temp_wal_file(tag: &str) -> (std::path::PathBuf, std::fs::File) {
+    let path =
+        std::env::temp_dir().join(format!("wal-commit-bench-{}-{tag}.wal", std::process::id()));
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .read(true)
+        .write(true)
+        .truncate(true)
+        .open(&path)
+        .expect("create bench wal file");
+    (path, file)
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut assert_batching = false;
+    let mut sim_sync_us = 50u64;
+    let mut out_path = String::from("BENCH_wal_commit.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--assert-batching" => assert_batching = true,
+            "--sim-sync-us" => {
+                sim_sync_us = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--sim-sync-us needs an integer");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a value");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!(
+                    "unknown arg {other}; usage: wal_commit [--smoke] [--sim-sync-us N] \
+                     [--assert-batching] [--out FILE]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let sim_ops: u64 = if smoke { 2_000 } else { 20_000 };
+    let file_ops: u64 = if smoke { 5_000 } else { 50_000 };
+    let group_ops_per_thread: u64 = if smoke { 1_000 } else { 10_000 };
+    eprintln!(
+        "[wal_commit] smoke={smoke} sim_sync_us={sim_sync_us} sim_ops={sim_ops} \
+         file_ops={file_ops}"
+    );
+
+    let batch_sizes = [1u64, 8, 32, 128];
+    let mut sim_cells = Vec::new();
+    for &n in &batch_sizes {
+        // Per-op fsync at 50µs over 20k ops is ~1s; shrink the N=1 leg so
+        // the sweep stays quick while ratios remain well-resolved.
+        let ops = if n == 1 { sim_ops / 4 } else { sim_ops };
+        let cell = run_sync_every(
+            &format!("sim/sync_every_{n}"),
+            SimStorage::new(sim_sync_us),
+            ops,
+            n,
+        );
+        eprintln!(
+            "[wal_commit] {}: {:.0} ops/s (mean batch {:.1})",
+            cell.label,
+            cell.ops_per_sec(),
+            cell.mean_batch
+        );
+        sim_cells.push(cell);
+    }
+
+    let mut file_cells = Vec::new();
+    for &n in &batch_sizes {
+        let ops = if n == 1 { file_ops / 4 } else { file_ops };
+        let (path, file) = temp_wal_file(&format!("file-{n}"));
+        let cell = run_sync_every(
+            &format!("file/sync_every_{n}"),
+            durability::FileStorage::new(file),
+            ops,
+            n,
+        );
+        let _ = std::fs::remove_file(&path);
+        eprintln!(
+            "[wal_commit] {}: {:.0} ops/s (mean batch {:.1})",
+            cell.label,
+            cell.ops_per_sec(),
+            cell.mean_batch
+        );
+        file_cells.push(cell);
+    }
+
+    let mut group_cells = Vec::new();
+    for &t in &[1u64, 4, 8] {
+        let cell = run_group(
+            &format!("group/threads_{t}"),
+            SimStorage::new(sim_sync_us),
+            group_ops_per_thread,
+            t,
+        );
+        eprintln!(
+            "[wal_commit] {}: {:.0} ops/s (mean batch {:.1}, {} fsyncs)",
+            cell.label,
+            cell.ops_per_sec(),
+            cell.mean_batch,
+            cell.batches
+        );
+        group_cells.push(cell);
+    }
+
+    let speedup_at = |cells: &[Cell], n: u64| -> f64 {
+        let base = cells[0].ops_per_sec();
+        let idx = batch_sizes.iter().position(|&b| b == n).unwrap_or(0);
+        cells[idx].ops_per_sec() / base
+    };
+    let sim_speedup_32 = speedup_at(&sim_cells, 32);
+    let sim_speedup_128 = speedup_at(&sim_cells, 128);
+    let file_speedup_32 = speedup_at(&file_cells, 32);
+    eprintln!(
+        "[wal_commit] speedup vs per-op fsync: sim 32x-batch {sim_speedup_32:.1}x, \
+         128x-batch {sim_speedup_128:.1}x; file 32x-batch {file_speedup_32:.1}x"
+    );
+
+    let mut json = String::from("{");
+    json.push_str(&format!(
+        "\"bench\":\"wal_commit\",\"smoke\":{smoke},\"sim_sync_us\":{sim_sync_us},"
+    ));
+    for (name, cells) in [
+        ("sim", &sim_cells),
+        ("file", &file_cells),
+        ("group", &group_cells),
+    ] {
+        json.push_str(&format!("\"{name}\":["));
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&c.to_json());
+        }
+        json.push_str("],");
+    }
+    json.push_str(&format!(
+        "\"sim_speedup_32\":{sim_speedup_32:.2},\"sim_speedup_128\":{sim_speedup_128:.2},\
+         \"file_speedup_32\":{file_speedup_32:.2}"
+    ));
+    if obs::ENABLED {
+        json.push_str(&format!(",\"obs\":{}", obs::snapshot().to_json()));
+    }
+    json.push('}');
+    std::fs::write(&out_path, &json).expect("write BENCH_wal_commit.json");
+    eprintln!("[wal_commit] wrote {out_path} ({} bytes)", json.len());
+
+    if assert_batching {
+        // The PR's acceptance bar: batching >=32 appends per sync must beat
+        // per-op fsync by at least 5x under a deterministic device cost.
+        assert!(
+            sim_speedup_32 >= 5.0,
+            "group commit speedup at batch 32 was {sim_speedup_32:.2}x, expected >=5x"
+        );
+        let eight = group_cells.last().expect("group cells");
+        assert!(
+            eight.mean_batch > 1.0,
+            "8-writer group commit never batched (mean batch {:.2})",
+            eight.mean_batch
+        );
+        eprintln!("[wal_commit] --assert-batching passed");
+    }
+}

@@ -1,0 +1,192 @@
+//! Deterministic crash-point and corruption injection for WAL storage.
+//!
+//! [`FailpointWriter`] wraps any [`WalStorage`] and manipulates the byte
+//! stream at an exact cumulative offset: [`CrashPlan::CutAt`] truncates the
+//! stream there (modelling a crash where the tail never reached the device)
+//! and fails every subsequent write and sync, while [`CrashPlan::FlipBit`]
+//! silently corrupts one bit in flight (modelling bit rot or a misdirected
+//! write) without failing anything. Together they let recovery be exercised
+//! at every byte boundary of a log.
+
+use crate::wal::WalStorage;
+use std::io;
+
+/// What the failpoint does to the byte stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPlan {
+    /// Pass everything through untouched.
+    None,
+    /// Persist exactly `offset` bytes of the cumulative stream, then fail:
+    /// the write that crosses the offset is truncated to the surviving
+    /// prefix (a torn write) and returns an error, as does every later
+    /// write and sync. Acks gated on [`crate::Wal::sync`] therefore never
+    /// release for records past the cut.
+    CutAt(u64),
+    /// Flip bit `bit` (0–7) of the byte at cumulative stream `offset` while
+    /// writing it. Writes and syncs succeed — the corruption is only
+    /// discoverable at recovery time via the record CRC.
+    FlipBit {
+        /// Cumulative stream offset of the byte to corrupt.
+        offset: u64,
+        /// Bit index within the byte (0 = least significant).
+        bit: u8,
+    },
+}
+
+/// Error message carried by injected failures, so tests can tell an
+/// injected crash apart from a real I/O error.
+pub const CRASH_MSG: &str = "failpoint: injected crash";
+
+/// A [`WalStorage`] wrapper that executes a [`CrashPlan`].
+///
+/// Offsets are measured over the *cumulative* stream of bytes handed to the
+/// wrapper, including bytes re-written after a [`WalStorage::reset`], so a
+/// plan stays meaningful across log rotations.
+#[derive(Debug)]
+pub struct FailpointWriter<S> {
+    inner: S,
+    plan: CrashPlan,
+    written: u64,
+    tripped: bool,
+}
+
+impl<S: WalStorage> FailpointWriter<S> {
+    /// Wraps `inner` with the given plan.
+    pub fn new(inner: S, plan: CrashPlan) -> Self {
+        FailpointWriter {
+            inner,
+            plan,
+            written: 0,
+            tripped: false,
+        }
+    }
+
+    /// Whether the crash point has been hit.
+    pub fn tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// Total bytes offered to the wrapper so far (including bytes dropped
+    /// past a cut).
+    pub fn offered(&self) -> u64 {
+        self.written
+    }
+
+    /// Unwraps the inner storage.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    fn crash_err() -> io::Error {
+        io::Error::new(io::ErrorKind::BrokenPipe, CRASH_MSG)
+    }
+}
+
+impl<S: WalStorage> WalStorage for FailpointWriter<S> {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        let start = self.written;
+        self.written += buf.len() as u64;
+        if self.tripped {
+            return Err(Self::crash_err());
+        }
+        match self.plan {
+            CrashPlan::None => self.inner.append(buf),
+            CrashPlan::CutAt(cut) => {
+                if start >= cut {
+                    self.tripped = true;
+                    Err(Self::crash_err())
+                } else if start + buf.len() as u64 > cut {
+                    // Torn write: only the prefix up to the cut survives.
+                    self.tripped = true;
+                    self.inner.append(&buf[..(cut - start) as usize])?;
+                    Err(Self::crash_err())
+                } else {
+                    self.inner.append(buf)
+                }
+            }
+            CrashPlan::FlipBit { offset, bit } => {
+                if offset >= start && offset < start + buf.len() as u64 {
+                    let mut tampered = buf.to_vec();
+                    tampered[(offset - start) as usize] ^= 1 << (bit & 7);
+                    self.inner.append(&tampered)
+                } else {
+                    self.inner.append(buf)
+                }
+            }
+        }
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        if self.tripped {
+            return Err(Self::crash_err());
+        }
+        self.inner.sync()
+    }
+
+    fn reset(&mut self, header: &[u8]) -> io::Result<()> {
+        if self.tripped {
+            self.written += header.len() as u64;
+            return Err(Self::crash_err());
+        }
+        // A reset rewinds the file but not the cumulative stream: route the
+        // header through `append` accounting so cut/flip offsets keep
+        // advancing monotonically across rotations.
+        self.inner.reset(&[])?;
+        self.append(header)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::VecStorage;
+
+    #[test]
+    fn cut_truncates_and_fails_afterwards() {
+        let store = VecStorage::new();
+        let bytes = store.handle();
+        let mut w = FailpointWriter::new(store, CrashPlan::CutAt(10));
+        w.append(&[1; 8]).expect("below the cut");
+        assert!(w.append(&[2; 8]).is_err(), "write crossing the cut fails");
+        assert!(w.tripped());
+        assert!(w.sync().is_err(), "sync after the cut fails");
+        assert!(w.append(&[3; 8]).is_err(), "writes after the cut fail");
+        let buf = bytes.lock().unwrap().clone();
+        assert_eq!(buf, vec![1, 1, 1, 1, 1, 1, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn cut_on_exact_boundary_keeps_whole_write() {
+        let store = VecStorage::new();
+        let bytes = store.handle();
+        let mut w = FailpointWriter::new(store, CrashPlan::CutAt(8));
+        w.append(&[7; 8]).expect("exactly fills the budget");
+        assert!(!w.tripped());
+        w.sync().expect("sync before the cut");
+        assert!(w.append(&[8; 1]).is_err());
+        assert_eq!(bytes.lock().unwrap().len(), 8);
+    }
+
+    #[test]
+    fn flip_bit_corrupts_silently() {
+        let store = VecStorage::new();
+        let bytes = store.handle();
+        let mut w = FailpointWriter::new(store, CrashPlan::FlipBit { offset: 5, bit: 3 });
+        w.append(&[0; 4]).expect("clean");
+        w.append(&[0; 4]).expect("tampered but successful");
+        w.sync().expect("sync still succeeds");
+        let buf = bytes.lock().unwrap().clone();
+        assert_eq!(buf, vec![0, 0, 0, 0, 0, 1 << 3, 0, 0]);
+    }
+
+    #[test]
+    fn offsets_accumulate_across_reset() {
+        let store = VecStorage::new();
+        let bytes = store.handle();
+        let mut w = FailpointWriter::new(store, CrashPlan::CutAt(6));
+        w.append(&[1; 4]).expect("clean");
+        assert!(w.reset(&[9; 4]).is_err(), "header crosses the cut");
+        let buf = bytes.lock().unwrap().clone();
+        assert_eq!(buf, vec![9, 9], "reset cleared, then torn header prefix");
+    }
+}

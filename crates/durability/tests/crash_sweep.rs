@@ -1,0 +1,352 @@
+//! Fault-injection sweep (the PR's acceptance bar): build a seeded trace of
+//! WAL operations, then crash the log at **every record boundary**, at
+//! random mid-record byte offsets, and under random bit flips — recovery
+//! must reconstruct exactly the acknowledged prefix every single time.
+//!
+//! A failing case dumps the offending byte image under
+//! `target/durability-artifacts/` (workspace target dir) so CI can upload
+//! it for offline replay.
+
+use durability::{
+    encode_header, encode_record, scan_bytes, CrashPlan, FailpointWriter, Record, VecStorage, Wal,
+    WalOp, WalOptions, HEADER_LEN, RECORD_LEN,
+};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// Operations in the seeded trace: 10k in release (the ISSUE's bar), fewer
+/// under debug so `cargo test -q` stays quick.
+#[cfg(debug_assertions)]
+const OPS: usize = 2_000;
+#[cfg(not(debug_assertions))]
+const OPS: usize = 10_000;
+
+const SEED: u64 = 0xD17A_5EED;
+const KEY_SPACE: u64 = 1 << 10;
+
+fn artifact_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/durability-artifacts")
+}
+
+/// Writes `image` to the artifact directory and returns its path (best
+/// effort — the panic that follows carries the real diagnosis).
+fn dump_artifact(name: &str, image: &[u8]) -> PathBuf {
+    let dir = artifact_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(name);
+    let _ = std::fs::write(&path, image);
+    path
+}
+
+/// A deterministic trace: mostly puts, some deletes, over a small key space
+/// so deletes actually hit.
+fn build_trace(ops: usize) -> Vec<(WalOp, u64, u64)> {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut trace = Vec::with_capacity(ops);
+    for i in 0..ops {
+        let key = rng.gen_range(0..KEY_SPACE);
+        if rng.gen_bool(0.2) {
+            trace.push((WalOp::Delete, key, 0));
+        } else {
+            trace.push((WalOp::Put, key, i as u64));
+        }
+    }
+    trace
+}
+
+/// Encodes the trace as one WAL image (header base_seq = 1).
+fn encode_trace(trace: &[(WalOp, u64, u64)]) -> Vec<u8> {
+    let mut buf = encode_header(1).to_vec();
+    for (i, &(op, k, v)) in trace.iter().enumerate() {
+        encode_record(1 + i as u64, op, k, v, &mut buf);
+    }
+    buf
+}
+
+fn apply(map: &mut BTreeMap<u64, u64>, rec: Record) {
+    match rec.op {
+        WalOp::Put => {
+            map.insert(rec.key, rec.value);
+        }
+        WalOp::Delete => {
+            map.remove(&rec.key);
+        }
+    }
+}
+
+/// Recovers `image` and checks the result against `oracle` (the state after
+/// exactly `expect_records` operations). Returns a description on mismatch.
+fn check_recovery(
+    image: &[u8],
+    expect_records: u64,
+    oracle: &BTreeMap<u64, u64>,
+) -> Result<(), String> {
+    let mut recovered = BTreeMap::new();
+    let report = scan_bytes(image, |rec| apply(&mut recovered, rec));
+    if report.records != expect_records {
+        return Err(format!(
+            "replayed {} records, expected {}",
+            report.records, expect_records
+        ));
+    }
+    if report.next_seq != 1 + expect_records {
+        return Err(format!(
+            "next_seq {} after {} records",
+            report.next_seq, expect_records
+        ));
+    }
+    if &recovered != oracle {
+        return Err(format!(
+            "state mismatch after {} records: {} recovered keys vs {} oracle keys",
+            expect_records,
+            recovered.len(),
+            oracle.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Crash at every record boundary: recovery must be exact — the whole
+/// prefix, nothing else, no damage reported.
+#[test]
+fn every_record_boundary_recovers_exactly() {
+    let trace = build_trace(OPS);
+    let image = encode_trace(&trace);
+    // The oracle advances record-by-record so each boundary check compares
+    // against the state after exactly the surviving records.
+    let mut oracle = BTreeMap::new();
+    for cut_records in 0..=trace.len() {
+        let cut = HEADER_LEN + cut_records * RECORD_LEN;
+        if let Err(why) = check_recovery(&image[..cut], cut_records as u64, &oracle) {
+            let path = dump_artifact(&format!("boundary-{cut_records}.wal"), &image[..cut]);
+            panic!("boundary {cut_records}: {why} (image: {})", path.display());
+        }
+        let report = scan_bytes(&image[..cut], |_| {});
+        assert!(
+            report.damage.is_none(),
+            "boundary {cut_records}: spurious damage {:?}",
+            report.damage
+        );
+        if cut_records < trace.len() {
+            let (op, k, v) = trace[cut_records];
+            apply(
+                &mut oracle,
+                Record {
+                    seq: 1 + cut_records as u64,
+                    op,
+                    key: k,
+                    value: v,
+                },
+            );
+        }
+    }
+}
+
+/// Crash at random mid-record offsets: the torn record is dropped, every
+/// complete record before it survives.
+#[test]
+fn random_midrecord_cuts_recover_the_prefix() {
+    let trace = build_trace(OPS);
+    let image = encode_trace(&trace);
+    // Prefix oracles at every boundary, built once (the random cuts jump
+    // around, so incremental tracking doesn't apply).
+    let mut prefixes: Vec<BTreeMap<u64, u64>> = Vec::with_capacity(trace.len() + 1);
+    let mut state = BTreeMap::new();
+    prefixes.push(state.clone());
+    for (i, &(op, k, v)) in trace.iter().enumerate() {
+        apply(
+            &mut state,
+            Record {
+                seq: 1 + i as u64,
+                op,
+                key: k,
+                value: v,
+            },
+        );
+        prefixes.push(state.clone());
+    }
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0xF00D);
+    for case in 0..256 {
+        let cut = rng.gen_range(HEADER_LEN..image.len());
+        let whole = (cut - HEADER_LEN) / RECORD_LEN;
+        let boundary = (cut - HEADER_LEN).is_multiple_of(RECORD_LEN);
+        if let Err(why) = check_recovery(&image[..cut], whole as u64, &prefixes[whole]) {
+            let path = dump_artifact(&format!("midrecord-{case}.wal"), &image[..cut]);
+            panic!("cut {cut}: {why} (image: {})", path.display());
+        }
+        let report = scan_bytes(&image[..cut], |_| {});
+        if boundary {
+            assert!(report.damage.is_none(), "cut {cut}: {:?}", report.damage);
+        } else {
+            let damage = report.damage.unwrap_or_else(|| {
+                let path = dump_artifact(&format!("midrecord-{case}.wal"), &image[..cut]);
+                panic!(
+                    "cut {cut}: torn tail not reported (image: {})",
+                    path.display()
+                )
+            });
+            assert!(
+                damage.torn,
+                "cut {cut}: mid-record cut reported as {damage:?}"
+            );
+        }
+    }
+}
+
+/// Random single-bit flips: recovery must stop exactly at the record
+/// containing the flip (or treat the log as empty for header flips) and
+/// reproduce the prefix before it.
+#[test]
+fn random_bit_flips_truncate_at_the_corrupt_record() {
+    let trace = build_trace(OPS.min(2_000)); // full-state check per flip: keep n modest
+    let image = encode_trace(&trace);
+    let mut prefixes: Vec<BTreeMap<u64, u64>> = Vec::with_capacity(trace.len() + 1);
+    let mut state = BTreeMap::new();
+    prefixes.push(state.clone());
+    for (i, &(op, k, v)) in trace.iter().enumerate() {
+        apply(
+            &mut state,
+            Record {
+                seq: 1 + i as u64,
+                op,
+                key: k,
+                value: v,
+            },
+        );
+        prefixes.push(state.clone());
+    }
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0xB17F);
+    for case in 0..256 {
+        let offset = rng.gen_range(0..image.len());
+        let bit = rng.gen_range(0..8u32) as u8;
+        let mut tampered = image.clone();
+        tampered[offset] ^= 1 << bit;
+        let expect_records = if offset < HEADER_LEN {
+            0
+        } else {
+            ((offset - HEADER_LEN) / RECORD_LEN) as u64
+        };
+        let oracle = &prefixes[expect_records as usize];
+        let mut recovered = BTreeMap::new();
+        let report = scan_bytes(&tampered, |rec| apply(&mut recovered, rec));
+        let ok = report.records == expect_records
+            && &recovered == oracle
+            && report.damage.is_some_and(|d| !d.torn);
+        if !ok {
+            let path = dump_artifact(&format!("bitflip-{case}.wal"), &tampered);
+            panic!(
+                "flip {offset}:{bit}: replayed {} (expected {expect_records}), damage {:?} \
+                 (image: {})",
+                report.records,
+                report.damage,
+                path.display()
+            );
+        }
+    }
+}
+
+/// Live group-commit crash: writers race against a committer whose storage
+/// cuts the byte stream at a random offset. The durability contract —
+/// every *acknowledged* write is in the recovered prefix, and everything
+/// recovered was actually submitted — must hold at every crash point.
+#[test]
+fn live_group_commit_crash_keeps_every_acknowledged_write() {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0xC0FFEE);
+    for round in 0..16 {
+        let writers = 4u64;
+        let per_writer = 200u64;
+        let max_bytes = HEADER_LEN as u64 + writers * per_writer * RECORD_LEN as u64;
+        let cut = rng.gen_range(HEADER_LEN as u64..max_bytes);
+        let inner = VecStorage::new();
+        let bytes = inner.handle();
+        let storage = FailpointWriter::new(inner, CrashPlan::CutAt(cut));
+        let wal = std::sync::Arc::new(
+            Wal::create(storage, 1, WalOptions::default()).expect("header below any cut"),
+        );
+        // seq -> (op, key, value) for everything submitted; seqs of acks.
+        let submitted = std::sync::Mutex::new(BTreeMap::new());
+        let acked = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for t in 0..writers {
+                let wal = std::sync::Arc::clone(&wal);
+                let submitted = &submitted;
+                let acked = &acked;
+                s.spawn(move || {
+                    for i in 0..per_writer {
+                        let (key, value) = (t * 10_000 + i, i);
+                        let Ok(seq) = wal.append(WalOp::Put, key, value) else {
+                            return; // sticky failure: stop writing
+                        };
+                        submitted.lock().unwrap().insert(seq, (key, value));
+                        if wal.sync(seq).is_ok() {
+                            acked.lock().unwrap().push(seq);
+                        }
+                    }
+                });
+            }
+        });
+        let submitted = submitted.into_inner().unwrap();
+        let acked = acked.into_inner().unwrap();
+        let image = bytes.lock().unwrap().clone();
+        let mut recovered = BTreeMap::new();
+        let report = scan_bytes(&image, |rec| {
+            recovered.insert(rec.seq, (rec.key, rec.value));
+        });
+        // Everything recovered was submitted, verbatim.
+        for (seq, kv) in &recovered {
+            if submitted.get(seq) != Some(kv) {
+                let path = dump_artifact(&format!("live-{round}.wal"), &image);
+                panic!(
+                    "round {round}: recovered seq {seq} = {kv:?} never submitted \
+                     (image: {})",
+                    path.display()
+                );
+            }
+        }
+        // Every acknowledged write was recovered.
+        for seq in &acked {
+            if !recovered.contains_key(seq) {
+                let path = dump_artifact(&format!("live-{round}.wal"), &image);
+                panic!(
+                    "round {round}: acked seq {seq} lost (durable up to {}, cut at {cut}; \
+                     image: {})",
+                    report.next_seq - 1,
+                    path.display()
+                );
+            }
+        }
+    }
+}
+
+/// Silent in-flight corruption (FlipBit) is invisible to the writer but
+/// caught at recovery: the prefix before the corrupt record survives.
+#[test]
+fn live_bit_flip_detected_at_recovery() {
+    let n = 100u64;
+    let flip_offset = (HEADER_LEN + 3 * RECORD_LEN + 17) as u64; // inside record 4
+    let inner = VecStorage::new();
+    let bytes = inner.handle();
+    let storage = FailpointWriter::new(
+        inner,
+        CrashPlan::FlipBit {
+            offset: flip_offset,
+            bit: 5,
+        },
+    );
+    let wal = Wal::create(storage, 1, WalOptions::default()).expect("create");
+    for i in 0..n {
+        let seq = wal.append(WalOp::Put, i, i).expect("append");
+        wal.sync(seq).expect("flip is silent: sync succeeds");
+    }
+    let (_storage, health) = wal.close();
+    health.expect("flip is silent: close is clean");
+    let image = bytes.lock().unwrap().clone();
+    let mut recovered = BTreeMap::new();
+    let report = scan_bytes(&image, |rec| apply(&mut recovered, rec));
+    assert_eq!(report.records, 3, "replay must stop at the corrupt record");
+    let damage = report.damage.expect("corruption must be reported");
+    assert!(!damage.torn);
+    assert_eq!(damage.offset, (HEADER_LEN + 3 * RECORD_LEN) as u64);
+    assert_eq!(recovered.len(), 3);
+}

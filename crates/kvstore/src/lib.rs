@@ -26,7 +26,7 @@ pub mod shard;
 pub use protocol::{
     format_request, format_response, parse_request, parse_response, Request, Response,
 };
-pub use shard::ShardedStore;
+pub use shard::{DurabilityOptions, DurableShardedStore, ShardedStore};
 
 use dytis::ConcurrentDyTis;
 use index_traits::{ConcurrentKvIndex, Key, Value};

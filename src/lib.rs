@@ -5,6 +5,7 @@
 
 pub use alex_index;
 pub use datasets;
+pub use durability;
 pub use dyn_metrics;
 pub use dytis;
 pub use exhash;

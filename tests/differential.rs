@@ -18,6 +18,7 @@ use dytis_repro::alex_index::Alex;
 use dytis_repro::dytis::{DyTis, Params};
 use dytis_repro::exhash::{Cceh, ExtendibleHash};
 use dytis_repro::index_traits::{Auditable, Key, KvIndex, Value};
+use dytis_repro::kvstore::{DurabilityOptions, DurableShardedStore};
 use dytis_repro::lipp::Lipp;
 use dytis_repro::stx_btree::BPlusTree;
 use dytis_repro::xindex::XIndex;
@@ -228,6 +229,91 @@ fn differential_extendible_hash() {
 #[test]
 fn differential_cceh() {
     differential(Cceh::new, false);
+}
+
+/// Kill-and-recover lockstep: the durable sharded store runs the same style
+/// of mixed trace against the oracle, but is killed (WAL committers abort,
+/// nothing flushes gracefully) and recovered from disk at every batch
+/// boundary. Since every mutation here is acknowledged before the trace
+/// advances, recovery must reproduce the oracle *exactly* after each kill —
+/// and alternating kills follow a checkpoint, so both the replay-everything
+/// and the checkpoint-plus-short-tail paths are exercised.
+#[test]
+fn differential_durable_store_kill_and_recover() {
+    const DURABLE_OPS: usize = if cfg!(debug_assertions) {
+        4_000
+    } else {
+        16_000
+    };
+    const KILL_EVERY: usize = 1_000;
+    let dir = std::env::temp_dir().join(format!(
+        "dytis-durable-diff-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = DurabilityOptions {
+        shard_bits: 2,
+        ops_per_checkpoint: 0,
+        max_batch_records: 256,
+    };
+    let mut store = Some(DurableShardedStore::open(&dir, opts).expect("open"));
+    let mut oracle: BTreeMap<Key, Value> = BTreeMap::new();
+    let trace = generate_trace(0xD1FF_0003, DURABLE_OPS);
+    let mut kills = 0usize;
+    for (i, &op) in trace.iter().enumerate() {
+        // invariant: `store` is only taken during the kill/reopen block
+        // below, which always puts a reopened store back.
+        let s = store.as_ref().expect("store open");
+        match op {
+            TraceOp::Insert(k, v) | TraceOp::Update(k, v) => {
+                s.set(k, v).expect("durable set");
+                oracle.insert(k, v);
+            }
+            TraceOp::Get(k) => {
+                assert_eq!(s.get(k), oracle.get(&k).copied(), "op {i}: get({k})");
+            }
+            TraceOp::Scan(start, count) => {
+                let got = s.scan(start, count);
+                let want: Vec<(Key, Value)> = oracle
+                    .range(start..)
+                    .take(count)
+                    .map(|(&k, &v)| (k, v))
+                    .collect();
+                assert_eq!(got, want, "op {i}: scan({start}, {count})");
+            }
+            TraceOp::Delete(k) => {
+                assert_eq!(
+                    s.del(k).expect("durable del"),
+                    oracle.remove(&k),
+                    "op {i}: del({k})"
+                );
+            }
+        }
+        if (i + 1).is_multiple_of(KILL_EVERY) {
+            kills += 1;
+            // invariant: populated above and between iterations.
+            let s = store.take().expect("store open");
+            if kills.is_multiple_of(2) {
+                s.checkpoint_now().expect("checkpoint before kill");
+            }
+            s.crash();
+            let s = DurableShardedStore::open(&dir, opts).expect("recover");
+            assert_eq!(s.len(), oracle.len(), "kill {kills}: len diverged");
+            let got = s.scan(0, oracle.len() + 16);
+            let want: Vec<(Key, Value)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+            assert_eq!(got, want, "kill {kills}: recovered state diverged");
+            store = Some(s);
+        }
+    }
+    assert!(kills >= 4, "trace too short to exercise recovery");
+    // invariant: the loop always reinstalls the store.
+    store
+        .take()
+        .expect("store open")
+        .shutdown()
+        .expect("shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// A deliberately buggy index: silently drops every Nth insert. Used to
