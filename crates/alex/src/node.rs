@@ -8,8 +8,11 @@
 //!
 //! Gap slots duplicate the key of the nearest occupied slot to their left
 //! (leading gaps hold 0), keeping the whole array non-decreasing so
-//! `partition_point` is correct; the first slot holding a present key's
-//! value is always the occupied one.
+//! `partition_point` is correct. For any key `> 0`, the first slot holding a
+//! present key's value is always the occupied one; key 0 is the exception —
+//! when a trained model has a positive intercept, key 0 lands past slot 0
+//! and the *leading* gaps duplicate it from the left — so `lower_bound`
+//! steps over unoccupied equal-keyed slots before answering.
 
 use index_traits::{AuditReport, Key, Value};
 
@@ -238,7 +241,15 @@ impl DataNode {
                 step *= 2;
             }
         };
-        wlo + self.keys[wlo..whi].partition_point(|&k| k < key)
+        let mut pos = wlo + self.keys[wlo..whi].partition_point(|&k| k < key);
+        // Leading gaps hold key 0 as their dup, so an occupied key 0 placed
+        // at slot > 0 by a positive-intercept model sits *behind* equal
+        // unoccupied slots (and removals leave equal dups in place for any
+        // key). Advance to the occupied slot, if the key is present at all.
+        while pos < n && self.keys[pos] == key && !self.occupied(pos) {
+            pos += 1;
+        }
+        pos
     }
 
     /// Looks up `key`.

@@ -1,0 +1,132 @@
+//! Regression test for the release-test key-loss bug found by
+//! `tests/differential.rs` (`differential_alex`, seed 0xd1ff0002, op 90194:
+//! `remove(0)` returned `None` while the oracle still held key 0).
+//!
+//! Root cause: the gapped array keeps the slot array non-decreasing by
+//! writing each gap slot with the key of its nearest occupied *left*
+//! neighbour, and *leading* gaps hold 0. When a model rebuild
+//! (`DataNode::build` via bulk load, expand, or split) trains a model with a
+//! positive intercept, key 0 is placed at a slot `p > 0` and the leading gap
+//! slots duplicate it. `lower_bound(0)` then lands on slot 0, an unoccupied
+//! gap, and `get`/`remove` concluded the key was absent (and `insert(0, v)`
+//! would have added a *second* occupied key-0 slot). Key 0 is the only key
+//! that can sit to the right of equal-valued gap dups, so it is the only key
+//! the bug can hit — exactly the signature the differential trace produced.
+//! It looked release-only because the debug trace is trimmed to 12k ops,
+//! short of the first failing op; the miscompilation theory was a red
+//! herring. The broken state is also audit-clean (audits check occupied-slot
+//! order only), which is why no invariant sweep ever flagged it.
+//!
+//! The fix makes `lower_bound` step over unoccupied slots whose key equals
+//! the probe, restoring "the first *occupied* slot holding the key is found"
+//! for key 0 too.
+//!
+//! Deterministic trigger: a barbell distribution — a dense cluster at 0 and
+//! another at 2^20 — fits a least-squares line whose intercept is
+//! ~(left cluster size - 1)/2 ranks, so the build places key 0 well past
+//! slot 0 behind leading key-0 gap dups. Density 0.5 leaves enough slack
+//! that the placement never overflows into the rank-based fallback.
+
+use alex_index::node::DataNode;
+use alex_index::{Alex, AlexConfig};
+use index_traits::{Auditable, BulkLoad, KvIndex};
+
+const DENSITY: f64 = 0.5;
+
+fn barbell_pairs() -> Vec<(u64, u64)> {
+    let mut pairs: Vec<(u64, u64)> = (0..20u64).map(|k| (k, k + 100)).collect();
+    pairs.extend((0..20u64).map(|k| ((1 << 20) + k, k + 200)));
+    pairs
+}
+
+fn barbell_cfg() -> AlexConfig {
+    AlexConfig {
+        density_init: DENSITY,
+        max_node_keys: 256,
+        max_fanout: 16,
+        ..AlexConfig::default()
+    }
+}
+
+/// The construction must actually produce the bug-triggering layout: key 0
+/// displaced from slot 0 by a positive-intercept model. Guards the trigger
+/// itself so the other tests cannot silently go vacuous if `build` changes.
+#[test]
+fn barbell_model_displaces_key_zero() {
+    let node = DataNode::build(&barbell_pairs(), DENSITY);
+    assert!(
+        node.model.intercept >= 1.0,
+        "intercept {} no longer displaces key 0; the regression tests need \
+         a new adversarial distribution",
+        node.model.intercept
+    );
+    assert!(
+        !node.occupied(0),
+        "key 0 sits at slot 0; the regression tests need a new adversarial \
+         distribution"
+    );
+}
+
+#[test]
+fn data_node_build_keeps_key_zero_reachable() {
+    let node = DataNode::build(&barbell_pairs(), DENSITY);
+    assert_eq!(node.get(0), Some(100), "key 0 lost behind leading gap dups");
+}
+
+#[test]
+fn data_node_remove_and_reinsert_key_zero() {
+    let pairs = barbell_pairs();
+    let mut node = DataNode::build(&pairs, DENSITY);
+    // The differential trace's failing op shape: remove(0) with key 0 live.
+    assert_eq!(node.remove(0), Some(100));
+    assert_eq!(node.get(0), None);
+    assert_eq!(node.num_keys(), pairs.len() - 1);
+    // Re-insert must not create a duplicate occupied slot.
+    assert_eq!(node.insert(0, 7), Ok(true));
+    assert_eq!(node.get(0), Some(7));
+    assert_eq!(node.insert(0, 8), Ok(false), "upsert must update in place");
+    assert_eq!(node.get(0), Some(8));
+    assert_eq!(node.num_keys(), pairs.len());
+}
+
+#[test]
+fn data_node_scan_from_zero_sees_key_zero_once() {
+    let pairs = barbell_pairs();
+    let node = DataNode::build(&pairs, DENSITY);
+    let mut out = Vec::new();
+    node.scan_into(0, pairs.len() + 8, &mut out);
+    assert_eq!(out.len(), pairs.len());
+    assert_eq!(out[0], (0, 100));
+    assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+}
+
+/// Whole-index reproduction: bulk load builds the same displaced layout, and
+/// later expansions/splits retrain models and relocate key 0 again; every
+/// probe of key 0 must keep working through the churn.
+#[test]
+fn alex_key_zero_survives_bulk_load_and_expansions() {
+    let mut alex = Alex::bulk_load_with_config(&barbell_pairs(), barbell_cfg());
+    assert_eq!(alex.get(0), Some(100), "key 0 lost right after bulk load");
+    for i in 0..50_000u64 {
+        alex.insert((1 << 21) + i, i);
+        if i % 4096 == 0 {
+            assert_eq!(alex.get(0), Some(100), "key 0 lost after insert {i}");
+        }
+    }
+    assert!(alex.splits > 0, "churn should have split data nodes");
+    assert_eq!(alex.remove(0), Some(100), "the differential failure shape");
+    assert_eq!(alex.get(0), None);
+    alex.insert(0, 9);
+    assert_eq!(alex.get(0), Some(9));
+    alex.audit().assert_clean();
+}
+
+/// Same shape through the default-config `BulkLoad` entry point.
+#[test]
+fn alex_default_bulk_load_keeps_key_zero() {
+    let alex = Alex::bulk_load(&barbell_pairs());
+    let mut out = Vec::new();
+    alex.scan(0, 5, &mut out);
+    assert_eq!(out.first(), Some(&(0, 100)));
+    assert_eq!(alex.get(0), Some(100));
+}

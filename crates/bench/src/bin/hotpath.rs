@@ -1,0 +1,280 @@
+//! Hot-path microbench: what do the scan cursor and the sorted bulk build
+//! buy over the re-entry / insert-loop baselines?
+//!
+//! Two experiments over the single-threaded `DyTis`:
+//!
+//! 1. **bulk**: building from `N` sorted unique pairs via the insert loop
+//!    (the old `BulkLoad` behaviour: every key pays Algorithm 1
+//!    maintenance) vs `DyTis::bulk_load` (direct segment/bucket
+//!    construction with trained remapping functions).
+//! 2. **scan**: a YCSB-E-style scan-heavy phase — `Q` queries, each
+//!    streaming `scan_len` pairs in pages of `page` — implemented once by
+//!    re-entering `scan(last + 1, ...)` per page (the old `range` pattern:
+//!    one full positioning per page) and once by pulling the same pages
+//!    from a single `ScanCursor` (one positioning per query). Both legs
+//!    share the same structural bulk walk, so the delta isolates the
+//!    re-positioning cost.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin hotpath [-- --smoke]
+//!     [--assert-speedup] [--out BENCH_hotpath.json]
+//! ```
+//!
+//! `--assert-speedup` pins the acceptance bar: cursor scans >=1.3x over
+//! re-entry scans, bulk load >=2x over the insert loop (relaxed to 1.1x /
+//! 1.5x under `--smoke`, where boundary noise dominates). With
+//! `--features metrics` the obs registry snapshot is embedded in the JSON.
+
+use dytis::DyTis;
+use index_traits::{BulkLoad, KvIndex};
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Cell {
+    label: String,
+    ops: u64,
+    elapsed_s: f64,
+}
+
+impl Cell {
+    fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed_s
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"label\":\"{}\",\"ops\":{},\"elapsed_s\":{:.6},\"ops_per_sec\":{:.0}}}",
+            self.label,
+            self.ops,
+            self.elapsed_s,
+            self.ops_per_sec()
+        )
+    }
+}
+
+/// Sorted unique keys spread over the full u64 domain: multiplication by an
+/// odd constant is a bijection, so uniqueness is structural.
+fn make_pairs(n: u64) -> Vec<(u64, u64)> {
+    let mut pairs: Vec<(u64, u64)> = (0..n)
+        .map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15), i))
+        .collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+fn build_by_inserts(pairs: &[(u64, u64)]) -> (DyTis, Cell) {
+    let start = Instant::now();
+    let mut idx = DyTis::new();
+    for &(k, v) in pairs {
+        idx.insert(k, v);
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+    (
+        idx,
+        Cell {
+            label: "bulk/insert_loop".into(),
+            ops: pairs.len() as u64,
+            elapsed_s,
+        },
+    )
+}
+
+fn build_by_bulk_load(pairs: &[(u64, u64)]) -> (DyTis, Cell) {
+    let start = Instant::now();
+    let idx = DyTis::bulk_load(pairs);
+    let elapsed_s = start.elapsed().as_secs_f64();
+    (
+        idx,
+        Cell {
+            label: "bulk/bulk_load".into(),
+            ops: pairs.len() as u64,
+            elapsed_s,
+        },
+    )
+}
+
+/// The old pattern: every page re-enters `scan` from `last + 1`, paying the
+/// full descent (first-level table, directory, remap prediction, bucket
+/// lower bound) once per page.
+fn scan_reentry(idx: &DyTis, starts: &[u64], scan_len: usize, page: usize) -> Cell {
+    let mut out = Vec::with_capacity(page);
+    let mut streamed = 0u64;
+    let start_t = Instant::now();
+    for &start in starts {
+        let mut cursor = start;
+        let mut left = scan_len;
+        while left > 0 {
+            out.clear();
+            let want = page.min(left);
+            idx.scan(cursor, want, &mut out);
+            streamed += out.len() as u64;
+            left -= out.len();
+            black_box(&out);
+            match out.last() {
+                // A short page means the index ran out of keys.
+                Some(&(k, _)) if out.len() == want && k < u64::MAX => cursor = k + 1,
+                _ => break,
+            }
+        }
+    }
+    Cell {
+        label: "scan/reentry".into(),
+        ops: streamed,
+        elapsed_s: start_t.elapsed().as_secs_f64(),
+    }
+}
+
+/// The new pattern: one `ScanCursor` per query; pages resume structurally.
+fn scan_cursor(idx: &DyTis, starts: &[u64], scan_len: usize, page: usize) -> Cell {
+    let mut out = Vec::with_capacity(page);
+    let mut streamed = 0u64;
+    let start_t = Instant::now();
+    for &start in starts {
+        let mut cur = idx.scan_cursor(start);
+        let mut left = scan_len;
+        while left > 0 {
+            out.clear();
+            let more = idx.scan_next(&mut cur, page.min(left), &mut out);
+            streamed += out.len() as u64;
+            left -= out.len().min(left);
+            black_box(&out);
+            if !more {
+                break;
+            }
+        }
+    }
+    Cell {
+        label: "scan/cursor".into(),
+        ops: streamed,
+        elapsed_s: start_t.elapsed().as_secs_f64(),
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut assert_speedup = false;
+    let mut out_path = String::from("BENCH_hotpath.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--assert-speedup" => assert_speedup = true,
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a value");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!(
+                    "unknown arg {other}; usage: hotpath [--smoke] [--assert-speedup] [--out FILE]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let n_keys: u64 = if smoke { 100_000 } else { 1_000_000 };
+    let queries: usize = if smoke { 200 } else { 1_500 };
+    let scan_len = 2_048usize;
+    let page = 32usize;
+    eprintln!(
+        "[hotpath] smoke={smoke} n_keys={n_keys} queries={queries} scan_len={scan_len} page={page}"
+    );
+
+    let pairs = make_pairs(n_keys);
+
+    // Phase 1: bulk build.
+    let (loop_idx, loop_cell) = build_by_inserts(&pairs);
+    eprintln!(
+        "[hotpath] {}: {:.0} keys/s",
+        loop_cell.label,
+        loop_cell.ops_per_sec()
+    );
+    let (bulk_idx, bulk_cell) = build_by_bulk_load(&pairs);
+    eprintln!(
+        "[hotpath] {}: {:.0} keys/s",
+        bulk_cell.label,
+        bulk_cell.ops_per_sec()
+    );
+    // Both builds must hold the same data before we time anything on them.
+    assert_eq!(loop_idx.len(), bulk_idx.len(), "builds disagree on len");
+    for &(k, v) in pairs.iter().step_by(997) {
+        assert_eq!(bulk_idx.get(k), Some(v), "bulk build lost key {k:#x}");
+    }
+    let bulk_speedup = bulk_cell.ops_per_sec() / loop_cell.ops_per_sec();
+    eprintln!("[hotpath] bulk load speedup vs insert loop: {bulk_speedup:.2}x");
+
+    // Phase 2: scan-heavy streaming over the bulk-built index. Start keys
+    // are existing keys picked by a fixed-stride walk of the sorted array,
+    // clamped away from the tail so every query can stream scan_len pairs.
+    let max_start = (pairs.len() - scan_len.min(pairs.len())).max(1);
+    let starts: Vec<u64> = (0..queries)
+        .map(|q| pairs[(q * 7_919) % max_start].0)
+        .collect();
+
+    let warm = scan_cursor(&bulk_idx, &starts[..queries.min(16)], scan_len, page);
+    black_box(warm.ops);
+    let reentry_cell = scan_reentry(&bulk_idx, &starts, scan_len, page);
+    eprintln!(
+        "[hotpath] {}: {:.0} pairs/s",
+        reentry_cell.label,
+        reentry_cell.ops_per_sec()
+    );
+    let cursor_cell = scan_cursor(&bulk_idx, &starts, scan_len, page);
+    eprintln!(
+        "[hotpath] {}: {:.0} pairs/s",
+        cursor_cell.label,
+        cursor_cell.ops_per_sec()
+    );
+    // Identical work or the comparison is meaningless.
+    assert_eq!(
+        reentry_cell.ops, cursor_cell.ops,
+        "scan legs streamed different pair counts"
+    );
+    let scan_speedup = cursor_cell.ops_per_sec() / reentry_cell.ops_per_sec();
+    eprintln!("[hotpath] cursor scan speedup vs re-entry: {scan_speedup:.2}x");
+
+    let mut json = String::from("{");
+    json.push_str(&format!(
+        "\"bench\":\"hotpath\",\"smoke\":{smoke},\"n_keys\":{n_keys},\"queries\":{queries},\
+         \"scan_len\":{scan_len},\"page\":{page},"
+    ));
+    json.push_str("\"cells\":[");
+    for (i, c) in [&loop_cell, &bulk_cell, &reentry_cell, &cursor_cell]
+        .iter()
+        .enumerate()
+    {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&c.to_json());
+    }
+    json.push_str("],");
+    json.push_str(&format!(
+        "\"bulk_speedup\":{bulk_speedup:.2},\"scan_speedup\":{scan_speedup:.2}"
+    ));
+    if obs::ENABLED {
+        json.push_str(&format!(",\"obs\":{}", obs::snapshot().to_json()));
+    }
+    json.push('}');
+    std::fs::write(&out_path, &json).expect("write BENCH_hotpath.json");
+    eprintln!("[hotpath] wrote {out_path} ({} bytes)", json.len());
+
+    if assert_speedup {
+        // The acceptance bar applies to the full-size run; smoke keeps a
+        // looser floor so a 100k-key CI box can flag a real regression
+        // without flaking on boundary noise.
+        let (scan_bar, bulk_bar) = if smoke { (1.1, 1.5) } else { (1.3, 2.0) };
+        assert!(
+            scan_speedup >= scan_bar,
+            "cursor scan speedup was {scan_speedup:.2}x, expected >={scan_bar}x"
+        );
+        assert!(
+            bulk_speedup >= bulk_bar,
+            "bulk load speedup was {bulk_speedup:.2}x, expected >={bulk_bar}x"
+        );
+        eprintln!("[hotpath] --assert-speedup passed");
+    }
+}

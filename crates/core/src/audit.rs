@@ -125,8 +125,23 @@ pub(crate) fn audit_segment(
         }
     }
 
-    // Buckets: capacity, strict global ordering, remap placement, counts.
+    // Buckets: capacity, occupancy mirror, strict global ordering, remap
+    // placement, counts.
     let cap = params.bucket_entries;
+    report.check(
+        seg.occupancy.len() == seg.buckets.len(),
+        "occupancy",
+        || {
+            (
+                loc.to_string(),
+                format!(
+                    "occupancy array has {} entries for {} buckets",
+                    seg.occupancy.len(),
+                    seg.buckets.len()
+                ),
+            )
+        },
+    );
     let mut keys = 0usize;
     let mut prev: Option<Key> = None;
     for (b, bucket) in seg.buckets.iter().enumerate() {
@@ -136,6 +151,20 @@ pub(crate) fn audit_segment(
                 format!("{} entries exceed capacity {cap}", bucket.len()),
             )
         });
+        report.check(
+            seg.occupancy.get(b).copied() == Some(bucket.len() as u16),
+            "occupancy",
+            || {
+                (
+                    format!("{loc} / bucket {b}"),
+                    format!(
+                        "occupancy says {:?}, bucket holds {}",
+                        seg.occupancy.get(b),
+                        bucket.len()
+                    ),
+                )
+            },
+        );
         for &key in bucket.keys() {
             if let Some(p) = prev {
                 report.check(p < key, "key-order", || {

@@ -8,6 +8,30 @@
 
 use index_traits::{Key, Value};
 
+/// Branchless lower bound over a sorted slice: index of the first element
+/// `>= key` (or `len` if none). Each halving step is a compare plus an
+/// unconditional arithmetic update, which compiles to a conditional move —
+/// no data-dependent branch to mispredict. Probe keys land at effectively
+/// random slots of the fixed 128-slot layout, so a branchy binary search
+/// mispredicts ~half its steps; this form trades those stalls for a fixed
+/// ceil(log2 len) dependent-load chain.
+#[inline]
+fn lower_bound_branchless(keys: &[Key], key: Key) -> usize {
+    let mut base = 0usize;
+    let mut len = keys.len();
+    if len == 0 {
+        return 0;
+    }
+    while len > 1 {
+        let half = len / 2;
+        // Answer lies in base..=base+len; step keeps it there: everything
+        // left of `base` is < key, everything from base+len on is >= key.
+        base += usize::from(keys[base + half - 1] < key) * half;
+        len -= half;
+    }
+    base + usize::from(keys[base] < key)
+}
+
 /// A sorted, fixed-capacity container of key-value pairs.
 ///
 /// Capacity is not stored per bucket; the owning segment passes it in, so a
@@ -63,7 +87,10 @@ impl Bucket {
     /// (the position predicted by the remapping function, §3.3).
     ///
     /// Returns `Ok(idx)` if the key is stored at `idx`, `Err(idx)` with the
-    /// insertion position otherwise.
+    /// insertion position otherwise. The doubling steps bracket `key` in a
+    /// window around the hint; the window itself is then resolved with the
+    /// branchless lower bound, so a good hint costs a couple of compares and
+    /// a bad one degrades to the plain branchless search.
     pub fn search_from_hint(&self, key: Key, hint: usize) -> Result<usize, usize> {
         let n = self.keys.len();
         if n == 0 {
@@ -71,7 +98,7 @@ impl Bucket {
         }
         let pos = hint.min(n - 1);
         // Exponential search: widen a window around `pos` with doubling
-        // steps until it brackets `key`, then binary-search the window.
+        // steps until it brackets `key`.
         let (wlo, whi) = if self.keys[pos] < key {
             let mut step = 1usize;
             let mut hi = pos;
@@ -99,16 +126,24 @@ impl Bucket {
                 step *= 2;
             }
         };
-        match self.keys[wlo..whi].binary_search(&key) {
-            Ok(i) => Ok(wlo + i),
-            Err(i) => Err(wlo + i),
+        let window = &self.keys[wlo..whi];
+        let i = wlo + lower_bound_branchless(window, key);
+        if i < n && self.keys[i] == key {
+            Ok(i)
+        } else {
+            Err(i)
         }
     }
 
-    /// Binary search for `key` over the whole bucket.
+    /// Branchless binary search for `key` over the whole bucket.
     #[inline]
     pub fn search(&self, key: Key) -> Result<usize, usize> {
-        self.keys.binary_search(&key)
+        let i = lower_bound_branchless(&self.keys, key);
+        if i < self.keys.len() && self.keys[i] == key {
+            Ok(i)
+        } else {
+            Err(i)
+        }
     }
 
     /// Inserts `(key, value)` preserving sorted order, shifting larger keys
@@ -117,7 +152,7 @@ impl Bucket {
     ///
     /// The caller must have checked the bucket is not full.
     pub fn insert(&mut self, key: Key, value: Value) -> bool {
-        match self.keys.binary_search(&key) {
+        match self.search(key) {
             Ok(i) => {
                 self.vals[i] = value;
                 false
@@ -139,9 +174,23 @@ impl Bucket {
         self.vals.push(value);
     }
 
+    /// Appends a sorted run of pairs; the caller guarantees every key in
+    /// `pairs` is greater than every stored key (used by segment rebuilds
+    /// over sorted input).
+    #[inline]
+    pub fn extend_sorted(&mut self, pairs: &[(Key, Value)]) {
+        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0));
+        debug_assert!(self
+            .keys
+            .last()
+            .is_none_or(|&last| pairs.first().is_none_or(|&(k, _)| last < k)));
+        self.keys.extend(pairs.iter().map(|&(k, _)| k));
+        self.vals.extend(pairs.iter().map(|&(_, v)| v));
+    }
+
     /// Updates `key` in place; returns `false` if absent.
     pub fn update(&mut self, key: Key, value: Value) -> bool {
-        match self.keys.binary_search(&key) {
+        match self.search(key) {
             Ok(i) => {
                 self.vals[i] = value;
                 true
@@ -152,7 +201,7 @@ impl Bucket {
 
     /// Removes `key`, shifting larger keys and values left.
     pub fn remove(&mut self, key: Key) -> Option<Value> {
-        match self.keys.binary_search(&key) {
+        match self.search(key) {
             Ok(i) => {
                 self.keys.remove(i);
                 Some(self.vals.remove(i))
@@ -164,7 +213,25 @@ impl Bucket {
     /// Index of the first key `>= start`, or `len()` if none.
     #[inline]
     pub fn lower_bound(&self, start: Key) -> usize {
-        self.keys.partition_point(|&k| k < start)
+        lower_bound_branchless(&self.keys, start)
+    }
+
+    /// Bulk-appends pairs starting at `slot` into `out`, at most `max` of
+    /// them; returns how many were appended. One bounds check per call
+    /// instead of one per pair, and the pair copy vectorizes — this is the
+    /// scan cursor's per-bucket step.
+    pub fn append_range(&self, slot: usize, max: usize, out: &mut Vec<(Key, Value)>) -> usize {
+        let end = self.keys.len().min(slot.saturating_add(max));
+        if slot >= end {
+            return 0;
+        }
+        out.extend(
+            self.keys[slot..end]
+                .iter()
+                .copied()
+                .zip(self.vals[slot..end].iter().copied()),
+        );
+        end - slot
     }
 
     /// Moves all pairs out of the bucket, leaving it empty.
@@ -239,6 +306,42 @@ mod tests {
         assert_eq!(b.lower_bound(10), 0);
         assert_eq!(b.lower_bound(11), 1);
         assert_eq!(b.lower_bound(31), 3);
+    }
+
+    #[test]
+    fn search_matches_std_binary_search() {
+        // Exhaustive cross-check of the branchless search against the
+        // standard-library reference over every length up to a full bucket.
+        for n in 0..=128usize {
+            let keys: Vec<Key> = (0..n as u64).map(|k| k * 2 + 1).collect();
+            let b = filled(&keys);
+            for probe in 0..=(2 * n as u64 + 2) {
+                assert_eq!(
+                    b.search(probe),
+                    keys.binary_search(&probe),
+                    "n {n} probe {probe}"
+                );
+                assert_eq!(
+                    b.lower_bound(probe),
+                    keys.partition_point(|&k| k < probe),
+                    "n {n} probe {probe}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn append_range_copies_bulk_pairs() {
+        let b = filled(&[1, 2, 3, 4, 5]);
+        let mut out = Vec::new();
+        assert_eq!(b.append_range(1, 3, &mut out), 3);
+        assert_eq!(out, vec![(2, 20), (3, 30), (4, 40)]);
+        assert_eq!(b.append_range(4, 10, &mut out), 1);
+        assert_eq!(out.last(), Some(&(5, 50)));
+        assert_eq!(b.append_range(5, 10, &mut out), 0);
+        assert_eq!(b.append_range(9, 1, &mut out), 0);
+        assert_eq!(b.append_range(0, 0, &mut out), 0);
+        assert_eq!(out.len(), 4);
     }
 
     #[test]

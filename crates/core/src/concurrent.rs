@@ -17,7 +17,7 @@
 
 use crate::params::Params;
 use crate::remap::mask64;
-use crate::segment::{RemapOutcome, Segment};
+use crate::segment::{BucketUpsert, RemapOutcome, Segment};
 use index_traits::{AuditReport, Auditable, ConcurrentKvIndex, Key, Value};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -146,16 +146,15 @@ impl ConcurrentDyTis {
             let m = self.m_total - ld;
             let k = sk & mask64(m);
             let b = seg.bucket_of(k, self.m_total);
-            if seg.buckets[b].update(key, value) {
-                return true;
-            }
-            if seg.buckets[b].len() < p.bucket_entries {
-                seg.buckets[b].insert(key, value);
-                seg.num_keys += 1;
-                // Release pairs with the Acquire loads in `len()` and the
-                // audit so key-count accounting observes the insert.
-                table.num_keys.fetch_add(1, Ordering::Release);
-                return true;
+            match seg.upsert_in_bucket(b, key, value, p.bucket_entries) {
+                BucketUpsert::Updated => return true,
+                BucketUpsert::Inserted => {
+                    // Release pairs with the Acquire loads in `len()` and the
+                    // audit so key-count accounting observes the insert.
+                    table.num_keys.fetch_add(1, Ordering::Release);
+                    return true;
+                }
+                BucketUpsert::Full => {}
             }
             // Bucket full. Segment-local fixes (remapping, expansion) are
             // legal here; splits and doubling need the directory write lock.
@@ -222,7 +221,7 @@ impl ConcurrentDyTis {
         let m = self.m_total - ld;
         let k = sk & mask64(m);
         let b = seg.bucket_of(k, self.m_total);
-        if seg.buckets[b].len() < p.bucket_entries {
+        if seg.bucket_len(b) < p.bucket_entries {
             return; // Another thread already fixed it.
         }
         if ld == dir.global_depth {
@@ -301,7 +300,7 @@ impl ConcurrentDyTis {
             let span = 1usize << (dir.global_depth - seg.local_depth);
             // Align to the segment's first directory entry so each segment is
             // visited once.
-            let (mut b, mut i) = if first {
+            let (b, slot) = if first {
                 let m = self.m_total - seg.local_depth;
                 let k = start_sk & mask64(m);
                 let b = seg.bucket_of(k, self.m_total);
@@ -310,17 +309,8 @@ impl ConcurrentDyTis {
                 (0, 0)
             };
             first = false;
-            while b < seg.buckets.len() {
-                let bucket = &seg.buckets[b];
-                while i < bucket.len() {
-                    if out.len() >= count {
-                        return true;
-                    }
-                    out.push(bucket.pair(i));
-                    i += 1;
-                }
-                b += 1;
-                i = 0;
+            if seg.walk_from(b, slot, count, out).is_some() {
+                return true;
             }
             idx = (idx & !(span - 1)) + span;
         }
@@ -365,8 +355,7 @@ impl ConcurrentKvIndex for ConcurrentDyTis {
         let m = self.m_total - seg.local_depth;
         let k = sk & mask64(m);
         let b = seg.bucket_of(k, self.m_total);
-        let v = seg.buckets[b].remove(key)?;
-        seg.num_keys -= 1;
+        let v = seg.remove_from_bucket(b, key)?;
         // Release pairs with the Acquire loads in `len()` and the audit.
         table.num_keys.fetch_sub(1, Ordering::Release);
         // Deletion merge (§3.3): a shrink only changes the segment object's

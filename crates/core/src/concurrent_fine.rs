@@ -46,10 +46,13 @@ impl FineSegment {
     /// Converts back to a plain segment for structure operations (this copy
     /// is part of the overhead the paper measured).
     fn to_segment(&self) -> Segment {
+        let buckets: Vec<Bucket> = self.buckets.iter().map(|b| b.lock().clone()).collect();
+        let occupancy = buckets.iter().map(|b| b.len() as u16).collect();
         Segment {
             local_depth: self.local_depth,
             remap: self.remap.clone(),
-            buckets: self.buckets.iter().map(|b| b.lock().clone()).collect(),
+            buckets,
+            occupancy,
             // Acquire pairs with the Release key-count updates so the copy's
             // count matches the bucket contents just cloned.
             num_keys: self.num_keys.load(Ordering::Acquire),
@@ -357,7 +360,10 @@ impl ConcurrentKvIndex for ConcurrentDyTisFine {
             while idx < dir.entries.len() {
                 let seg = dir.entries[idx].read();
                 let span = 1usize << (dir.global_depth - seg.local_depth);
-                let (mut b, skip_below) = if first_seg {
+                // Only the very first bucket needs a lower bound: bucket
+                // indices are monotone in the key, so every later bucket
+                // holds only keys `>= start`.
+                let (mut b, mut first_bucket) = if first_seg {
                     let m = self.m_total - seg.local_depth;
                     let k = start_sk & mask64(m);
                     (seg.bucket_of(k, self.m_total), true)
@@ -366,22 +372,17 @@ impl ConcurrentKvIndex for ConcurrentDyTisFine {
                 };
                 first_seg = false;
                 while b < seg.buckets.len() {
+                    if out.len() >= count {
+                        return;
+                    }
                     let bucket = seg.buckets[b].lock();
-                    let i0 = if skip_below && out.is_empty() {
+                    let i0 = if first_bucket {
                         bucket.lower_bound(start)
                     } else {
                         0
                     };
-                    for i in i0..bucket.len() {
-                        let (k, v) = bucket.pair(i);
-                        if k < start {
-                            continue;
-                        }
-                        if out.len() >= count {
-                            return;
-                        }
-                        out.push((k, v));
-                    }
+                    first_bucket = false;
+                    bucket.append_range(i0, count - out.len(), out);
                     b += 1;
                 }
                 idx = (idx & !(span - 1)) + span;

@@ -1,0 +1,157 @@
+//! Resumable structural scan cursor.
+//!
+//! `DyTis::scan` used to re-enter each first-level table through its
+//! `scan`/`scan_from_start` entry points, and `DyTis::range` re-ran the
+//! whole descent — first-level table, directory lookup, remapping
+//! prediction, bucket lower bound — once per 256-key batch. A
+//! [`ScanCursor`] pays that positioning cost once: because bucket indices
+//! are monotone in the key (§3.2), one remap prediction plus one branchless
+//! lower bound lands on the first qualifying pair, and everything after it
+//! in structural order (table → segment sibling chain → bucket → slot)
+//! already satisfies the predicate. Resuming is O(1).
+
+use crate::eh::SegId;
+use crate::DyTis;
+use index_traits::{Key, Value};
+
+/// A resumable position inside a [`DyTis`] scan.
+///
+/// Obtained from [`DyTis::scan_cursor`], advanced by [`DyTis::scan_next`].
+/// The position is structural (segment id, bucket, slot), not key-based:
+/// any mutation of the index invalidates outstanding cursors, exactly like
+/// iterator invalidation on the standard collections.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanCursor {
+    /// First-level table currently being walked.
+    table: usize,
+    /// Resume position within `table`; `None` means the table is entered
+    /// from its first segment.
+    pos: Option<(SegId, usize, usize)>,
+    /// All tables have been walked to their end.
+    exhausted: bool,
+}
+
+impl ScanCursor {
+    /// Returns `true` once the cursor has walked past the last stored pair.
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+}
+
+impl DyTis {
+    /// Creates a cursor positioned at the first pair with key `>= start`.
+    pub fn scan_cursor(&self, start: Key) -> ScanCursor {
+        let table = self.table_of(start);
+        let pos = self.tables[table].cursor_position(self.sub_key(start), start);
+        ScanCursor {
+            table,
+            pos: Some(pos),
+            exhausted: false,
+        }
+    }
+
+    /// Appends pairs in ascending key order until `out` holds `count`
+    /// entries or the index is exhausted. Returns `true` while more pairs
+    /// may remain (call again to continue), `false` once the cursor is
+    /// exhausted.
+    pub fn scan_next(
+        &self,
+        cur: &mut ScanCursor,
+        count: usize,
+        out: &mut Vec<(Key, Value)>,
+    ) -> bool {
+        loop {
+            if out.len() >= count {
+                return !cur.exhausted;
+            }
+            if cur.exhausted {
+                return false;
+            }
+            let table = &self.tables[cur.table];
+            let walked = match cur.pos {
+                Some(pos) => table.cursor_walk(pos, count, out),
+                // Empty tables are skipped without touching their directory.
+                None if table.is_empty() => None,
+                None => table.cursor_walk(table.start_position(), count, out),
+            };
+            match walked {
+                Some(pos) => cur.pos = Some(pos),
+                None => {
+                    cur.pos = None;
+                    if cur.table + 1 < self.tables.len() {
+                        cur.table += 1;
+                    } else {
+                        cur.exhausted = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{DyTis, Params};
+    use index_traits::KvIndex;
+
+    fn grown() -> DyTis {
+        let mut idx = DyTis::with_params(Params::small());
+        for k in 0..10_000u64 {
+            idx.insert(k.wrapping_mul(0x9E3779B97F4A7C15), k);
+        }
+        idx
+    }
+
+    #[test]
+    fn cursor_batches_concatenate_to_one_scan() {
+        let idx = grown();
+        let mut whole = Vec::new();
+        idx.scan(0, 10_000, &mut whole);
+        assert_eq!(whole.len(), 10_000);
+
+        for batch in [1usize, 7, 97, 1024] {
+            let mut cur = idx.scan_cursor(0);
+            let mut stepped = Vec::new();
+            while idx.scan_next(&mut cur, stepped.len() + batch, &mut stepped) {}
+            assert!(cur.is_exhausted());
+            assert_eq!(stepped, whole, "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn cursor_from_midpoint_matches_scan() {
+        let idx = grown();
+        let start = 1u64 << 63;
+        let mut want = Vec::new();
+        idx.scan(start, 2_000, &mut want);
+
+        let mut cur = idx.scan_cursor(start);
+        let mut got = Vec::new();
+        while got.len() < 2_000 && idx.scan_next(&mut cur, got.len() + 128, &mut got) {}
+        got.truncate(2_000);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn cursor_on_empty_index_is_exhausted_immediately() {
+        let idx = DyTis::with_params(Params::small());
+        let mut cur = idx.scan_cursor(0);
+        let mut out = Vec::new();
+        assert!(!idx.scan_next(&mut cur, 10, &mut out));
+        assert!(out.is_empty());
+        assert!(cur.is_exhausted());
+    }
+
+    #[test]
+    fn cursor_past_last_key_yields_nothing() {
+        let mut idx = DyTis::with_params(Params::small());
+        for k in 0..100u64 {
+            idx.insert(k, k);
+        }
+        let mut cur = idx.scan_cursor(1_000_000);
+        let mut out = Vec::new();
+        idx.scan_next(&mut cur, 10, &mut out);
+        assert!(out.is_empty());
+        assert!(cur.is_exhausted());
+    }
+}

@@ -8,8 +8,8 @@
 //! remapping, expansion and directory doubling.
 
 use crate::params::Params;
-use crate::remap::mask64;
-use crate::segment::{RemapOutcome, Segment};
+use crate::remap::{mask64, RemapFn};
+use crate::segment::{BucketUpsert, RemapOutcome, Segment};
 use crate::stats::DytisStats;
 use index_traits::{Key, Value};
 use std::time::Instant;
@@ -141,8 +141,7 @@ impl EhTable {
         let m = seg.key_bits(m_total);
         let k = sk & mask64(m);
         let b = seg.bucket_of(k, m_total);
-        let removed = seg.buckets[b].remove(key)?;
-        seg.num_keys -= 1;
+        let removed = seg.remove_from_bucket(b, key)?;
         self.num_keys -= 1;
         let seg = self.seg(id);
         if seg.total_buckets() > 1 && seg.utilization(params) < params.shrink_threshold {
@@ -168,15 +167,13 @@ impl EhTable {
                 let cap = params.bucket_entries;
                 let seg = self.seg_mut(id);
                 let b = seg.bucket_of(k, m_total);
-                let bucket = &mut seg.buckets[b];
-                if bucket.update(key, value) {
-                    return; // In-place update of an existing key.
-                }
-                if bucket.len() < cap {
-                    bucket.insert(key, value);
-                    seg.num_keys += 1;
-                    self.num_keys += 1;
-                    return;
+                match seg.upsert_in_bucket(b, key, value, cap) {
+                    BucketUpsert::Updated => return,
+                    BucketUpsert::Inserted => {
+                        self.num_keys += 1;
+                        return;
+                    }
+                    BucketUpsert::Full => {}
                 }
             }
             // Bucket is full: Algorithm 1.
@@ -332,6 +329,47 @@ impl EhTable {
         self.debug_audit_directory();
     }
 
+    /// Structural position (segment id, bucket, slot) of the first pair
+    /// with key `>= start_key` (sub-key `start_sk`): one directory lookup,
+    /// one remap prediction, one branchless lower bound. Because bucket
+    /// indices are monotone in the key (§3.2), every pair at or after this
+    /// position has a key `>= start_key`, so a scan resumed from such a
+    /// position never needs to re-predict.
+    pub(crate) fn cursor_position(&self, start_sk: u64, start_key: Key) -> (SegId, usize, usize) {
+        let seg_id = self.dir[self.dir_index(start_sk)];
+        let seg = self.seg(seg_id);
+        let m = seg.key_bits(self.m_total);
+        let k = start_sk & mask64(m);
+        let b = seg.bucket_of(k, self.m_total);
+        (seg_id, b, seg.buckets[b].lower_bound(start_key))
+    }
+
+    /// Structural position of the table's very first pair slot.
+    pub(crate) fn start_position(&self) -> (SegId, usize, usize) {
+        (self.dir[0], 0, 0)
+    }
+
+    /// Walks key order structurally from `pos`, bulk-appending pairs until
+    /// `out` holds `count` entries. Returns the position to resume from, or
+    /// `None` once the table is exhausted.
+    pub(crate) fn cursor_walk(
+        &self,
+        pos: (SegId, usize, usize),
+        count: usize,
+        out: &mut Vec<(Key, Value)>,
+    ) -> Option<(SegId, usize, usize)> {
+        let (mut seg_id, mut b, mut slot) = pos;
+        loop {
+            if let Some((nb, ns)) = self.seg(seg_id).walk_from(b, slot, count, out) {
+                return Some((seg_id, nb, ns));
+            }
+            match self.next[seg_id as usize] {
+                Some(n) => (seg_id, b, slot) = (n, 0, 0),
+                None => return None,
+            }
+        }
+    }
+
     /// Scans from the smallest key `>= start_key` (sub-key `start_sk`),
     /// appending up to `count - out.len()` pairs. Returns `true` when the
     /// scan is satisfied (no further tables need visiting).
@@ -345,42 +383,64 @@ impl EhTable {
         if self.num_keys == 0 {
             return out.len() >= count;
         }
-        let mut seg_id = self.dir[self.dir_index(start_sk)];
-        let mut first = true;
-        loop {
-            let seg = self.seg(seg_id);
-            let (mut b, mut i) = if first {
-                let m = seg.key_bits(self.m_total);
-                let k = start_sk & mask64(m);
-                let b = seg.bucket_of(k, self.m_total);
-                (b, seg.buckets[b].lower_bound(start_key))
-            } else {
-                (0, 0)
-            };
-            first = false;
-            while b < seg.buckets.len() {
-                let bucket = &seg.buckets[b];
-                while i < bucket.len() {
-                    if out.len() >= count {
-                        return true;
-                    }
-                    out.push(bucket.pair(i));
-                    i += 1;
-                }
-                b += 1;
-                i = 0;
-            }
-            match self.next[seg_id as usize] {
-                Some(n) => seg_id = n,
-                None => return out.len() >= count,
-            }
-        }
+        let pos = self.cursor_position(start_sk, start_key);
+        let _ = self.cursor_walk(pos, count, out);
+        out.len() >= count
     }
 
     /// Scans the whole table from its first segment (used when a scan spills
     /// over from a previous first-level entry).
     pub fn scan_from_start(&self, count: usize, out: &mut Vec<(Key, Value)>) -> bool {
-        self.scan(0, 0, count, out)
+        if self.num_keys == 0 {
+            return out.len() >= count;
+        }
+        let _ = self.cursor_walk(self.start_position(), count, out);
+        out.len() >= count
+    }
+
+    /// Builds a table directly from strictly-sorted unique `pairs` (whose
+    /// keys must fit `m_total` bits), mirroring ALEX's bulk load: the key
+    /// range is halved recursively until each block fits one segment at the
+    /// target utilization `U_t`, then every block trains a remapping
+    /// function from its key histogram and fills buckets with sorted
+    /// appends. No per-insert maintenance (split / remap / expand / double)
+    /// runs at all.
+    pub fn build_sorted(m_total: u32, pairs: &[(Key, Value)], params: &Params) -> Self {
+        let mut table = EhTable::new(m_total, params);
+        if pairs.is_empty() {
+            return table;
+        }
+        debug_assert!(
+            pairs
+                .windows(2)
+                .all(|w| (w[0].0 & mask64(m_total)) < (w[1].0 & mask64(m_total))),
+            "bulk build requires strictly sorted unique sub-keys"
+        );
+        // Partition plan: (local_depth, pair range) blocks in key order.
+        // Halving an aligned block yields two aligned blocks, so the plan
+        // tiles the directory correctly by construction.
+        let mut plan: Vec<(u32, usize, usize)> = Vec::new();
+        plan_blocks(pairs, 0, pairs.len(), 0, 0, m_total, params, &mut plan);
+        let gd = plan.iter().map(|&(ld, _, _)| ld).max().unwrap_or(0);
+
+        table.global_depth = gd;
+        table.dir = Vec::with_capacity(1usize << gd);
+        table.segs.clear();
+        table.next.clear();
+        for (i, &(ld, lo, hi)) in plan.iter().enumerate() {
+            let block = &pairs[lo..hi];
+            let remap = trained_remap(block, ld, m_total, params);
+            let seg = Segment::build(ld, remap, block, m_total, params);
+            let id = i as SegId;
+            let span = 1usize << (gd - ld);
+            table.dir.extend(std::iter::repeat_n(id, span));
+            table.segs.push(Some(seg));
+            table.next.push((i + 1 < plan.len()).then_some(id + 1));
+        }
+        table.num_keys = pairs.len();
+        #[cfg(debug_assertions)]
+        table.check_invariants(params);
+        table
     }
 
     /// Iterates over all live segments (for tests and introspection).
@@ -622,6 +682,68 @@ impl EhTable {
     }
 }
 
+/// Recursively halves the key block starting at `start` with width
+/// `2^(m_total - ld)` (holding `pairs[lo..hi]`) until its keys fit a single
+/// segment at utilization `U_t` under the segment-size cap `Limit_seg(LD)`,
+/// appending the surviving `(local_depth, lo, hi)` blocks in key order.
+/// The per-block budget grows exponentially with `LD`, so dense clusters
+/// stop splitting as soon as the cap catches up with them.
+#[allow(clippy::too_many_arguments)]
+fn plan_blocks(
+    pairs: &[(Key, Value)],
+    lo: usize,
+    hi: usize,
+    ld: u32,
+    start: u64,
+    m_total: u32,
+    params: &Params,
+    out: &mut Vec<(u32, usize, usize)>,
+) {
+    let n = hi - lo;
+    let cap_keys = params.segment_cap(ld, params.limit_mult) * params.bucket_entries;
+    let budget = ((cap_keys as f64) * params.utilization_threshold).floor() as usize;
+    if n > budget.max(1) && ld < m_total {
+        let half = start + (1u64 << (m_total - ld - 1));
+        let mid = lo + pairs[lo..hi].partition_point(|&(k, _)| (k & mask64(m_total)) < half);
+        plan_blocks(pairs, lo, mid, ld + 1, start, m_total, params, out);
+        plan_blocks(pairs, mid, hi, ld + 1, half, m_total, params, out);
+    } else {
+        out.push((ld, lo, hi));
+    }
+}
+
+/// Trains a remapping function for a freshly bulk-built segment from the
+/// sorted keys it will hold: an equal-width histogram over up to 64 pieces,
+/// each granted the buckets its keys need at utilization `U_t` — a direct
+/// piecewise approximation of the block's CDF (§3.2). Skew the histogram
+/// cannot express is absorbed by [`Segment::build`]'s overflow refinement.
+fn trained_remap(pairs: &[(Key, Value)], ld: u32, m_total: u32, params: &Params) -> RemapFn {
+    let m = m_total - ld;
+    let per_bucket = params.bucket_entries as f64 * params.utilization_threshold;
+    let total = ((pairs.len() as f64) / per_bucket).ceil() as u32;
+    if pairs.is_empty() || total <= 1 || m == 0 {
+        return RemapFn::identity();
+    }
+    // Roughly one piece per target bucket, capped at 2^6 pieces and at the
+    // key width.
+    let piece_bits = m.min(6).min(32 - total.leading_zeros());
+    let pieces = 1usize << piece_bits;
+    let w = m - piece_bits;
+    let maskm = mask64(m);
+    let mut counts = vec![0u32; pieces];
+    let mut lo = 0usize;
+    for (i, c) in counts.iter_mut().enumerate() {
+        let end = ((i as u64) + 1) << w;
+        let hi = lo + pairs[lo..].partition_point(|&(k, _)| (k & maskm) < end);
+        *c = (((hi - lo) as f64) / per_bucket).ceil() as u32;
+        lo = hi;
+    }
+    if counts.iter().all(|&c| c == 0) {
+        counts[0] = 1; // from_counts needs at least one bucket.
+    }
+    RemapFn::from_counts(counts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -857,6 +979,68 @@ mod tests {
             .violations
             .iter()
             .any(|v| v.invariant == "key-placement" || v.invariant == "key-order"));
+    }
+
+    #[test]
+    fn build_sorted_equals_insert_loop() {
+        let p = params();
+        let pairs: Vec<(u64, u64)> = (0..5000u64).map(|k| (k * 3 + 1, k)).collect();
+        let t = EhTable::build_sorted(M, &pairs, &p);
+        t.check_invariants(&p);
+        assert_eq!(t.len(), pairs.len());
+        for &(k, v) in pairs.iter().step_by(17) {
+            assert_eq!(t.get(k, k, &p), Some(v), "key {k}");
+        }
+        let mut out = Vec::new();
+        t.scan_from_start(pairs.len(), &mut out);
+        assert_eq!(out, pairs);
+    }
+
+    #[test]
+    fn build_sorted_clustered_keys() {
+        let p = params();
+        // Two dense clusters at opposite ends of the key space: the plan
+        // must stop halving once the depth-scaled budget covers a cluster.
+        let mut pairs: Vec<(u64, u64)> = (0..2000u64).map(|k| (k, k)).collect();
+        pairs.extend((0..2000u64).map(|k| ((1 << M) - 2000 + k, k)));
+        let t = EhTable::build_sorted(M, &pairs, &p);
+        t.check_invariants(&p);
+        assert_eq!(t.len(), pairs.len());
+        let mut out = Vec::new();
+        t.scan_from_start(pairs.len(), &mut out);
+        assert_eq!(out, pairs);
+    }
+
+    #[test]
+    fn build_sorted_empty_and_single() {
+        let p = params();
+        let t = EhTable::build_sorted(M, &[], &p);
+        t.check_invariants(&p);
+        assert!(t.is_empty());
+        let t = EhTable::build_sorted(M, &[(42, 7)], &p);
+        t.check_invariants(&p);
+        assert_eq!(t.get(42, 42, &p), Some(7));
+    }
+
+    #[test]
+    fn cursor_walk_resumes_across_segments() {
+        let p = params();
+        let mut t = EhTable::new(M, &p);
+        for k in 0..5000u64 {
+            t.insert(k, k, k, &p);
+        }
+        assert!(t.segment_count() > 1, "need several segments");
+        // Stepped resume must concatenate to exactly one full pass.
+        let mut stepped = Vec::new();
+        let mut pos = Some(t.start_position());
+        while let Some(pp) = pos {
+            let target = stepped.len() + 97;
+            pos = t.cursor_walk(pp, target, &mut stepped);
+        }
+        let mut whole = Vec::new();
+        t.scan_from_start(5000, &mut whole);
+        assert_eq!(stepped, whole);
+        assert_eq!(stepped.len(), 5000);
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod audit;
 pub mod bucket;
 pub mod concurrent;
 pub mod concurrent_fine;
+pub mod cursor;
 pub mod eh;
 pub mod params;
 pub mod persist;
@@ -47,6 +48,7 @@ pub mod stats;
 
 pub use concurrent::ConcurrentDyTis;
 pub use concurrent_fine::ConcurrentDyTisFine;
+pub use cursor::ScanCursor;
 pub use params::Params;
 pub use stats::{DytisStats, OpTimes};
 
@@ -160,33 +162,25 @@ impl DyTis {
 
     /// Returns all pairs with keys in `[start, end)`, in ascending order.
     ///
-    /// A convenience wrapper over [`KvIndex::scan`] for range predicates
-    /// (the scan primitive of §3.3 takes a count; SQL-style range queries
-    /// take an upper bound).
+    /// Pulls batches from a single [`ScanCursor`], so the positioning work
+    /// (first-level table, directory lookup, remapping prediction, bucket
+    /// lower bound) happens once for the whole range instead of once per
+    /// batch (the scan primitive of §3.3 takes a count; SQL-style range
+    /// queries take an upper bound).
     pub fn range(&self, start: Key, end: Key) -> Vec<(Key, Value)> {
         let mut out = Vec::new();
-        let mut cursor = start;
         const BATCH: usize = 256;
-        'outer: loop {
-            let before = out.len();
-            self.scan(cursor, before + BATCH, &mut out);
-            let got = out.len() - before;
-            while let Some(&(k, _)) = out.last() {
-                if k >= end {
-                    out.pop();
-                } else {
-                    break;
-                }
-            }
-            if out.len() < before + got || got < BATCH {
-                break 'outer; // Hit the end bound or ran out of keys.
-            }
-            match out.last() {
-                Some(&(k, _)) if k < end && k < Key::MAX => cursor = k + 1,
-                _ => break,
+        let mut cur = self.scan_cursor(start);
+        loop {
+            let more = self.scan_next(&mut cur, out.len() + BATCH, &mut out);
+            // Keys arrive in ascending order, so pairs at or past the
+            // exclusive upper bound form a suffix.
+            let cut = out.partition_point(|&(k, _)| k < end);
+            if cut < out.len() || !more {
+                out.truncate(cut);
+                return out;
             }
         }
-        out
     }
 
     /// Smallest stored key, or `None` when empty.
@@ -232,6 +226,8 @@ impl KvIndex for DyTis {
     }
 
     fn remove(&mut self, key: Key) -> Option<Value> {
+        let _t = obs::Timer::start(obs::histogram!("dytis.remove_ns"));
+        obs::counter!("dytis.remove").inc();
         let t = self.table_of(key);
         let sk = self.sub_key(key);
         let v = self.tables[t].remove(sk, key, &self.params)?;
@@ -242,15 +238,8 @@ impl KvIndex for DyTis {
     fn scan(&self, start: Key, count: usize, out: &mut Vec<(Key, Value)>) {
         let _t = obs::Timer::start(obs::histogram!("dytis.scan_ns"));
         obs::counter!("dytis.scan").inc();
-        let first = self.table_of(start);
-        if self.tables[first].scan(self.sub_key(start), start, count, out) {
-            return;
-        }
-        for t in &self.tables[first + 1..] {
-            if t.scan_from_start(count, out) {
-                return;
-            }
-        }
+        let mut cur = self.scan_cursor(start);
+        self.scan_next(&mut cur, count, out);
     }
 
     fn len(&self) -> usize {
@@ -268,15 +257,38 @@ impl KvIndex for DyTis {
     }
 }
 
-impl BulkLoad for DyTis {
-    /// DyTIS needs no bulk loading; this simply inserts the pairs in order
-    /// (provided for harness symmetry with the learned-index baselines).
-    fn bulk_load(pairs: &[(Key, Value)]) -> Self {
-        let mut idx = DyTis::new();
-        for &(k, v) in pairs {
-            idx.insert(k, v);
+impl DyTis {
+    /// Builds an index from strictly-sorted, duplicate-free `pairs` with
+    /// explicit parameters, constructing directories, segments, and buckets
+    /// directly from sorted runs (mirroring ALEX's bulk load) instead of
+    /// running the insert path — no splits, remaps, expansions, or
+    /// directory doublings happen at all.
+    pub fn bulk_load_with_params(pairs: &[(Key, Value)], params: Params) -> Self {
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 < w[1].0),
+            "bulk_load requires strictly sorted unique keys"
+        );
+        let mut idx = DyTis::with_params(params);
+        let m_total = 64 - idx.params.first_level_bits;
+        let mut lo = 0usize;
+        while lo < pairs.len() {
+            let t = idx.table_of(pairs[lo].0);
+            let hi = lo + pairs[lo..].partition_point(|&(k, _)| idx.table_of(k) == t);
+            idx.tables[t] = EhTable::build_sorted(m_total, &pairs[lo..hi], &idx.params);
+            idx.num_keys += hi - lo;
+            lo = hi;
         }
         idx
+    }
+}
+
+impl BulkLoad for DyTis {
+    /// Builds the structure directly from the sorted input (see
+    /// [`DyTis::bulk_load_with_params`]). DyTIS does not *need* bulk
+    /// loading — incremental inserts reach the same steady state — but the
+    /// direct build skips all insert-path maintenance.
+    fn bulk_load(pairs: &[(Key, Value)]) -> Self {
+        Self::bulk_load_with_params(pairs, Params::default())
     }
 }
 
@@ -397,8 +409,66 @@ mod tests {
     fn bulk_load_equals_inserts() {
         let pairs: Vec<(u64, u64)> = (0..5_000u64).map(|k| (k * 7, k)).collect();
         let idx = DyTis::bulk_load(&pairs);
+        idx.check_invariants();
         assert_eq!(idx.len(), 5_000);
         assert_eq!(idx.get(7), Some(1));
+        let mut built = DyTis::new();
+        for &(k, v) in &pairs {
+            built.insert(k, v);
+        }
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        idx.scan(0, 5_000, &mut a);
+        built.scan(0, 5_000, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(a, pairs);
+    }
+
+    #[test]
+    fn bulk_load_small_params_spread_keys() {
+        // Keys spread across every first-level table, including extremes.
+        let mut keys: Vec<u64> = (0..4_000u64)
+            .map(|k| k.wrapping_mul(0x61C8864680B583EB))
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let pairs: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k ^ 1)).collect();
+        let idx = DyTis::bulk_load_with_params(&pairs, Params::small());
+        idx.check_invariants();
+        assert_eq!(idx.len(), pairs.len());
+        for &(k, v) in pairs.iter().step_by(37) {
+            assert_eq!(idx.get(k), Some(v), "key {k:#x}");
+        }
+        let mut out = Vec::new();
+        idx.scan(0, pairs.len(), &mut out);
+        assert_eq!(out, pairs);
+        // Bulk-built indexes accept further inserts and removes.
+        let mut idx = idx;
+        idx.insert(12_345, 99);
+        assert_eq!(idx.get(12_345), Some(99));
+        idx.check_invariants();
+    }
+
+    #[test]
+    fn bulk_load_empty_and_single() {
+        let idx = DyTis::bulk_load(&[]);
+        idx.check_invariants();
+        assert!(idx.is_empty());
+        let idx = DyTis::bulk_load(&[(u64::MAX, 1)]);
+        idx.check_invariants();
+        assert_eq!(idx.get(u64::MAX), Some(1));
+        assert_eq!(idx.first_key(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn bulk_load_dense_sequential_run() {
+        // One dense run hammers a single first-level table; the plan must
+        // deepen until the depth-scaled budget fits, not per-key.
+        let pairs: Vec<(u64, u64)> = (0..30_000u64).map(|k| (k, k)).collect();
+        let idx = DyTis::bulk_load_with_params(&pairs, Params::small());
+        idx.check_invariants();
+        assert_eq!(idx.len(), 30_000);
+        assert_eq!(idx.range(10_000, 10_100).len(), 100);
     }
 
     #[test]

@@ -24,6 +24,17 @@ pub enum RemapOutcome {
     Failed,
 }
 
+/// Outcome of [`Segment::upsert_in_bucket`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BucketUpsert {
+    /// The key existed; its value was replaced in place.
+    Updated,
+    /// The pair was inserted; the segment's key count grew by one.
+    Inserted,
+    /// The bucket is at capacity; the caller must run maintenance.
+    Full,
+}
+
 /// A segment: local depth, remapping function, and bucket array.
 #[derive(Debug, Clone)]
 pub struct Segment {
@@ -33,6 +44,11 @@ pub struct Segment {
     pub remap: RemapFn,
     /// Buckets; length is always `remap.total_buckets()`.
     pub buckets: Vec<Bucket>,
+    /// Per-bucket lengths, parallel to `buckets` (`occupancy[b]` always
+    /// equals `buckets[b].len()`). Probes and scans consult this 2-byte-per-
+    /// bucket array to skip empty buckets, touching one cache line per 32
+    /// buckets instead of one 48-byte `Bucket` header each.
+    pub occupancy: Vec<u16>,
     /// Number of keys stored across all buckets.
     pub num_keys: usize,
     /// Consecutive remappings since the last split/expansion. Each remap in
@@ -51,6 +67,7 @@ impl Segment {
             local_depth,
             remap: RemapFn::identity(),
             buckets: vec![Bucket::default()],
+            occupancy: vec![0],
             num_keys: 0,
             remap_streak: 0,
         }
@@ -92,17 +109,91 @@ impl Segment {
         self.remap.bucket_index(k, self.key_bits(m_total))
     }
 
+    /// Length of bucket `b` read from the occupancy array (no bucket deref).
+    #[inline]
+    pub fn bucket_len(&self, b: usize) -> usize {
+        self.occupancy[b] as usize
+    }
+
+    /// Inserts or updates `(key, value)` in bucket `b`, keeping the
+    /// occupancy array and the segment key count in sync. `cap` is the
+    /// per-bucket slot capacity.
+    pub fn upsert_in_bucket(
+        &mut self,
+        b: usize,
+        key: Key,
+        value: Value,
+        cap: usize,
+    ) -> BucketUpsert {
+        let bucket = &mut self.buckets[b];
+        if bucket.update(key, value) {
+            return BucketUpsert::Updated;
+        }
+        if bucket.len() >= cap {
+            return BucketUpsert::Full;
+        }
+        bucket.insert(key, value);
+        self.occupancy[b] += 1;
+        self.num_keys += 1;
+        BucketUpsert::Inserted
+    }
+
+    /// Removes `key` from bucket `b`, keeping the occupancy array and the
+    /// segment key count in sync.
+    pub fn remove_from_bucket(&mut self, b: usize, key: Key) -> Option<Value> {
+        if self.occupancy[b] == 0 {
+            return None;
+        }
+        let v = self.buckets[b].remove(key)?;
+        self.occupancy[b] -= 1;
+        self.num_keys -= 1;
+        Some(v)
+    }
+
     /// Searches for full key `key` (with EH sub-key `sk`).
     pub fn get(&self, sk: u64, key: Key, m_total: u32, params: &Params) -> Option<Value> {
         let m = self.key_bits(m_total);
         let k = sk & mask64(m);
         let b = self.remap.bucket_index(k, m);
+        if self.occupancy[b] == 0 {
+            return None; // Empty bucket: skip the probe entirely.
+        }
         let bucket = &self.buckets[b];
         let hint = self.remap.slot_hint(k, m, params.bucket_entries);
         match bucket.search_from_hint(key, hint) {
             Ok(i) => Some(bucket.vals()[i]),
             Err(_) => None,
         }
+    }
+
+    /// Walks buckets from `(b, slot)` on, bulk-appending pairs until `out`
+    /// reaches `count` entries or the segment is exhausted. Returns the
+    /// position to resume from when the count was hit, `None` when the
+    /// segment ran out. The occupancy array lets the walk skip empty
+    /// buckets without dereferencing them.
+    pub fn walk_from(
+        &self,
+        mut b: usize,
+        mut slot: usize,
+        count: usize,
+        out: &mut Vec<(Key, Value)>,
+    ) -> Option<(usize, usize)> {
+        let nb = self.buckets.len();
+        while b < nb {
+            if out.len() >= count {
+                return Some((b, slot));
+            }
+            let blen = self.bucket_len(b);
+            if slot < blen {
+                slot += self.buckets[b].append_range(slot, count - out.len(), out);
+                if slot < blen {
+                    return Some((b, slot)); // Count hit mid-bucket.
+                }
+            }
+            b += 1;
+            slot = 0;
+        }
+        None
     }
 
     /// All key-value pairs in ascending key order.
@@ -135,32 +226,72 @@ impl Segment {
         let maskm = mask64(m);
         let cap = params.bucket_entries;
         'retry: loop {
+            let total = remap.total_buckets();
             // Buckets are fixed-size (2 KiB by default): reserve the full
             // slot capacity up front, as the paper's memory analysis
             // assumes ("each key must be stored in a particular bucket",
             // §4.3).
-            let mut buckets: Vec<Bucket> = (0..remap.total_buckets())
-                .map(|_| Bucket::with_capacity(cap))
-                .collect();
-            for &(key, value) in pairs.iter() {
-                let k = key & maskm;
-                let b = remap.bucket_index(k, m);
-                if buckets[b].len() >= cap {
-                    // The overflowing group is the cap keys already in `b`
-                    // plus this one; split the function between the group's
-                    // first and last keys.
-                    let k_first = buckets[b].keys()[0] & maskm;
-                    let k_last = k;
-                    debug_assert!(k_first < k_last);
-                    fix_overflow(&mut remap, k_first, k_last, m);
-                    continue 'retry;
+            let mut buckets: Vec<Bucket> = (0..total).map(|_| Bucket::with_capacity(cap)).collect();
+            // `pairs` is sorted and the function is monotone, so every
+            // bucket owns a contiguous slice. Walk the leaves in key order
+            // and cut each bucket's slice arithmetically instead of paying a
+            // tree descent per key. `cum` mirrors the stored per-leaf cums:
+            // `leaves` yields key order and the cums are the prefix sums of
+            // the counts in that order.
+            let mut i = 0usize;
+            let mut cum = 0u32;
+            for leaf in remap.leaves(m) {
+                let w = m - leaf.depth;
+                let leaf_end = if w >= m || leaf.start + (1u64 << w) > maskm {
+                    pairs.len()
+                } else {
+                    let end = leaf.start + (1u64 << w);
+                    i + pairs[i..].partition_point(|&(key, _)| (key & maskm) < end)
+                };
+                if leaf.count == 0 {
+                    // Zero-count piece: its keys clamp into the next piece's
+                    // first bucket (the last bucket at the tail), exactly as
+                    // `bucket_index` resolves them.
+                    let b = cum.min(total - 1) as usize;
+                    match fill_bucket(&mut buckets[b], &pairs[i..leaf_end], cap, maskm) {
+                        Ok(()) => i = leaf_end,
+                        Err((k_first, k_last)) => {
+                            fix_overflow(&mut remap, k_first, k_last, m);
+                            continue 'retry;
+                        }
+                    }
+                    continue;
                 }
-                buckets[b].push_sorted(key, value);
+                for j in 0..leaf.count {
+                    let hi = if j + 1 == leaf.count {
+                        leaf_end
+                    } else {
+                        // First offset past bucket `j` of this piece:
+                        // ceil((j + 1) · 2^w / count), the inverse of
+                        // bucket = floor(off · count / 2^w).
+                        let c = leaf.count as u128;
+                        let off_end = (((j + 1) as u128) << w).div_ceil(c);
+                        let key_end = leaf.start + off_end as u64;
+                        i + pairs[i..leaf_end].partition_point(|&(key, _)| (key & maskm) < key_end)
+                    };
+                    let b = (cum + j) as usize;
+                    match fill_bucket(&mut buckets[b], &pairs[i..hi], cap, maskm) {
+                        Ok(()) => i = hi,
+                        Err((k_first, k_last)) => {
+                            fix_overflow(&mut remap, k_first, k_last, m);
+                            continue 'retry;
+                        }
+                    }
+                }
+                cum += leaf.count;
             }
+            debug_assert_eq!(i, pairs.len());
+            let occupancy = buckets.iter().map(|b| b.len() as u16).collect();
             return Segment {
                 local_depth,
                 remap,
                 buckets,
+                occupancy,
                 num_keys: pairs.len(),
                 remap_streak: 0,
             };
@@ -407,8 +538,34 @@ impl Segment {
     pub fn heap_bytes(&self) -> usize {
         self.remap.heap_bytes()
             + self.buckets.capacity() * std::mem::size_of::<Bucket>()
+            + self.occupancy.capacity() * std::mem::size_of::<u16>()
             + self.buckets.iter().map(Bucket::heap_bytes).sum::<usize>()
     }
+}
+
+/// Appends a sorted run into `bucket`, or reports the overflowing key group
+/// (`Err((k_first, k_last))`, within-segment keys) when it would exceed
+/// `cap`. The group is the bucket's existing first key (or the run's, if the
+/// bucket is empty) through the first key that does not fit — the same pair
+/// a per-key fill would have handed to [`fix_overflow`].
+fn fill_bucket(
+    bucket: &mut Bucket,
+    run: &[(Key, Value)],
+    cap: usize,
+    maskm: u64,
+) -> Result<(), (u64, u64)> {
+    if bucket.len() + run.len() > cap {
+        let k_first = if bucket.is_empty() {
+            run[0].0 & maskm
+        } else {
+            bucket.keys()[0] & maskm
+        };
+        let k_last = run[cap - bucket.len()].0 & maskm;
+        debug_assert!(k_first < k_last);
+        return Err((k_first, k_last));
+    }
+    bucket.extend_sorted(run);
+    Ok(())
 }
 
 /// Adjusts `remap` so the over-full key group `[k_first, k_last]` no longer
@@ -640,6 +797,63 @@ mod tests {
         let pairs: Vec<(Key, Value)> = vec![(0, 0), (65, 0), (66, 0), (200, 0)];
         let seg = Segment::build(0, remap, &pairs, 8, &p);
         assert_eq!(seg.keys_per_piece(8), vec![1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn occupancy_tracks_bucket_lengths() {
+        let p = small_params();
+        let keys: Vec<u64> = (0..32).map(|i| i * 7).collect();
+        let mut seg = seg_with(0, &keys, 8, &p);
+        for (b, bucket) in seg.buckets.iter().enumerate() {
+            assert_eq!(seg.occupancy[b] as usize, bucket.len());
+        }
+        let b = seg.bucket_of(seg.local_key(7, 8), 8);
+        assert_eq!(seg.remove_from_bucket(b, 7), Some(8));
+        assert_eq!(seg.bucket_len(b), seg.buckets[b].len());
+        assert_eq!(seg.remove_from_bucket(b, 7), None);
+        assert_eq!(
+            seg.upsert_in_bucket(b, 7, 9, p.bucket_entries),
+            BucketUpsert::Inserted
+        );
+        assert_eq!(
+            seg.upsert_in_bucket(b, 7, 10, p.bucket_entries),
+            BucketUpsert::Updated
+        );
+        assert_eq!(seg.bucket_len(b), seg.buckets[b].len());
+        assert_eq!(seg.num_keys, keys.len());
+    }
+
+    #[test]
+    fn upsert_reports_full_without_changing_state() {
+        let p = small_params();
+        let keys: Vec<u64> = (0..4).collect(); // Fills one 4-slot bucket.
+        let mut seg = seg_with(0, &keys, 8, &p);
+        let b = seg.bucket_of(0, 8);
+        assert_eq!(seg.bucket_len(b), 4);
+        assert_eq!(
+            seg.upsert_in_bucket(b, 100, 1, p.bucket_entries),
+            BucketUpsert::Full
+        );
+        assert_eq!(seg.num_keys, 4);
+        assert_eq!(seg.bucket_len(b), 4);
+    }
+
+    #[test]
+    fn walk_from_streams_and_resumes() {
+        let p = small_params();
+        let keys: Vec<u64> = (0..40).map(|i| i * 5).collect();
+        let seg = seg_with(0, &keys, 8, &p);
+        let mut all = Vec::new();
+        assert!(seg.walk_from(0, 0, usize::MAX, &mut all).is_none());
+        assert_eq!(all, seg.sorted_pairs());
+
+        // Resume in small steps: the concatenation must equal one pass.
+        let mut stepped = Vec::new();
+        let (mut b, mut s) = (0, 0);
+        while let Some((nb, ns)) = seg.walk_from(b, s, stepped.len() + 7, &mut stepped) {
+            (b, s) = (nb, ns);
+        }
+        assert_eq!(stepped, all);
     }
 
     #[test]

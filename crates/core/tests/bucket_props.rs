@@ -1,0 +1,97 @@
+//! Property-based tests for the bucket probe paths. The branchless lower
+//! bound and the hint-window exponential search are the hottest code in the
+//! index; both must agree exactly with the standard-library reference on
+//! arbitrary contents, for every possible hint, and the bulk `append_range`
+//! walk must reproduce the per-pair iteration it replaced.
+//!
+//! Gated behind the `proptest` feature (`cargo test --features proptest`)
+//! so the default offline test run stays lean.
+#![cfg(feature = "proptest")]
+
+use dytis::bucket::Bucket;
+use proptest::prelude::*;
+
+/// Builds a bucket from arbitrary (deduplicated, sorted by `insert`) keys.
+fn bucket_from(keys: &[u64]) -> (Bucket, Vec<u64>) {
+    let mut b = Bucket::with_capacity(keys.len().max(1));
+    let mut sorted: Vec<u64> = keys.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    for &k in &sorted {
+        b.insert(k, k ^ 0xABCD);
+    }
+    (b, sorted)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(debug_assertions) { 32 } else { 128 }))]
+
+    /// `search_from_hint(k, hint)` agrees with `search(k)` for arbitrary
+    /// bucket contents, arbitrary probe keys, and *all* hints (in-range and
+    /// wildly out of range).
+    #[test]
+    fn search_from_hint_agrees_with_search_for_all_hints(
+        keys in prop::collection::vec(any::<u64>(), 0..128),
+        probes in prop::collection::vec(any::<u64>(), 1..32),
+        wild_hint in any::<usize>(),
+    ) {
+        let (b, sorted) = bucket_from(&keys);
+        // Probe stored keys, neighbours of stored keys, and random keys.
+        let mut all_probes = probes;
+        for &k in sorted.iter().take(8) {
+            all_probes.extend([k, k.wrapping_sub(1), k.wrapping_add(1)]);
+        }
+        for &probe in &all_probes {
+            let want = b.search(probe);
+            prop_assert_eq!(
+                want,
+                sorted.binary_search(&probe),
+                "search disagrees with std for {}", probe
+            );
+            for hint in (0..=b.len()).chain([wild_hint]) {
+                prop_assert_eq!(
+                    b.search_from_hint(probe, hint),
+                    want,
+                    "probe {} hint {}", probe, hint
+                );
+            }
+        }
+    }
+
+    /// `lower_bound` equals `partition_point` on the sorted key array.
+    #[test]
+    fn lower_bound_matches_partition_point(
+        keys in prop::collection::vec(any::<u64>(), 0..128),
+        probes in prop::collection::vec(any::<u64>(), 1..32),
+    ) {
+        let (b, sorted) = bucket_from(&keys);
+        for &probe in &probes {
+            prop_assert_eq!(
+                b.lower_bound(probe),
+                sorted.partition_point(|&k| k < probe),
+                "probe {}", probe
+            );
+        }
+    }
+
+    /// `append_range` from any slot with any budget copies exactly the pairs
+    /// the per-pair loop would have pushed.
+    #[test]
+    fn append_range_matches_per_pair_walk(
+        keys in prop::collection::vec(any::<u64>(), 0..128),
+        slot in 0usize..160,
+        max in 0usize..160,
+    ) {
+        let (b, sorted) = bucket_from(&keys);
+        let mut bulk = vec![(0u64, 0u64)]; // non-empty: appends, not overwrites
+        let n = b.append_range(slot, max, &mut bulk);
+        let want: Vec<(u64, u64)> = sorted
+            .iter()
+            .skip(slot)
+            .take(max)
+            .map(|&k| (k, k ^ 0xABCD))
+            .collect();
+        prop_assert_eq!(n, want.len());
+        prop_assert_eq!(&bulk[1..], &want[..]);
+    }
+}

@@ -107,9 +107,10 @@ fn instrumented_index_paths_register_under_metrics() {
     }
     let _ = idx.get(key(7));
     idx.scan(0, 10, &mut buf);
+    assert_eq!(idx.remove(key(7)), Some(7));
 
     let snap = obs::snapshot();
-    for name in ["dytis.insert", "dytis.get", "dytis.scan"] {
+    for name in ["dytis.insert", "dytis.get", "dytis.scan", "dytis.remove"] {
         let v = snap
             .counters
             .iter()
@@ -118,10 +119,18 @@ fn instrumented_index_paths_register_under_metrics() {
             .unwrap_or_else(|| panic!("counter {name} not registered"));
         assert!(v > 0, "{name} never incremented");
     }
-    for name in ["dytis.insert_ns", "dytis.get_ns", "dytis.scan_ns"] {
-        assert!(
-            snap.histograms.iter().any(|(n, _)| n == name),
-            "histogram {name} not registered"
-        );
+    for name in [
+        "dytis.insert_ns",
+        "dytis.get_ns",
+        "dytis.scan_ns",
+        "dytis.remove_ns",
+    ] {
+        let h = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h.clone())
+            .unwrap_or_else(|| panic!("histogram {name} not registered"));
+        assert!(h.count > 0, "{name} recorded no samples");
     }
 }
