@@ -136,7 +136,9 @@ fn scan_cursor(idx: &DyTis, starts: &[u64], scan_len: usize, page: usize) -> Cel
         let mut left = scan_len;
         while left > 0 {
             out.clear();
-            let more = idx.scan_next(&mut cur, page.min(left), &mut out);
+            let more = idx
+                .scan_next(&mut cur, page.min(left), &mut out)
+                .expect("no mutation during bench scan");
             streamed += out.len() as u64;
             left -= out.len().min(left);
             black_box(&out);

@@ -11,23 +11,35 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin ycsb_mt [-- --smoke] [--index dytis|dytis-fine|xindex]
-//!     [--out BENCH_ycsb.json]
+//!     [--net] [--out BENCH_ycsb.json]
 //! ```
 //!
 //! `--smoke` shrinks the run for CI (~seconds). With `--features metrics`
 //! the obs registry snapshot is embedded under an `"obs"` key; without it
 //! the instrumentation compiles to no-ops and only the always-on
 //! maintenance counters appear.
+//!
+//! `--net` (dytis only) drives the real `kvstore::Server` over loopback
+//! instead of calling the index in process: one server per cell, loaded
+//! with the pipelined `set_batch`, then one `Client` per worker thread.
+//! Latencies include the full parse/serve/serialize path, so this is the
+//! end-to-end number the service can honestly quote. The run also times
+//! 1000 single `set`s against one `set_batch(1000)` and asserts the
+//! pipelined path wins, recording both under a `"net_batch"` key.
 
 use bench::{base_keys, base_ops};
 use dytis::{ConcurrentDyTis, ConcurrentDyTisFine};
-use index_traits::{ConcurrentKvIndex, Key, MaintenanceStats};
+use index_traits::{ConcurrentKvIndex, Key, MaintenanceStats, Value};
+use kvstore::{Client, RetryPolicy, Server};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Instant;
 use xindex::ConcurrentXIndex;
-use ycsb::{generate_ops, run_ops_concurrent_latencies, summarize, Op, Summary, Workload};
+use ycsb::{
+    generate_ops, run_ops_concurrent_latencies, summarize, Op, Summary, Workload, SCAN_LEN,
+};
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 const WORKLOADS: [Workload; 5] = [
@@ -118,6 +130,127 @@ fn run_threads(idx: &Arc<dyn ConcurrentKvIndex>, ops: &[Op], threads: usize) -> 
     summarize(&mut pooled, wall_ns.max(slowest))
 }
 
+/// Runs one shard of ops through a connected client, timing each op.
+fn run_net_ops(client: &mut Client, ops: &[Op]) -> (Vec<u64>, u64) {
+    let mut lat = Vec::with_capacity(ops.len());
+    let mut sink = 0u64;
+    let start = Instant::now();
+    let mut last = start;
+    for &op in ops {
+        match op {
+            Op::Insert(k, v) | Op::Update(k, v) => client.set(k, v).expect("net set"),
+            Op::Read(k) => sink ^= client.get(k).expect("net get").unwrap_or(0),
+            Op::Scan(k) => {
+                let pairs = client.scan(k, SCAN_LEN).expect("net scan");
+                sink ^= pairs.last().map(|&(lk, _)| lk).unwrap_or(0);
+            }
+            Op::ReadModifyWrite(k, v) => {
+                let cur = client.get(k).expect("net rmw get").unwrap_or(0);
+                client.set(k, cur.wrapping_add(v)).expect("net rmw set");
+            }
+        }
+        let now = Instant::now();
+        lat.push(now.duration_since(last).as_nanos() as u64);
+        last = now;
+    }
+    std::hint::black_box(sink);
+    (lat, start.elapsed().as_nanos() as u64)
+}
+
+/// One `--net` cell: fresh server, pipelined load, one client per worker.
+fn net_cell(
+    workload: Workload,
+    loaded: &[Key],
+    fresh: &[Key],
+    n_ops: usize,
+    threads: usize,
+) -> (Summary, MaintenanceStats, u64) {
+    let store = Arc::new(ConcurrentDyTis::new());
+    let server = Server::with_store("127.0.0.1:0", Arc::clone(&store)).expect("bind");
+    let addr = server.addr();
+
+    let mut loader =
+        Client::connect_with_retry(addr, &RetryPolicy::default()).expect("loader connect");
+    let pairs: Vec<(Key, Value)> = loaded.iter().map(|&k| (k, k)).collect();
+    loader.set_batch(&pairs).expect("net load");
+    loader.quit().expect("loader quit");
+
+    let ops = generate_ops(workload, loaded, fresh, n_ops, 0xBE7C + threads as u64);
+    let parts = shards(&ops, threads);
+    let before = store.maintenance_stats();
+    let retries_before = store.insert_retries();
+    let wall = Instant::now();
+    let handles: Vec<_> = parts
+        .into_iter()
+        .map(|shard| {
+            std::thread::spawn(move || {
+                let mut c =
+                    Client::connect_with_retry(addr, &RetryPolicy::default()).expect("connect");
+                let out = run_net_ops(&mut c, &shard);
+                c.quit().expect("quit");
+                out
+            })
+        })
+        .collect();
+    let mut pooled = Vec::with_capacity(ops.len());
+    let mut slowest = 0u64;
+    for h in handles {
+        let (lat, elapsed) = h.join().expect("net worker");
+        pooled.extend(lat);
+        slowest = slowest.max(elapsed);
+    }
+    let wall_ns = wall.elapsed().as_nanos() as u64;
+    let after = store.maintenance_stats();
+    let maintenance = MaintenanceStats {
+        splits: after.splits - before.splits,
+        expansions: after.expansions - before.expansions,
+        remaps: after.remaps - before.remaps,
+        doublings: after.doublings - before.doublings,
+        keys_moved: after.keys_moved - before.keys_moved,
+    };
+    let insert_retries = store.insert_retries() - retries_before;
+    let report = server.shutdown();
+    assert!(report.drained, "net cell server failed to drain");
+    (
+        summarize(&mut pooled, wall_ns.max(slowest)),
+        maintenance,
+        insert_retries,
+    )
+}
+
+/// Times 1000 single `set` round trips against one pipelined
+/// `set_batch(1000)` on the same connection and asserts the batch wins:
+/// the acceptance bar for the pipelined client path.
+fn net_batch_comparison(addr: SocketAddr) -> (u64, u64, f64) {
+    let mut c = Client::connect_with_retry(addr, &RetryPolicy::default()).expect("connect");
+    let pairs: Vec<(Key, Value)> = (0..1_000u64).map(|i| (i * 2 + 1, i)).collect();
+    // Warm the connection and the store's first-level tables.
+    c.set(0, 0).expect("warm set");
+
+    let t = Instant::now();
+    for &(k, v) in &pairs {
+        c.set(k, v).expect("single set");
+    }
+    let single_ns = t.elapsed().as_nanos() as u64;
+
+    let t = Instant::now();
+    c.set_batch(&pairs).expect("set_batch");
+    let batch_ns = t.elapsed().as_nanos() as u64;
+    c.quit().expect("quit");
+
+    let speedup = single_ns as f64 / batch_ns.max(1) as f64;
+    eprintln!(
+        "[ycsb_mt] net batch: 1000 singles {single_ns} ns, set_batch(1000) {batch_ns} ns, \
+         speedup {speedup:.1}x"
+    );
+    assert!(
+        speedup >= 2.0,
+        "pipelined set_batch was only {speedup:.2}x over single sets \
+         ({single_ns} ns vs {batch_ns} ns); expected >=2x"
+    );
+    (single_ns, batch_ns, speedup)
+}
+
 /// Uniform-random distinct keys, deterministic across runs.
 fn make_keys(n: usize) -> Vec<Key> {
     let mut rng = StdRng::seed_from_u64(0xD715);
@@ -170,12 +303,14 @@ fn cell_json(c: &Cell) -> String {
 
 fn main() {
     let mut smoke = false;
+    let mut net = false;
     let mut index_name = String::from("dytis");
     let mut out_path = String::from("BENCH_ycsb.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--net" => net = true,
             "--index" => {
                 index_name = args.next().unwrap_or_else(|| {
                     eprintln!("--index needs a value");
@@ -191,11 +326,15 @@ fn main() {
             other => {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
-                    "usage: ycsb_mt [--smoke] [--index dytis|dytis-fine|xindex] [--out FILE]"
+                    "usage: ycsb_mt [--smoke] [--index dytis|dytis-fine|xindex] [--net] [--out FILE]"
                 );
                 std::process::exit(2);
             }
         }
+    }
+    if net && index_name != "dytis" {
+        eprintln!("--net serves a ConcurrentDyTis store; use --index dytis");
+        std::process::exit(2);
     }
 
     let (n_keys, n_ops) = if smoke {
@@ -221,24 +360,30 @@ fn main() {
         };
         let (loaded, fresh) = keys.split_at(split);
         for threads in THREADS {
-            // Fresh index per cell so maintenance counts are attributable.
-            let idx = MtIndex::build(&index_name);
-            let dyn_idx = idx.as_dyn();
-            let load: Vec<Op> = loaded.iter().map(|&k| Op::Insert(k, k)).collect();
-            run_threads(&dyn_idx, &load, threads);
-            let ops = generate_ops(workload, loaded, fresh, n_ops, 0xBE7C + threads as u64);
-            let before = idx.maintenance_stats();
-            let retries_before = idx.insert_retries();
-            let summary = run_threads(&dyn_idx, &ops, threads);
-            let after = idx.maintenance_stats();
-            let maintenance = MaintenanceStats {
-                splits: after.splits - before.splits,
-                expansions: after.expansions - before.expansions,
-                remaps: after.remaps - before.remaps,
-                doublings: after.doublings - before.doublings,
-                keys_moved: after.keys_moved - before.keys_moved,
+            let (summary, maintenance, insert_retries) = if net {
+                net_cell(workload, loaded, fresh, n_ops, threads)
+            } else {
+                // Fresh index per cell so maintenance counts are
+                // attributable.
+                let idx = MtIndex::build(&index_name);
+                let dyn_idx = idx.as_dyn();
+                let load: Vec<Op> = loaded.iter().map(|&k| Op::Insert(k, k)).collect();
+                run_threads(&dyn_idx, &load, threads);
+                let ops = generate_ops(workload, loaded, fresh, n_ops, 0xBE7C + threads as u64);
+                let before = idx.maintenance_stats();
+                let retries_before = idx.insert_retries();
+                let summary = run_threads(&dyn_idx, &ops, threads);
+                let after = idx.maintenance_stats();
+                let maintenance = MaintenanceStats {
+                    splits: after.splits - before.splits,
+                    expansions: after.expansions - before.expansions,
+                    remaps: after.remaps - before.remaps,
+                    doublings: after.doublings - before.doublings,
+                    keys_moved: after.keys_moved - before.keys_moved,
+                };
+                let insert_retries = idx.insert_retries() - retries_before;
+                (summary, maintenance, insert_retries)
             };
-            let insert_retries = idx.insert_retries() - retries_before;
             println!(
                 "| {} | {} | {:.2} | {} | {} | {} | {} | {} | {} |",
                 workload.name(),
@@ -262,10 +407,23 @@ fn main() {
         eprintln!("[ycsb_mt] workload {} done", workload.name());
     }
 
+    // In net mode, prove the pipelined client path pays for itself before
+    // writing results: 1000 singles vs one set_batch(1000).
+    let net_batch = if net {
+        let server = Server::start("127.0.0.1:0").expect("bind batch server");
+        let stats = net_batch_comparison(server.addr());
+        let report = server.shutdown();
+        assert!(report.drained, "batch comparison server failed to drain");
+        Some(stats)
+    } else {
+        None
+    };
+
     let mut json = String::from("{");
     json.push_str(&format!(
-        "\"bench\":\"ycsb_mt\",\"index\":\"{}\",\"keys\":{},\"ops\":{},\"smoke\":{},",
+        "\"bench\":\"ycsb_mt\",\"index\":\"{}\",\"mode\":\"{}\",\"keys\":{},\"ops\":{},\"smoke\":{},",
         json_escape(&index_name),
+        if net { "net" } else { "local" },
         keys.len(),
         n_ops,
         smoke
@@ -278,6 +436,12 @@ fn main() {
         json.push_str(&cell_json(c));
     }
     json.push(']');
+    if let Some((single_ns, batch_ns, speedup)) = net_batch {
+        json.push_str(&format!(
+            ",\"net_batch\":{{\"single_ns\":{single_ns},\"batch_ns\":{batch_ns},\
+             \"speedup\":{speedup:.2}}}"
+        ));
+    }
     if obs::ENABLED {
         json.push_str(&format!(",\"obs\":{}", obs::snapshot().to_json()));
     }

@@ -9,17 +9,44 @@
 //! lower bound lands on the first qualifying pair, and everything after it
 //! in structural order (table → segment sibling chain → bucket → slot)
 //! already satisfies the predicate. Resuming is O(1).
+//!
+//! # Invalidation
+//!
+//! The position is structural (segment id, bucket, slot), not key-based, so
+//! any mutation of the index invalidates it: a split or remap moves pairs,
+//! a recycled `SegId` can make the old position point at an unrelated
+//! segment, and even a plain in-bucket insert shifts slot indices. Rather
+//! than documenting the hazard and hoping, the index carries a generation
+//! counter ([`DyTis::generation`]) bumped by every `insert`/`remove`;
+//! [`DyTis::scan_next`] compares it against the generation recorded at
+//! [`DyTis::scan_cursor`] time and returns [`CursorInvalidated`] instead of
+//! walking stale structure. [`DyTis::resume_cursor`] restarts cleanly from
+//! just past the last yielded key.
 
 use crate::eh::SegId;
 use crate::DyTis;
 use index_traits::{Key, Value};
 
+/// The index was mutated after this cursor was created; its structural
+/// position can no longer be trusted. Recover with [`DyTis::resume_cursor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CursorInvalidated;
+
+impl std::fmt::Display for CursorInvalidated {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("scan cursor invalidated by index mutation")
+    }
+}
+
+impl std::error::Error for CursorInvalidated {}
+
 /// A resumable position inside a [`DyTis`] scan.
 ///
 /// Obtained from [`DyTis::scan_cursor`], advanced by [`DyTis::scan_next`].
-/// The position is structural (segment id, bucket, slot), not key-based:
-/// any mutation of the index invalidates outstanding cursors, exactly like
-/// iterator invalidation on the standard collections.
+/// Mutating the index invalidates outstanding cursors; unlike iterator
+/// invalidation on the standard collections this is *checked*: a stale
+/// cursor makes `scan_next` return [`CursorInvalidated`] rather than
+/// walking recycled structure.
 #[derive(Debug, Clone, Copy)]
 pub struct ScanCursor {
     /// First-level table currently being walked.
@@ -29,12 +56,26 @@ pub struct ScanCursor {
     pos: Option<(SegId, usize, usize)>,
     /// All tables have been walked to their end.
     exhausted: bool,
+    /// [`DyTis::generation`] at creation time; a mismatch on resume means
+    /// the structural position may be stale.
+    generation: u64,
+    /// The key the cursor was created with, so an invalidated cursor that
+    /// has not yielded anything yet can restart from the right place.
+    start: Key,
+    /// Key of the last pair yielded through this cursor, if any.
+    last_key: Option<Key>,
 }
 
 impl ScanCursor {
     /// Returns `true` once the cursor has walked past the last stored pair.
     pub fn is_exhausted(&self) -> bool {
         self.exhausted
+    }
+
+    /// Key of the last pair this cursor yielded, or `None` before the first
+    /// batch. [`DyTis::resume_cursor`] continues from just past it.
+    pub fn last_key(&self) -> Option<Key> {
+        self.last_key
     }
 }
 
@@ -47,25 +88,38 @@ impl DyTis {
             table,
             pos: Some(pos),
             exhausted: false,
+            generation: self.generation(),
+            start,
+            last_key: None,
         }
     }
 
     /// Appends pairs in ascending key order until `out` holds `count`
-    /// entries or the index is exhausted. Returns `true` while more pairs
-    /// may remain (call again to continue), `false` once the cursor is
-    /// exhausted.
+    /// entries or the index is exhausted. Returns `Ok(true)` while more
+    /// pairs may remain (call again to continue), `Ok(false)` once the
+    /// cursor is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CursorInvalidated`] when the index was mutated after the
+    /// cursor was created; nothing is appended to `out` in that case. Use
+    /// [`DyTis::resume_cursor`] to continue from the last yielded key.
     pub fn scan_next(
         &self,
         cur: &mut ScanCursor,
         count: usize,
         out: &mut Vec<(Key, Value)>,
-    ) -> bool {
-        loop {
+    ) -> Result<bool, CursorInvalidated> {
+        if cur.generation != self.generation() {
+            return Err(CursorInvalidated);
+        }
+        let before = out.len();
+        let more = loop {
             if out.len() >= count {
-                return !cur.exhausted;
+                break !cur.exhausted;
             }
             if cur.exhausted {
-                return false;
+                break false;
             }
             let table = &self.tables[cur.table];
             let walked = match cur.pos {
@@ -85,13 +139,47 @@ impl DyTis {
                     }
                 }
             }
+        };
+        if out.len() > before {
+            cur.last_key = Some(out[out.len() - 1].0);
+        }
+        Ok(more)
+    }
+
+    /// Rebuilds a (possibly invalidated) cursor against the index's current
+    /// structure: positioned just past the last key `cur` yielded, or at
+    /// its original start key when it yielded nothing yet.
+    ///
+    /// Pairs the cursor already yielded are never re-yielded; pairs
+    /// inserted or removed by the invalidating mutation are reflected from
+    /// the resume point on — the same semantics as restarting a keyset scan
+    /// at `last_key + 1`.
+    pub fn resume_cursor(&self, cur: &ScanCursor) -> ScanCursor {
+        match cur.last_key {
+            // The last yielded key was the maximum possible key: nothing
+            // can follow it, the resumed cursor starts exhausted.
+            Some(Key::MAX) => ScanCursor {
+                table: self.tables.len() - 1,
+                pos: None,
+                exhausted: true,
+                generation: self.generation(),
+                start: cur.start,
+                last_key: cur.last_key,
+            },
+            Some(last) => {
+                let mut fresh = self.scan_cursor(last + 1);
+                fresh.start = cur.start;
+                fresh.last_key = cur.last_key;
+                fresh
+            }
+            None => self.scan_cursor(cur.start),
         }
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use crate::{DyTis, Params};
+    use crate::{CursorInvalidated, DyTis, Params};
     use index_traits::KvIndex;
 
     fn grown() -> DyTis {
@@ -112,7 +200,10 @@ mod tests {
         for batch in [1usize, 7, 97, 1024] {
             let mut cur = idx.scan_cursor(0);
             let mut stepped = Vec::new();
-            while idx.scan_next(&mut cur, stepped.len() + batch, &mut stepped) {}
+            while idx
+                .scan_next(&mut cur, stepped.len() + batch, &mut stepped)
+                .expect("no mutation during scan")
+            {}
             assert!(cur.is_exhausted());
             assert_eq!(stepped, whole, "batch {batch}");
         }
@@ -127,7 +218,11 @@ mod tests {
 
         let mut cur = idx.scan_cursor(start);
         let mut got = Vec::new();
-        while got.len() < 2_000 && idx.scan_next(&mut cur, got.len() + 128, &mut got) {}
+        while got.len() < 2_000
+            && idx
+                .scan_next(&mut cur, got.len() + 128, &mut got)
+                .expect("no mutation during scan")
+        {}
         got.truncate(2_000);
         assert_eq!(got, want);
     }
@@ -137,7 +232,9 @@ mod tests {
         let idx = DyTis::with_params(Params::small());
         let mut cur = idx.scan_cursor(0);
         let mut out = Vec::new();
-        assert!(!idx.scan_next(&mut cur, 10, &mut out));
+        assert!(!idx
+            .scan_next(&mut cur, 10, &mut out)
+            .expect("no mutation during scan"));
         assert!(out.is_empty());
         assert!(cur.is_exhausted());
     }
@@ -150,8 +247,125 @@ mod tests {
         }
         let mut cur = idx.scan_cursor(1_000_000);
         let mut out = Vec::new();
-        idx.scan_next(&mut cur, 10, &mut out);
+        idx.scan_next(&mut cur, 10, &mut out)
+            .expect("no mutation during scan");
         assert!(out.is_empty());
         assert!(cur.is_exhausted());
+    }
+
+    #[test]
+    fn any_mutation_invalidates_cursor() {
+        let mut idx = grown();
+        let mut cur = idx.scan_cursor(0);
+        let mut out = Vec::new();
+        assert!(idx
+            .scan_next(&mut cur, 100, &mut out)
+            .expect("fresh cursor is valid"));
+        assert_eq!(out.len(), 100);
+
+        idx.insert(42, 42);
+        assert_eq!(
+            idx.scan_next(&mut cur, 200, &mut out),
+            Err(CursorInvalidated)
+        );
+        // The error is sticky and appends nothing.
+        assert_eq!(out.len(), 100);
+        assert_eq!(
+            idx.scan_next(&mut cur, 200, &mut out),
+            Err(CursorInvalidated)
+        );
+
+        idx.remove(42);
+        let mut cur = idx.scan_cursor(0);
+        idx.remove(out[0].0);
+        assert_eq!(
+            idx.scan_next(&mut cur, 10, &mut Vec::new()),
+            Err(CursorInvalidated)
+        );
+    }
+
+    #[test]
+    fn split_mid_scan_is_detected_and_resumable() {
+        // Build a small-params index, walk part of it, then force splits by
+        // inserting a dense cluster: the resumed scan must neither skip nor
+        // duplicate surviving keys even though segment ids were reshuffled.
+        let mut idx = DyTis::with_params(Params::small());
+        for k in 0..10_000u64 {
+            idx.insert(k * 16, k);
+        }
+        let mut cur = idx.scan_cursor(0);
+        let mut got = Vec::new();
+        assert!(idx
+            .scan_next(&mut cur, 3_000, &mut got)
+            .expect("fresh cursor is valid"));
+        assert_eq!(got.len(), 3_000);
+        let resume_floor = got[got.len() - 1].0;
+
+        // Tripling the key run forces structural maintenance — the same
+        // pattern that split segments during the initial load — so segment
+        // ids get reshuffled under the outstanding cursor. All new keys lie
+        // above `resume_floor`, so the resumed tail must include them.
+        let splits_before = idx.stats().ops.splits;
+        for k in 10_000..30_000u64 {
+            idx.insert(k * 16, k);
+        }
+        assert!(
+            idx.stats().ops.splits > splits_before,
+            "growing the run was expected to split at least one segment"
+        );
+
+        assert_eq!(
+            idx.scan_next(&mut cur, got.len() + 100, &mut got),
+            Err(CursorInvalidated)
+        );
+
+        // Resume: everything from just past the last yielded key, against
+        // the post-split structure.
+        let mut cur = idx.resume_cursor(&cur);
+        assert_eq!(cur.last_key(), Some(resume_floor));
+        let mut tail = Vec::new();
+        while idx
+            .scan_next(&mut cur, tail.len() + 512, &mut tail)
+            .expect("no mutation after resume")
+        {}
+        let mut all: Vec<(u64, u64)> = got.clone();
+        all.extend(&tail);
+        assert_eq!(all.len(), idx.len());
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "sorted, no dups");
+        // The resumed walk reflects the mutation: the new keys appear.
+        assert!(tail.iter().any(|&(k, _)| k == 29_999 * 16));
+    }
+
+    #[test]
+    fn resume_before_first_batch_restarts_at_start() {
+        let mut idx = grown();
+        let cur = idx.scan_cursor(1 << 62);
+        idx.insert(7, 7);
+        let mut cur = idx.resume_cursor(&cur);
+        let mut out = Vec::new();
+        idx.scan_next(&mut cur, 10, &mut out)
+            .expect("resumed cursor is valid");
+        assert!(out.iter().all(|&(k, _)| k >= 1 << 62));
+    }
+
+    #[test]
+    fn resume_after_max_key_is_exhausted() {
+        let mut idx = DyTis::with_params(Params::small());
+        idx.insert(u64::MAX, 1);
+        let mut cur = idx.scan_cursor(u64::MAX);
+        let mut out = Vec::new();
+        while idx
+            .scan_next(&mut cur, out.len() + 8, &mut out)
+            .expect("no mutation during scan")
+        {}
+        assert_eq!(out, vec![(u64::MAX, 1)]);
+        idx.insert(3, 3);
+        let mut cur = idx.resume_cursor(&cur);
+        assert!(cur.is_exhausted());
+        let mut out = Vec::new();
+        assert!(!idx
+            .scan_next(&mut cur, 8, &mut out)
+            .expect("resumed cursor is valid"));
+        assert!(out.is_empty());
     }
 }

@@ -48,7 +48,7 @@ pub mod stats;
 
 pub use concurrent::ConcurrentDyTis;
 pub use concurrent_fine::ConcurrentDyTisFine;
-pub use cursor::ScanCursor;
+pub use cursor::{CursorInvalidated, ScanCursor};
 pub use params::Params;
 pub use stats::{DytisStats, OpTimes};
 
@@ -66,6 +66,13 @@ pub struct DyTis {
     /// First level: `2^R` EH tables, indexed by the `R` key MSBs.
     tables: Vec<EhTable>,
     num_keys: usize,
+    /// Mutation generation, bumped by every `insert`/`remove`. Outstanding
+    /// [`ScanCursor`]s record the generation they were created under so a
+    /// resume after *any* mutation — including the structural ones (split,
+    /// remapping, expansion, directory doubling) that can recycle a `SegId`
+    /// — is detected instead of walking stale structure (see
+    /// [`DyTis::scan_next`]).
+    generation: u64,
 }
 
 impl Default for DyTis {
@@ -96,7 +103,14 @@ impl DyTis {
             params,
             tables,
             num_keys: 0,
+            generation: 0,
         }
+    }
+
+    /// The current mutation generation (see [`DyTis::scan_next`]).
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The active parameters.
@@ -172,7 +186,11 @@ impl DyTis {
         const BATCH: usize = 256;
         let mut cur = self.scan_cursor(start);
         loop {
-            let more = self.scan_next(&mut cur, out.len() + BATCH, &mut out);
+            let more = self
+                .scan_next(&mut cur, out.len() + BATCH, &mut out)
+                // invariant: the cursor lives entirely under this `&self`
+                // borrow, so no mutation can invalidate it.
+                .expect("cursor created under the same borrow");
             // Keys arrive in ascending order, so pairs at or past the
             // exclusive upper bound form a suffix.
             let cut = out.partition_point(|&(k, _)| k < end);
@@ -216,6 +234,7 @@ impl KvIndex for DyTis {
         let before = self.tables[t].len();
         self.tables[t].insert(sk, key, value, &self.params);
         self.num_keys += self.tables[t].len() - before;
+        self.generation = self.generation.wrapping_add(1);
     }
 
     fn get(&self, key: Key) -> Option<Value> {
@@ -232,6 +251,7 @@ impl KvIndex for DyTis {
         let sk = self.sub_key(key);
         let v = self.tables[t].remove(sk, key, &self.params)?;
         self.num_keys -= 1;
+        self.generation = self.generation.wrapping_add(1);
         Some(v)
     }
 
@@ -239,7 +259,10 @@ impl KvIndex for DyTis {
         let _t = obs::Timer::start(obs::histogram!("dytis.scan_ns"));
         obs::counter!("dytis.scan").inc();
         let mut cur = self.scan_cursor(start);
-        self.scan_next(&mut cur, count, out);
+        self.scan_next(&mut cur, count, out)
+            // invariant: the cursor lives entirely under this `&self`
+            // borrow, so no mutation can invalidate it.
+            .expect("cursor created under the same borrow");
     }
 
     fn len(&self) -> usize {

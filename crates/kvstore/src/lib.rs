@@ -7,6 +7,25 @@
 //! server whose store is a [`ConcurrentDyTis`], one thread per connection,
 //! plus a blocking client.
 //!
+//! # Robustness (DESIGN.md §11)
+//!
+//! The server enforces a resource envelope rather than trusting clients:
+//!
+//! - **Admission control** — at most [`ServerOptions::max_connections`]
+//!   handler threads exist at once. A connection past the budget is
+//!   answered `ERR busy` at accept time and closed; it never gets a
+//!   thread.
+//! - **Bounded lines** — a request line longer than
+//!   [`ServerOptions::max_line_bytes`] gets `ERR line too long` and the
+//!   connection resynchronises at the next newline. A newline-free byte
+//!   stream of any length holds server memory at O(buffer), not O(stream).
+//! - **Timeouts** — per-connection read/write timeouts reap idle or stuck
+//!   peers (`ERR idle timeout`, then close).
+//! - **Graceful drain** — [`Server::shutdown`] stops accepting, closes
+//!   every live socket, and joins handler threads under
+//!   [`ServerOptions::drain_deadline`], reporting the result as a
+//!   [`DrainReport`].
+//!
 //! # Examples
 //!
 //! ```
@@ -17,7 +36,8 @@
 //! client.set(1, 100).unwrap();
 //! assert_eq!(client.get(1).unwrap(), Some(100));
 //! assert_eq!(client.scan(0, 10).unwrap(), vec![(1, 100)]);
-//! server.shutdown();
+//! let report = server.shutdown();
+//! assert!(report.drained);
 //! ```
 
 pub mod protocol;
@@ -30,17 +50,23 @@ pub use shard::{DurabilityOptions, DurableShardedStore, ShardedStore};
 
 use dytis::ConcurrentDyTis;
 use index_traits::{ConcurrentKvIndex, Key, Value};
-use std::io::{BufRead, BufReader, Result, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, ErrorKind, Result, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Executes one request against the store.
 ///
 /// With the `metrics` feature on, each call records its latency into the
 /// `kv.request_ns` histogram and bumps a per-command counter; by default
 /// both compile to no-ops (see `crates/obs`).
+///
+/// A `SCAN` whose count exceeds [`protocol::MAX_SCAN_COUNT`] yields
+/// `ERR count exceeds max`, never a silently truncated `RANGE`: a short
+/// range always means the index ran out of keys.
 pub fn apply(store: &ConcurrentDyTis, req: &Request) -> Response {
     let _t = obs::Timer::start(obs::histogram!("kv.request_ns"));
     obs::counter!("kv.request").inc();
@@ -58,26 +84,90 @@ pub fn apply(store: &ConcurrentDyTis, req: &Request) -> Response {
             None => Response::Miss,
         },
         Request::Scan(start, count) => {
-            let mut out = Vec::with_capacity(count.min(1024));
-            store.scan(start, count.min(100_000), &mut out);
-            Response::Range(out)
+            if count > protocol::MAX_SCAN_COUNT {
+                Response::Err(format!("count exceeds max {}", protocol::MAX_SCAN_COUNT))
+            } else {
+                let mut out = Vec::with_capacity(count.min(1024));
+                store.scan(start, count, &mut out);
+                Response::Range(out)
+            }
         }
         Request::Len => Response::Len(store.len()),
         Request::Quit => Response::Bye,
     }
 }
 
+/// Resource envelope for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Most concurrently admitted connections; the next one is answered
+    /// `ERR busy` at accept time and closed without spawning a thread.
+    pub max_connections: usize,
+    /// How long a handler blocks waiting for the next request before the
+    /// connection is reaped with `ERR idle timeout`. `None` waits forever.
+    pub read_timeout: Option<Duration>,
+    /// How long a response write may block before the connection is
+    /// dropped. `None` waits forever.
+    pub write_timeout: Option<Duration>,
+    /// Longest accepted request line in bytes (newline excluded); longer
+    /// lines get `ERR line too long` and a resync to the next newline.
+    pub max_line_bytes: usize,
+    /// How long [`Server::shutdown`] waits for handler threads to exit
+    /// after their sockets are force-closed.
+    pub drain_deadline: Duration,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            max_connections: 1024,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(10)),
+            max_line_bytes: protocol::MAX_LINE_BYTES,
+            drain_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Outcome of a graceful [`Server::shutdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// All handler threads exited within the drain deadline.
+    pub drained: bool,
+    /// Handler threads still running when the deadline expired. Their
+    /// sockets were force-closed, so they exit as soon as they next touch
+    /// the connection, but `shutdown` stopped waiting for them.
+    pub abandoned: usize,
+}
+
+/// State shared between the accept loop, handler threads, and `shutdown`.
+struct Shared {
+    stop: AtomicBool,
+    /// Connection registry: id -> socket clone, used for admission
+    /// accounting and for force-closing live sockets at drain time.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    live: AtomicUsize,
+    opts: ServerOptions,
+}
+
+fn lock_conns(shared: &Shared) -> std::sync::MutexGuard<'_, HashMap<u64, TcpStream>> {
+    // A handler that panicked poisons the registry; the map itself is
+    // still coherent (every mutation is a single insert/remove), so keep
+    // serving instead of cascading the panic into the accept loop.
+    shared.conns.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// A running KV server.
 pub struct Server {
     addr: SocketAddr,
     store: Arc<ConcurrentDyTis>,
-    stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<Vec<JoinHandle<()>>>>,
 }
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts accepting
-    /// connections, one handler thread per client.
+    /// connections with [`ServerOptions::default`].
     ///
     /// # Errors
     ///
@@ -93,37 +183,35 @@ impl Server {
     ///
     /// Returns any bind error.
     pub fn with_store<A: ToSocketAddrs>(addr: A, store: Arc<ConcurrentDyTis>) -> Result<Server> {
+        Self::with_options(addr, store, ServerOptions::default())
+    }
+
+    /// Starts a server with an explicit resource envelope.
+    ///
+    /// # Errors
+    ///
+    /// Returns any bind error.
+    pub fn with_options<A: ToSocketAddrs>(
+        addr: A,
+        store: Arc<ConcurrentDyTis>,
+        opts: ServerOptions,
+    ) -> Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let accept_store = Arc::clone(&store);
-        let accept_stop = Arc::clone(&stop);
-        let accept_thread = std::thread::spawn(move || {
-            for conn in listener.incoming() {
-                // relaxed: standalone stop flag; the dummy wake-up
-                // connection in stop_inner() forces a fresh iteration, so
-                // no ordering with other memory is needed.
-                if accept_stop.load(Ordering::Relaxed) {
-                    break;
-                }
-                match conn {
-                    Ok(stream) => {
-                        // Request/response ping-pong: Nagle's algorithm
-                        // would add ~40 ms per round trip.
-                        let _ = stream.set_nodelay(true);
-                        let store = Arc::clone(&accept_store);
-                        std::thread::spawn(move || {
-                            let _ = handle_connection(stream, &store);
-                        });
-                    }
-                    Err(_) => break,
-                }
-            }
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            live: AtomicUsize::new(0),
+            opts,
         });
+        let accept_store = Arc::clone(&store);
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread =
+            std::thread::spawn(move || accept_loop(&listener, &accept_store, &accept_shared));
         Ok(Server {
             addr,
             store,
-            stop,
+            shared,
             accept_thread: Some(accept_thread),
         })
     }
@@ -138,20 +226,60 @@ impl Server {
         &self.store
     }
 
-    /// Stops accepting connections and joins the accept thread. Existing
-    /// connections finish their current request and close on `QUIT`.
-    pub fn shutdown(mut self) {
-        self.stop_inner();
+    /// Number of currently admitted connections.
+    pub fn live_connections(&self) -> usize {
+        // relaxed: observability read of a standalone gauge; callers that
+        // need a happens-before edge (tests) synchronise via the socket
+        // itself (a completed round trip or an observed EOF).
+        self.shared.live.load(Ordering::Relaxed)
     }
 
-    fn stop_inner(&mut self) {
+    /// Stops accepting connections, force-closes every live socket, and
+    /// joins handler threads under [`ServerOptions::drain_deadline`].
+    ///
+    /// Returns whether the drain completed and how many handlers were
+    /// abandoned to exit on their own (their sockets are already closed).
+    pub fn shutdown(mut self) -> DrainReport {
+        self.stop_inner()
+    }
+
+    fn stop_inner(&mut self) -> DrainReport {
         // relaxed: standalone stop flag; the wake-up connection below makes
         // the accept loop re-check it, and one stale accept is harmless.
-        self.stop.store(true, Ordering::Relaxed);
+        self.shared.stop.store(true, Ordering::Relaxed);
         // Unblock the accept loop with a dummy connection.
         let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.accept_thread.take() {
-            let _ = h.join();
+        let mut handlers = match self.accept_thread.take() {
+            Some(h) => h.join().unwrap_or_default(),
+            None => Vec::new(),
+        };
+        // Force every registered socket closed so handlers blocked in
+        // read() observe EOF/reset now instead of at their read timeout.
+        for conn in lock_conns(&self.shared).values() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        let deadline = Instant::now() + self.shared.opts.drain_deadline;
+        loop {
+            let mut i = 0;
+            while i < handlers.len() {
+                if handlers[i].is_finished() {
+                    let _ = handlers.swap_remove(i).join();
+                } else {
+                    i += 1;
+                }
+            }
+            if handlers.is_empty() || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let abandoned = handlers.len();
+        if abandoned > 0 {
+            obs::counter!("kv.drain_abandoned").add(abandoned as u64);
+        }
+        DrainReport {
+            drained: abandoned == 0,
+            abandoned,
         }
     }
 }
@@ -159,22 +287,214 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         if self.accept_thread.is_some() {
-            self.stop_inner();
+            let _ = self.stop_inner();
         }
     }
 }
 
-fn handle_connection(stream: TcpStream, store: &ConcurrentDyTis) -> Result<()> {
+fn accept_loop(
+    listener: &TcpListener,
+    store: &Arc<ConcurrentDyTis>,
+    shared: &Arc<Shared>,
+) -> Vec<JoinHandle<()>> {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    let mut next_id: u64 = 0;
+    for conn in listener.incoming() {
+        // relaxed: standalone stop flag; the dummy wake-up connection in
+        // stop_inner() forces a fresh iteration, so no ordering with other
+        // memory is needed.
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        // Reap finished handlers so the handle vector tracks live
+        // connections, not connections-ever-served.
+        let mut i = 0;
+        while i < handlers.len() {
+            if handlers[i].is_finished() {
+                let _ = handlers.swap_remove(i).join();
+            } else {
+                i += 1;
+            }
+        }
+        let mut stream = match conn {
+            Ok(s) => s,
+            Err(_) => break,
+        };
+        // Request/response ping-pong: Nagle's algorithm would add ~40 ms
+        // per round trip.
+        let _ = stream.set_nodelay(true);
+        // Admission: register under the lock so the budget check and the
+        // insert are atomic against concurrent deregistration.
+        let admitted = {
+            let mut conns = lock_conns(shared);
+            if conns.len() >= shared.opts.max_connections {
+                None
+            } else {
+                match stream.try_clone() {
+                    Ok(clone) => {
+                        let id = next_id;
+                        next_id += 1;
+                        conns.insert(id, clone);
+                        Some(id)
+                    }
+                    Err(_) => None,
+                }
+            }
+        };
+        let Some(id) = admitted else {
+            // Over budget (or unclonable socket): one answer, no thread.
+            obs::counter!("kv.rejected").inc();
+            let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+            let _ = stream.write_all(b"ERR busy\n");
+            let _ = stream.shutdown(Shutdown::Both);
+            continue;
+        };
+        // relaxed: gauge increment; readers of `live` synchronise through
+        // the socket, not through this counter.
+        shared.live.fetch_add(1, Ordering::Relaxed);
+        obs::gauge!("kv.live_connections").inc();
+        let store = Arc::clone(store);
+        let shared = Arc::clone(shared);
+        handlers.push(std::thread::spawn(move || {
+            let _ = handle_connection(stream, &store, &shared);
+            lock_conns(&shared).remove(&id);
+            // relaxed: gauge decrement, see the increment above.
+            shared.live.fetch_sub(1, Ordering::Relaxed);
+            obs::gauge!("kv.live_connections").dec();
+        }));
+    }
+    handlers
+}
+
+/// Outcome of one capped line read.
+enum LineRead {
+    /// A complete line is in the buffer (newline stripped).
+    Line,
+    /// The line exceeded the cap; the buffer was discarded and input up to
+    /// the next newline must be skipped.
+    TooLong,
+    /// Clean end of stream.
+    Eof,
+}
+
+/// Reads one `\n`-terminated line into `buf` without ever holding more
+/// than `cap` bytes of it, regardless of how long the wire line is.
+///
+/// On [`LineRead::TooLong`] the offending line's bytes seen so far are
+/// dropped and any newline is left unconsumed for [`skip_to_newline`].
+fn read_line_capped<R: BufRead>(r: &mut R, buf: &mut Vec<u8>, cap: usize) -> Result<LineRead> {
+    loop {
+        let available = match r.fill_buf() {
+            Ok(a) => a,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            // EOF: a trailing unterminated line still gets served.
+            return Ok(if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line
+            });
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                if buf.len() + i > cap {
+                    buf.clear();
+                    return Ok(LineRead::TooLong);
+                }
+                buf.extend_from_slice(&available[..i]);
+                r.consume(i + 1);
+                return Ok(LineRead::Line);
+            }
+            None => {
+                let n = available.len();
+                if buf.len() + n > cap {
+                    buf.clear();
+                    r.consume(n);
+                    return Ok(LineRead::TooLong);
+                }
+                buf.extend_from_slice(available);
+                r.consume(n);
+            }
+        }
+    }
+}
+
+/// Discards input through the next newline. Returns `false` on EOF.
+fn skip_to_newline<R: BufRead>(r: &mut R) -> Result<bool> {
+    loop {
+        let (n, found) = {
+            let available = match r.fill_buf() {
+                Ok(a) => a,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if available.is_empty() {
+                return Ok(false);
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(i) => (i + 1, true),
+                None => (available.len(), false),
+            }
+        };
+        r.consume(n);
+        if found {
+            return Ok(true);
+        }
+    }
+}
+
+/// A socket read timeout surfaces as `WouldBlock` (unix) or `TimedOut`
+/// (windows); both mean "the peer went quiet", not "the stream broke".
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+fn handle_connection(stream: TcpStream, store: &ConcurrentDyTis, shared: &Shared) -> Result<()> {
+    stream.set_read_timeout(shared.opts.read_timeout)?;
+    stream.set_write_timeout(shared.opts.write_timeout)?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     // Read raw bytes rather than `lines()`: a line that is not valid UTF-8
     // must be answered with `ERR`, not surfaced as an io::Error that drops
     // the whole connection.
-    let mut buf = Vec::new();
+    let mut buf = Vec::with_capacity(shared.opts.max_line_bytes.min(4096));
     loop {
+        // relaxed: standalone stop flag; drain additionally force-closes
+        // this socket, so a handler blocked in read() never depends on
+        // seeing the flag.
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
         buf.clear();
-        if reader.read_until(b'\n', &mut buf)? == 0 {
-            break; // EOF
+        match read_line_capped(&mut reader, &mut buf, shared.opts.max_line_bytes) {
+            Ok(LineRead::Eof) => break,
+            Ok(LineRead::TooLong) => {
+                obs::counter!("kv.oversized").inc();
+                writeln!(
+                    writer,
+                    "ERR line too long (max {} bytes)",
+                    shared.opts.max_line_bytes
+                )?;
+                match skip_to_newline(&mut reader) {
+                    Ok(true) => continue,
+                    Ok(false) => break,
+                    Err(e) if is_timeout(&e) => {
+                        obs::counter!("kv.timeouts").inc();
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok(LineRead::Line) => {}
+            Err(e) if is_timeout(&e) => {
+                obs::counter!("kv.timeouts").inc();
+                // Best effort: the peer may already be gone.
+                let _ = writer.write_all(b"ERR idle timeout\n");
+                break;
+            }
+            Err(e) => return Err(e),
         }
         let line = String::from_utf8_lossy(&buf);
         let line = line.trim_matches(|c: char| c == '\r' || c == '\n');
@@ -199,6 +519,42 @@ fn handle_connection(stream: TcpStream, store: &ConcurrentDyTis) -> Result<()> {
     Ok(())
 }
 
+/// Backoff schedule for [`Client::connect_with_retry`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total connect attempts (at least one is always made).
+    pub attempts: u32,
+    /// Sleep before the second attempt; doubles each retry.
+    pub initial_backoff: Duration,
+    /// Ceiling on the per-retry sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 5,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(320),
+        }
+    }
+}
+
+/// A connect error worth retrying: the server may be starting up, shedding
+/// load, or mid-restart. Anything else (e.g. unreachable network,
+/// permission denied) fails fast.
+fn is_transient(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        ErrorKind::ConnectionRefused
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::TimedOut
+            | ErrorKind::WouldBlock
+            | ErrorKind::Interrupted
+    )
+}
+
 /// A blocking client for the KV service.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -221,12 +577,64 @@ impl Client {
         })
     }
 
-    fn round_trip(&mut self, req: &str) -> Result<Response> {
-        writeln!(self.writer, "{req}")?;
+    /// Connects with exponential backoff across transient failures
+    /// (connection refused/reset/aborted, timeouts) — the shapes a client
+    /// sees while the server restarts or sheds load.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last transient error once `policy.attempts` is
+    /// exhausted, or the first non-transient error immediately.
+    pub fn connect_with_retry<A: ToSocketAddrs>(addr: A, policy: &RetryPolicy) -> Result<Client> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidInput, "no address"))?;
+        let mut backoff = policy.initial_backoff;
+        let mut last_err: Option<std::io::Error> = None;
+        for attempt in 0..policy.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(policy.max_backoff);
+            }
+            match Self::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) if is_transient(&e) => last_err = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| std::io::Error::other("no connect attempt ran")))
+    }
+
+    /// Sets read/write timeouts on the underlying socket so a hung server
+    /// cannot block the client forever.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket option error.
+    pub fn set_timeouts(&self, read: Option<Duration>, write: Option<Duration>) -> Result<()> {
+        self.reader.get_ref().set_read_timeout(read)?;
+        self.writer.set_write_timeout(write)
+    }
+
+    fn send_line(&mut self, req: &str) -> Result<()> {
+        writeln!(self.writer, "{req}")
+    }
+
+    fn read_response(&mut self) -> Result<Response> {
         let mut line = String::new();
-        self.reader.read_line(&mut line)?;
-        parse_response(line.trim_end())
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        parse_response(line.trim_end()).map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e))
+    }
+
+    fn round_trip(&mut self, req: &str) -> Result<Response> {
+        self.send_line(req)?;
+        self.read_response()
     }
 
     /// Inserts or updates a pair.
@@ -241,6 +649,35 @@ impl Client {
         }
     }
 
+    /// Inserts or updates many pairs with pipelining: requests are written
+    /// in bulk and the acknowledgements read afterwards, so `n` pairs cost
+    /// O(n / chunk) round trips instead of `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or protocol errors; pairs before the failing one are
+    /// already applied.
+    pub fn set_batch(&mut self, pairs: &[(Key, Value)]) -> Result<()> {
+        // Chunk so unread responses can never outgrow the kernel socket
+        // buffer and deadlock the write side ("OK\n" is 3 bytes, so 1024
+        // in flight is ~3 KiB of responses).
+        for chunk in pairs.chunks(1024) {
+            let mut lines = String::with_capacity(chunk.len() * 24);
+            for &(k, v) in chunk {
+                lines.push_str(&format_request(&Request::Set(k, v)));
+                lines.push('\n');
+            }
+            self.writer.write_all(lines.as_bytes())?;
+            for _ in chunk {
+                match self.read_response()? {
+                    Response::Ok => {}
+                    other => return Err(unexpected(other)),
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Point lookup.
     ///
     /// # Errors
@@ -252,6 +689,33 @@ impl Client {
             Response::Miss => Ok(None),
             other => Err(unexpected(other)),
         }
+    }
+
+    /// Pipelined multi-get: one result per key, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or protocol errors.
+    pub fn get_batch(&mut self, keys: &[Key]) -> Result<Vec<Option<Value>>> {
+        let mut out = Vec::with_capacity(keys.len());
+        // Chunked for the same socket-buffer reason as [`Self::set_batch`];
+        // VALUE lines are ~27 bytes, so 1024 in flight is ~27 KiB.
+        for chunk in keys.chunks(1024) {
+            let mut lines = String::with_capacity(chunk.len() * 24);
+            for &k in chunk {
+                lines.push_str(&format_request(&Request::Get(k)));
+                lines.push('\n');
+            }
+            self.writer.write_all(lines.as_bytes())?;
+            for _ in chunk {
+                match self.read_response()? {
+                    Response::Value(v) => out.push(Some(v)),
+                    Response::Miss => out.push(None),
+                    other => return Err(unexpected(other)),
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Deletes a key, returning its value if present.
@@ -341,6 +805,24 @@ mod tests {
     }
 
     #[test]
+    fn apply_rejects_oversized_scan() {
+        let store = ConcurrentDyTis::new();
+        store.insert(1, 1);
+        // `Request` can hold an over-limit count (e.g. built in process,
+        // bypassing the parser); apply() must still refuse it.
+        let resp = apply(&store, &Request::Scan(0, protocol::MAX_SCAN_COUNT + 1));
+        assert!(
+            matches!(&resp, Response::Err(e) if e.contains("count exceeds max")),
+            "got {resp:?}"
+        );
+        // At the limit it works.
+        assert_eq!(
+            apply(&store, &Request::Scan(0, protocol::MAX_SCAN_COUNT)),
+            Response::Range(vec![(1, 1)])
+        );
+    }
+
+    #[test]
     fn server_round_trip() {
         let server = Server::start("127.0.0.1:0").expect("bind");
         let mut c = Client::connect(server.addr()).expect("connect");
@@ -353,7 +835,8 @@ mod tests {
         assert_eq!(c.del(10).expect("del"), Some(100));
         assert_eq!(c.get(10).expect("get"), None);
         c.quit().expect("quit");
-        server.shutdown();
+        let report = server.shutdown();
+        assert!(report.drained, "round-trip server failed to drain");
     }
 
     #[test]
@@ -400,6 +883,55 @@ mod tests {
     }
 
     #[test]
+    fn batched_ops_round_trip() {
+        let server = Server::start("127.0.0.1:0").expect("bind");
+        let mut c = Client::connect(server.addr()).expect("connect");
+        let pairs: Vec<(u64, u64)> = (0..3_000u64).map(|k| (k, k * 2)).collect();
+        c.set_batch(&pairs).expect("set_batch");
+        assert_eq!(c.len().expect("len"), pairs.len());
+        let keys: Vec<u64> = (0..3_001u64).collect();
+        let got = c.get_batch(&keys).expect("get_batch");
+        assert_eq!(got.len(), keys.len());
+        for (k, v) in keys.iter().zip(&got) {
+            if *k < 3_000 {
+                assert_eq!(*v, Some(k * 2));
+            } else {
+                assert_eq!(*v, None);
+            }
+        }
+        // The connection is still in lockstep after batches.
+        assert_eq!(c.get(1).expect("get"), Some(2));
+        c.quit().expect("quit");
+        server.shutdown();
+    }
+
+    #[test]
+    fn connect_with_retry_reaches_a_live_server() {
+        let server = Server::start("127.0.0.1:0").expect("bind");
+        let mut c = Client::connect_with_retry(server.addr(), &RetryPolicy::default())
+            .expect("retry connect");
+        c.set(1, 1).expect("set");
+        c.quit().expect("quit");
+        server.shutdown();
+    }
+
+    #[test]
+    fn connect_with_retry_gives_up_on_dead_address() {
+        // Bind-then-drop guarantees a port with no listener.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr")
+        };
+        let policy = RetryPolicy {
+            attempts: 3,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+        };
+        let err = Client::connect_with_retry(addr, &policy);
+        assert!(err.is_err(), "connect to a dropped listener succeeded");
+    }
+
+    #[test]
     fn in_process_store_access() {
         let store = Arc::new(ConcurrentDyTis::new());
         let server = Server::with_store("127.0.0.1:0", Arc::clone(&store)).expect("bind");
@@ -409,5 +941,45 @@ mod tests {
         store.insert(6, 66);
         assert_eq!(c.get(6).expect("get"), Some(66));
         server.shutdown();
+    }
+
+    #[test]
+    fn read_line_capped_handles_boundaries() {
+        use std::io::Cursor;
+        let mut buf = Vec::new();
+        // Exactly at the cap: accepted.
+        let mut r = Cursor::new(b"abcd\n".to_vec());
+        assert!(matches!(
+            read_line_capped(&mut r, &mut buf, 4).expect("read"),
+            LineRead::Line
+        ));
+        assert_eq!(buf, b"abcd");
+        // One past the cap: rejected, newline left for the resync.
+        buf.clear();
+        let mut r = Cursor::new(b"abcde\nGET 1\n".to_vec());
+        assert!(matches!(
+            read_line_capped(&mut r, &mut buf, 4).expect("read"),
+            LineRead::TooLong
+        ));
+        assert!(buf.is_empty(), "oversized bytes must be dropped");
+        assert!(skip_to_newline(&mut r).expect("skip"));
+        buf.clear();
+        assert!(matches!(
+            read_line_capped(&mut r, &mut buf, 64).expect("read"),
+            LineRead::Line
+        ));
+        assert_eq!(buf, b"GET 1");
+        // Unterminated trailing line is still served.
+        buf.clear();
+        let mut r = Cursor::new(b"LEN".to_vec());
+        assert!(matches!(
+            read_line_capped(&mut r, &mut buf, 64).expect("read"),
+            LineRead::Line
+        ));
+        assert_eq!(buf, b"LEN");
+        assert!(matches!(
+            read_line_capped(&mut r, &mut Vec::new(), 64).expect("read"),
+            LineRead::Eof
+        ));
     }
 }

@@ -12,8 +12,35 @@
 //! ```
 //!
 //! Malformed input yields `ERR <reason>` and keeps the connection open.
+//!
+//! # Limits
+//!
+//! Two hard limits are part of the protocol contract (DESIGN.md §11):
+//!
+//! - A request line may be at most [`MAX_LINE_BYTES`] bytes (excluding the
+//!   newline). Longer lines get `ERR line too long` and the server discards
+//!   bytes up to the next newline, so a newline-free byte stream can never
+//!   grow server memory.
+//! - A `SCAN` may request at most [`MAX_SCAN_COUNT`] rows. Larger counts
+//!   get `ERR count exceeds max`, never a silently clamped result — a
+//!   shorter-than-requested `RANGE` therefore always means the index is
+//!   exhausted.
 
 use index_traits::{Key, Value};
+
+/// Longest request line the server accepts, in bytes (newline excluded).
+///
+/// The longest well-formed request (`SET <u64> <u64>`) is 44 bytes, so the
+/// cap leaves generous slack for whitespace while bounding the per
+/// connection read buffer.
+pub const MAX_LINE_BYTES: usize = 4096;
+
+/// Most rows a single `SCAN` may request.
+///
+/// Requests above the limit are rejected with `ERR count exceeds max`
+/// rather than silently clamped, so clients can always distinguish "the
+/// server cut my scan short" from "the index has no more keys".
+pub const MAX_SCAN_COUNT: usize = 100_000;
 
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,7 +94,14 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "SET" => Request::Set(num("key")?, num("value")?),
         "GET" => Request::Get(num("key")?),
         "DEL" => Request::Del(num("key")?),
-        "SCAN" => Request::Scan(num("start")?, num("count")? as usize),
+        "SCAN" => {
+            let start = num("start")?;
+            let count = num("count")? as usize;
+            if count > MAX_SCAN_COUNT {
+                return Err(format!("count exceeds max {MAX_SCAN_COUNT}"));
+            }
+            Request::Scan(start, count)
+        }
         "LEN" => Request::Len,
         "QUIT" => Request::Quit,
         other => return Err(format!("unknown command {other}")),
@@ -146,7 +180,9 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
             }
             Response::Range(nums.chunks(2).map(|c| (c[0], c[1])).collect())
         }
-        "ERR" => Response::Err(line[3..].trim().to_string()),
+        // The message starts after the tag, which may itself be preceded by
+        // whitespace — slice relative to the tag's position, not byte 0.
+        "ERR" => Response::Err(line.trim_start()[3..].trim().to_string()),
         other => return Err(format!("unknown response {other}")),
     };
     Ok(resp)
@@ -196,5 +232,47 @@ mod tests {
     fn err_response_keeps_message() {
         let line = format_response(&Response::Err("bad key".into()));
         assert_eq!(parse_response(&line), Ok(Response::Err("bad key".into())));
+    }
+
+    #[test]
+    fn err_response_tolerates_surrounding_whitespace() {
+        // Every other tag tolerates leading whitespace via
+        // split_ascii_whitespace; ERR must recover the same message.
+        for line in [
+            "ERR bad key",
+            "  ERR bad key",
+            "\tERR bad key  ",
+            " ERR  bad key ",
+        ] {
+            assert_eq!(
+                parse_response(line),
+                Ok(Response::Err("bad key".into())),
+                "line {line:?}"
+            );
+        }
+        // A bare tag yields an empty message, not a panic or garbled slice.
+        assert_eq!(parse_response("  ERR"), Ok(Response::Err(String::new())));
+    }
+
+    #[test]
+    fn responses_tolerate_leading_whitespace() {
+        assert_eq!(parse_response("  OK"), Ok(Response::Ok));
+        assert_eq!(parse_response("\tVALUE 9 "), Ok(Response::Value(9)));
+        assert_eq!(parse_response(" LEN 3"), Ok(Response::Len(3)));
+    }
+
+    #[test]
+    fn scan_count_boundary() {
+        // At the limit: accepted.
+        assert_eq!(
+            parse_request(&format!("SCAN 0 {MAX_SCAN_COUNT}")),
+            Ok(Request::Scan(0, MAX_SCAN_COUNT))
+        );
+        // One past the limit: rejected with a distinguishable error.
+        let err = parse_request(&format!("SCAN 0 {}", MAX_SCAN_COUNT + 1));
+        assert!(
+            matches!(&err, Err(e) if e.contains("count exceeds max")),
+            "got {err:?}"
+        );
     }
 }

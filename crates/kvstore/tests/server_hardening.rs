@@ -1,0 +1,300 @@
+//! The resource envelope under attack (DESIGN.md §11): oversized lines,
+//! connection floods, idle peers, slow writers, and shutdown while
+//! connections are mid-flight. Every test speaks raw TCP where the abuse
+//! matters — the `Client` convenience layer would hide it.
+
+use kvstore::{Client, RetryPolicy, Server, ServerOptions};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn raw_conn(server: &Server) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(server.addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let reader = BufReader::new(stream.try_clone().expect("clone"));
+    (stream, reader)
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read line");
+    line.trim_end().to_string()
+}
+
+/// Resident set size of this process in bytes (Linux only).
+#[cfg(target_os = "linux")]
+fn rss_bytes() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").expect("read /proc/self/status");
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            let kb: usize = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .expect("parse VmRSS");
+            return kb * 1024;
+        }
+    }
+    panic!("VmRSS not found in /proc/self/status");
+}
+
+/// Satellite 1: a 64 MiB newline-free stream must neither balloon server
+/// memory nor kill the connection — the server answers `ERR line too
+/// long`, resyncs at the next newline, and keeps serving.
+#[test]
+fn newline_free_flood_is_bounded_and_survivable() {
+    let server = Server::start("127.0.0.1:0").expect("bind");
+    let (mut stream, mut reader) = raw_conn(&server);
+
+    #[cfg(target_os = "linux")]
+    let rss_before = rss_bytes();
+
+    // 64 MiB of 'A' with no newline, streamed in 1 MiB chunks. The server
+    // must discard as it reads: its line buffer is capped at
+    // MAX_LINE_BYTES (4 KiB), so the bytes can't accumulate anywhere.
+    let chunk = vec![b'A'; 1 << 20];
+    for _ in 0..64 {
+        stream.write_all(&chunk).expect("write flood chunk");
+    }
+    // Terminate the monster line, then prove the connection still works.
+    stream.write_all(b"\nLEN\n").expect("write tail");
+
+    let resp = read_line(&mut reader);
+    assert!(
+        resp.starts_with("ERR line too long"),
+        "expected oversized-line error, got {resp:?}"
+    );
+    assert_eq!(read_line(&mut reader), "LEN 0");
+
+    #[cfg(target_os = "linux")]
+    {
+        let rss_after = rss_bytes();
+        let grown = rss_after.saturating_sub(rss_before);
+        // The stream was 64 MiB; allow generous allocator slack but the
+        // bound must prove the payload was not buffered.
+        assert!(
+            grown < 32 << 20,
+            "RSS grew by {} MiB while streaming a 64 MiB garbage line",
+            grown >> 20
+        );
+    }
+    let report = server.shutdown();
+    assert!(report.drained, "flooded server failed to drain");
+}
+
+/// Oversized lines in the middle of a pipelined burst: exactly one error
+/// per long line, every short line still answered, strict order.
+#[test]
+fn oversized_line_resyncs_within_a_burst() {
+    let server = Server::start("127.0.0.1:0").expect("bind");
+    let (mut stream, mut reader) = raw_conn(&server);
+
+    let long = "X".repeat(kvstore::protocol::MAX_LINE_BYTES + 1);
+    let burst = format!("SET 1 10\n{long}\nGET 1\n{long}\nLEN\n");
+    stream.write_all(burst.as_bytes()).expect("write burst");
+
+    assert_eq!(read_line(&mut reader), "OK");
+    assert!(read_line(&mut reader).starts_with("ERR line too long"));
+    assert_eq!(read_line(&mut reader), "VALUE 10");
+    assert!(read_line(&mut reader).starts_with("ERR line too long"));
+    assert_eq!(read_line(&mut reader), "LEN 1");
+    server.shutdown();
+}
+
+/// Tentpole: the connection budget. With `max_connections = 2`, the third
+/// concurrent connection is told `ERR busy` and closed at accept time
+/// while the two admitted connections keep serving; freeing a slot lets a
+/// new connection in.
+#[test]
+fn busy_rejection_at_budget_then_recovery() {
+    let store = Arc::new(dytis::ConcurrentDyTis::new());
+    let opts = ServerOptions {
+        max_connections: 2,
+        ..ServerOptions::default()
+    };
+    let server = Server::with_options("127.0.0.1:0", store, opts).expect("bind");
+
+    // Two admitted connections, each proven live with a round trip (which
+    // also guarantees their registration happened before we try a third).
+    let mut c1 = Client::connect(server.addr()).expect("connect c1");
+    c1.set(1, 1).expect("c1 set");
+    let mut c2 = Client::connect(server.addr()).expect("connect c2");
+    c2.set(2, 2).expect("c2 set");
+    assert_eq!(server.live_connections(), 2);
+
+    // The third gets one line — ERR busy — then EOF, and never a thread.
+    let (_s3, mut r3) = raw_conn(&server);
+    assert_eq!(read_line(&mut r3), "ERR busy");
+    let mut rest = Vec::new();
+    r3.read_to_end(&mut rest).expect("rejected conn EOF");
+    assert!(rest.is_empty(), "rejected conn got extra bytes {rest:?}");
+
+    // Admitted connections were not disturbed.
+    assert_eq!(c1.get(2).expect("c1 get"), Some(2));
+    assert_eq!(c2.get(1).expect("c2 get"), Some(1));
+
+    // Freeing a slot re-opens admission. The accept loop races the QUIT
+    // close, so poll with the retrying connector until a set round-trips.
+    c1.quit().expect("quit c1");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut admitted = None;
+    while Instant::now() < deadline {
+        if let Ok(mut c) = Client::connect_with_retry(server.addr(), &RetryPolicy::default()) {
+            if c.set(3, 3).is_ok() {
+                admitted = Some(c);
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let mut c3 = admitted.expect("no admission after freeing a slot");
+    assert_eq!(c3.get(3).expect("c3 get"), Some(3));
+    server.shutdown();
+}
+
+/// Satellite 5b: a connection that goes silent mid-session is reaped by
+/// the read timeout instead of pinning a handler thread forever.
+#[test]
+fn idle_connection_is_reaped() {
+    let opts = ServerOptions {
+        read_timeout: Some(Duration::from_millis(200)),
+        ..ServerOptions::default()
+    };
+    let server = Server::with_options("127.0.0.1:0", Arc::new(dytis::ConcurrentDyTis::new()), opts)
+        .expect("bind");
+
+    let (mut stream, mut reader) = raw_conn(&server);
+    // Prove admission, then go silent.
+    stream.write_all(b"LEN\n").expect("write");
+    assert_eq!(read_line(&mut reader), "LEN 0");
+    assert_eq!(server.live_connections(), 1);
+
+    // The server notices the silence, says why, and closes.
+    assert_eq!(read_line(&mut reader), "ERR idle timeout");
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("EOF after reap");
+    assert!(rest.is_empty());
+
+    // The handler deregistered; poll because thread exit trails the FIN.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.live_connections() != 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(server.live_connections(), 0, "reaped conn still registered");
+    server.shutdown();
+}
+
+/// A slowloris writer — bytes trickling in with no newline — cannot hold
+/// a line buffer open past the cap; it gets the oversized-line error and
+/// the connection then resyncs normally.
+#[test]
+fn slowloris_writer_hits_the_line_cap() {
+    let opts = ServerOptions {
+        max_line_bytes: 64,
+        read_timeout: Some(Duration::from_secs(10)),
+        ..ServerOptions::default()
+    };
+    let server = Server::with_options("127.0.0.1:0", Arc::new(dytis::ConcurrentDyTis::new()), opts)
+        .expect("bind");
+    let (mut stream, mut reader) = raw_conn(&server);
+
+    // Trickle 16 bytes at a time; after 5 writes (80 bytes > 64) the
+    // server must refuse the line even though no newline ever arrived.
+    for _ in 0..5 {
+        stream.write_all(&[b'z'; 16]).expect("trickle");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(read_line(&mut reader).starts_with("ERR line too long"));
+
+    // Finish the garbage line; the session then resumes.
+    stream.write_all(b"\nSET 9 90\nGET 9\n").expect("write");
+    assert_eq!(read_line(&mut reader), "OK");
+    assert_eq!(read_line(&mut reader), "VALUE 90");
+    server.shutdown();
+}
+
+/// Satellite 5a + tentpole: shutdown drains. Idle connections and a
+/// connection parked mid-line are all force-closed and their handlers
+/// joined before `shutdown` returns, within the deadline.
+#[test]
+fn shutdown_drains_live_connections() {
+    let opts = ServerOptions {
+        drain_deadline: Duration::from_secs(5),
+        ..ServerOptions::default()
+    };
+    let server = Server::with_options("127.0.0.1:0", Arc::new(dytis::ConcurrentDyTis::new()), opts)
+        .expect("bind");
+
+    // Three idle-but-admitted connections (each proven with a round trip)
+    // plus one parked mid-line (partial request, no newline).
+    let mut parked: Vec<(TcpStream, BufReader<TcpStream>)> = Vec::new();
+    for _ in 0..3 {
+        let (mut s, mut r) = raw_conn(&server);
+        s.write_all(b"LEN\n").expect("write");
+        assert_eq!(read_line(&mut r), "LEN 0");
+        parked.push((s, r));
+    }
+    let (mut mid, mid_r) = raw_conn(&server);
+    mid.write_all(b"SET 1 ").expect("partial write");
+    parked.push((mid, mid_r));
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.live_connections() != 4 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(server.live_connections(), 4);
+
+    let start = Instant::now();
+    let report = server.shutdown();
+    let took = start.elapsed();
+    assert!(
+        report.drained,
+        "shutdown abandoned {} handlers",
+        report.abandoned
+    );
+    assert_eq!(report.abandoned, 0);
+    assert!(
+        took < Duration::from_secs(5),
+        "drain took {took:?}, deadline was 5s"
+    );
+
+    // Every parked connection observes the close.
+    for (_s, mut r) in parked {
+        let mut rest = Vec::new();
+        // Force-closed sockets may yield EOF or ECONNRESET; both prove
+        // the server let go of the connection.
+        match r.read_to_end(&mut rest) {
+            Ok(_) => {}
+            Err(e) => assert!(
+                matches!(
+                    e.kind(),
+                    ErrorKind::ConnectionReset | ErrorKind::ConnectionAborted
+                ),
+                "unexpected error after drain: {e:?}"
+            ),
+        }
+    }
+}
+
+/// New connections after shutdown are refused — the listener is gone.
+#[test]
+fn no_admission_after_shutdown() {
+    let server = Server::start("127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+    let mut c = Client::connect(addr).expect("connect");
+    c.set(1, 1).expect("set");
+    c.quit().expect("quit");
+    let report = server.shutdown();
+    assert!(report.drained);
+
+    // Either connect fails outright, or (if the OS briefly queues it) the
+    // socket yields EOF without ever serving a request.
+    if let Ok(stream) = TcpStream::connect(addr) {
+        let mut r = BufReader::new(stream.try_clone().expect("clone"));
+        let _ = stream.set_nodelay(true);
+        let mut line = String::new();
+        let n = r.read_line(&mut line).unwrap_or(0);
+        assert_eq!(n, 0, "post-shutdown connection was served: {line:?}");
+    }
+}

@@ -36,7 +36,7 @@ pub use histogram::{bucket_of, bucket_upper, Histogram, HistogramSnapshot, BUCKE
 #[cfg(feature = "metrics")]
 use std::collections::BTreeMap;
 #[cfg(feature = "metrics")]
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 #[cfg(feature = "metrics")]
 use std::sync::Mutex;
 
@@ -153,6 +153,91 @@ impl Default for Counter {
     }
 }
 
+/// A signed level metric (current value, not a monotone total): live
+/// connections, queue depths, open files.
+///
+/// Unlike [`Counter`], a gauge is a single atomic rather than a striped
+/// array: gauges move at connection/queue cadence, not per-operation, so
+/// cache-line contention is not a concern. Zero-sized no-op when the
+/// `metrics` feature is off.
+pub struct Gauge {
+    #[cfg(feature = "metrics")]
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero (`const` so it can back a static).
+    #[cfg(feature = "metrics")]
+    pub const fn new() -> Self {
+        Gauge {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// A gauge at zero (`const` so it can back a static).
+    #[cfg(not(feature = "metrics"))]
+    pub const fn new() -> Self {
+        Gauge {}
+    }
+
+    /// Add `d` (may be negative) to the level.
+    #[inline]
+    pub fn add(&self, d: i64) {
+        #[cfg(feature = "metrics")]
+        // relaxed: independent level accumulator; readers only need a valid
+        // momentary value, and exact values after writers are joined (join
+        // provides the happens-before edge).
+        self.value.fetch_add(d, Ordering::Relaxed);
+        #[cfg(not(feature = "metrics"))]
+        let _ = d;
+    }
+
+    /// Raise the level by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Lower the level by one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Overwrite the level.
+    pub fn set(&self, v: i64) {
+        #[cfg(feature = "metrics")]
+        // relaxed: see `add`.
+        self.value.store(v, Ordering::Relaxed);
+        #[cfg(not(feature = "metrics"))]
+        let _ = v;
+    }
+
+    /// The current level. Momentary under concurrent writers; exact once
+    /// they have quiesced.
+    pub fn get(&self) -> i64 {
+        #[cfg(feature = "metrics")]
+        {
+            // relaxed: see `add`.
+            self.value.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "metrics"))]
+        0
+    }
+
+    /// Zero the gauge. For test isolation; not atomic with respect to
+    /// concurrent writers.
+    pub fn reset(&self) {
+        self.set(0);
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// A drop guard that records elapsed nanoseconds into a histogram.
 ///
 /// With `metrics` off this is zero-sized: no `Instant::now()` call is made
@@ -206,6 +291,7 @@ impl Drop for Timer<'_> {
 #[cfg(feature = "metrics")]
 struct Registry {
     counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
+    gauges: Mutex<BTreeMap<&'static str, &'static Gauge>>,
     histograms: Mutex<BTreeMap<&'static str, &'static Histogram>>,
 }
 
@@ -214,6 +300,7 @@ fn registry() -> &'static Registry {
     static REGISTRY: std::sync::OnceLock<Registry> = std::sync::OnceLock::new();
     REGISTRY.get_or_init(|| Registry {
         counters: Mutex::new(BTreeMap::new()),
+        gauges: Mutex::new(BTreeMap::new()),
         histograms: Mutex::new(BTreeMap::new()),
     })
 }
@@ -222,6 +309,8 @@ fn registry() -> &'static Registry {
 /// always hold a `&'static` handle regardless of the feature set.
 #[cfg(not(feature = "metrics"))]
 static NOOP_COUNTER: Counter = Counter::new();
+#[cfg(not(feature = "metrics"))]
+static NOOP_GAUGE: Gauge = Gauge::new();
 #[cfg(not(feature = "metrics"))]
 static NOOP_HISTOGRAM: Histogram = Histogram::new();
 
@@ -252,6 +341,32 @@ pub fn counter(name: &str) -> &'static Counter {
     {
         let _ = name;
         &NOOP_COUNTER
+    }
+}
+
+/// Look up (or register) the gauge named `name`.  See [`counter`] for leak
+/// and caching notes; prefer the [`gauge!`] macro on hot paths.
+pub fn gauge(name: &str) -> &'static Gauge {
+    #[cfg(feature = "metrics")]
+    {
+        let mut map = registry()
+            .gauges
+            .lock()
+            // invariant: registry mutex critical sections only insert into a
+            // map and cannot panic, so the lock is never poisoned.
+            .unwrap();
+        if let Some(g) = map.get(name) {
+            return g;
+        }
+        let leaked_name: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let leaked: &'static Gauge = Box::leak(Box::new(Gauge::new()));
+        map.insert(leaked_name, leaked);
+        leaked
+    }
+    #[cfg(not(feature = "metrics"))]
+    {
+        let _ = name;
+        &NOOP_GAUGE
     }
 }
 
@@ -297,6 +412,20 @@ macro_rules! counter {
     }};
 }
 
+/// Gauge handle cached per call site; see [`counter!`].
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        if $crate::ENABLED {
+            static SITE: ::std::sync::OnceLock<&'static $crate::Gauge> =
+                ::std::sync::OnceLock::new();
+            *SITE.get_or_init(|| $crate::gauge($name))
+        } else {
+            $crate::gauge($name)
+        }
+    }};
+}
+
 /// Histogram handle cached per call site; see [`counter!`].
 #[macro_export]
 macro_rules! histogram {
@@ -316,16 +445,25 @@ macro_rules! histogram {
 pub struct Snapshot {
     /// `(name, total)` for every registered counter, name-ordered.
     pub counters: Vec<(String, u64)>,
+    /// `(name, level)` for every registered gauge, name-ordered.
+    pub gauges: Vec<(String, i64)>,
     /// `(name, snapshot)` for every registered histogram, name-ordered.
     pub histograms: Vec<(String, HistogramSnapshot)>,
 }
 
 impl Snapshot {
     /// Render the whole snapshot as a JSON object:
-    /// `{"counters":{...},"histograms":{name:{count,mean,max,p50,...}}}`.
+    /// `{"counters":{...},"gauges":{...},"histograms":{name:{count,...}}}`.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
         for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{v}", json_string(name)));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -358,6 +496,15 @@ pub fn snapshot() -> Snapshot {
             .iter()
             .map(|(name, c)| (name.to_string(), c.get()))
             .collect();
+        let gauges = reg
+            .gauges
+            .lock()
+            // invariant: registry mutex critical sections cannot panic (see
+            // `gauge`), so the lock is never poisoned.
+            .unwrap()
+            .iter()
+            .map(|(name, g)| (name.to_string(), g.get()))
+            .collect();
         let histograms = reg
             .histograms
             .lock()
@@ -369,6 +516,7 @@ pub fn snapshot() -> Snapshot {
             .collect();
         Snapshot {
             counters,
+            gauges,
             histograms,
         }
     }
@@ -386,6 +534,11 @@ pub fn reset_all() {
         // `counter`), so the lock is never poisoned.
         for c in reg.counters.lock().unwrap().values() {
             c.reset();
+        }
+        // invariant: registry mutex critical sections cannot panic (see
+        // `gauge`), so the lock is never poisoned.
+        for g in reg.gauges.lock().unwrap().values() {
+            g.reset();
         }
         // invariant: registry mutex critical sections cannot panic (see
         // `histogram`), so the lock is never poisoned.
@@ -470,6 +623,45 @@ mod tests {
 
     #[cfg(feature = "metrics")]
     #[test]
+    fn gauge_tracks_level_not_total() {
+        let g = gauge("test.gauge.level");
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.add(-5);
+        assert_eq!(g.get(), -4);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+        let snap = snapshot();
+        assert!(snap
+            .gauges
+            .iter()
+            .any(|(n, v)| n == "test.gauge.level" && *v == 7));
+        assert!(snap.to_json().contains("\"test.gauge.level\":7"));
+        g.reset();
+        assert_eq!(g.get(), 0);
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn gauge_balanced_across_threads() {
+        let g = Gauge::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        g.inc();
+                        g.dec();
+                    }
+                });
+            }
+        });
+        assert_eq!(g.get(), 0);
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
     fn timer_records_on_drop() {
         let h = Histogram::new();
         {
@@ -483,10 +675,14 @@ mod tests {
     #[test]
     fn disabled_everything_is_noop() {
         assert_eq!(std::mem::size_of::<Counter>(), 0);
+        assert_eq!(std::mem::size_of::<Gauge>(), 0);
         assert_eq!(std::mem::size_of::<Timer<'_>>(), 0);
         let c = counter!("test.disabled.counter");
         c.add(5);
         assert_eq!(c.get(), 0);
+        let g = gauge!("test.disabled.gauge");
+        g.inc();
+        assert_eq!(g.get(), 0);
         let h = histogram!("test.disabled.hist");
         {
             let _t = Timer::start(h);
@@ -494,8 +690,12 @@ mod tests {
         assert_eq!(h.snapshot().count, 0);
         let snap = snapshot();
         assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
         assert!(snap.histograms.is_empty());
-        assert_eq!(snap.to_json(), "{\"counters\":{},\"histograms\":{}}");
+        assert_eq!(
+            snap.to_json(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}"
+        );
     }
 
     #[test]

@@ -343,7 +343,10 @@ fn differential_dytis_cursor_and_range() {
     let mut cur = idx.scan_cursor(0);
     let mut got = Vec::new();
     let mut batch = 1usize;
-    while idx.scan_next(&mut cur, got.len() + batch, &mut got) {
+    while idx
+        .scan_next(&mut cur, got.len() + batch, &mut got)
+        .expect("no mutation during cursor walk")
+    {
         batch = batch % 61 + 7;
     }
     let want: Vec<(Key, Value)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
@@ -363,7 +366,8 @@ fn differential_dytis_cursor_and_range() {
         let start = scramble(rng.gen_range(0..KEY_SPACE)) ^ rng.gen_range(0u64..1024);
         let mut cur = idx.scan_cursor(start);
         let mut got = Vec::new();
-        idx.scan_next(&mut cur, 100, &mut got);
+        idx.scan_next(&mut cur, 100, &mut got)
+            .expect("no mutation during cursor walk");
         let want: Vec<(Key, Value)> = oracle
             .range(start..)
             .take(100)

@@ -26,8 +26,9 @@ fn registry_stays_empty_with_metrics_off() {
     }
     let _ = cidx.get(42);
 
-    // ...and direct counter/histogram use through the macros.
+    // ...and direct counter/gauge/histogram use through the macros.
     obs::counter!("disabled.test").add(1_000);
+    obs::gauge!("disabled.test_gauge").inc();
     obs::histogram!("disabled.test_ns").record(12_345);
     {
         let _t = obs::Timer::start(obs::histogram!("disabled.timer_ns"));
@@ -36,14 +37,20 @@ fn registry_stays_empty_with_metrics_off() {
     // Nothing registered, nothing counted.
     let snap = obs::snapshot();
     assert!(snap.counters.is_empty(), "counters: {:?}", snap.counters);
+    assert!(snap.gauges.is_empty(), "gauges registered with metrics off");
     assert!(
         snap.histograms.is_empty(),
         "histograms registered with metrics off"
     );
     assert_eq!(obs::counter!("disabled.test").get(), 0);
-    assert_eq!(snap.to_json(), r#"{"counters":{},"histograms":{}}"#);
+    assert_eq!(obs::gauge!("disabled.test_gauge").get(), 0);
+    assert_eq!(
+        snap.to_json(),
+        r#"{"counters":{},"gauges":{},"histograms":{}}"#
+    );
 
     // The handles themselves are zero-sized: the no-op types carry no state.
     assert_eq!(std::mem::size_of::<obs::Counter>(), 0);
+    assert_eq!(std::mem::size_of::<obs::Gauge>(), 0);
     assert_eq!(std::mem::size_of::<obs::Histogram>(), 0);
 }
