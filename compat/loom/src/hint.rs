@@ -1,0 +1,13 @@
+//! Spin-loop hint: under a model this must deschedule the spinner (a spin
+//! that never yields would livelock the single-token scheduler), so it is
+//! equivalent to [`crate::thread::yield_now`].
+
+/// Signals a busy-wait iteration; a yield-style scheduling point in a
+/// model, `std::hint::spin_loop` outside.
+pub fn spin_loop() {
+    if crate::rt::current().is_some() {
+        crate::thread::yield_now();
+    } else {
+        std::hint::spin_loop();
+    }
+}

@@ -1,0 +1,59 @@
+//! Offline shim of the [`loom`](https://docs.rs/loom) model checker, in the
+//! style of the other `compat/` crates: a minimal, dependency-free,
+//! API-compatible subset sufficient for this workspace's concurrency models.
+//!
+//! # What it does
+//!
+//! [`model`] runs a closure repeatedly, exploring the possible thread
+//! interleavings of every synchronization operation performed through this
+//! crate's [`sync`] and [`thread`] primitives. Execution is serialized on a
+//! scheduler token: exactly one model thread runs at a time, and at every
+//! scheduling point (lock acquisition, atomic operation, spawn, join,
+//! yield) the scheduler either replays a recorded choice or records a new
+//! branch. A depth-first search over those branch points enumerates
+//! schedules until the space is exhausted or a schedule fails.
+//!
+//! Any panic inside the model (assertion failure, detected deadlock,
+//! nondeterminism) aborts the exploration and is re-raised from [`model`]
+//! together with the number of schedules explored, so `#[should_panic]` and
+//! `catch_unwind`-based non-vacuity tests see the original payload.
+//!
+//! # What it deliberately does not do
+//!
+//! * **Weak memory.** The real loom explores C11 memory-model behaviors
+//!   (store buffering, unsynchronized loads). This shim executes atomics
+//!   with `SeqCst` semantics regardless of the ordering argument: it
+//!   explores *interleavings*, not *reorderings*. Lock-protocol bugs,
+//!   atomicity violations, lost updates, and deadlocks are found; bugs that
+//!   require a non-SC execution are not. The TSan CI job covers the
+//!   latter on real hardware.
+//! * **Data-race detection on plain memory.** Safe Rust cannot data-race;
+//!   the workspace forbids `unsafe` (enforced by `xtask lint`), so every
+//!   shared access already goes through these primitives.
+//!
+//! # Bounding
+//!
+//! Exploration is bounded two ways, both tunable by environment variable:
+//!
+//! * `LOOM_MAX_PREEMPTIONS` (default 2): maximum *involuntary* context
+//!   switches per schedule, the classic CHESS bound — most concurrency
+//!   bugs manifest with ≤ 2 preemptions. Voluntary switches (blocking on
+//!   a lock, yielding, finishing) are free.
+//! * `LOOM_MAX_ITERATIONS` (default 200 000): hard cap on the number of
+//!   schedules; exceeding it panics rather than silently truncating, so a
+//!   model that outgrows its budget fails loudly instead of becoming
+//!   vacuous.
+//!
+//! # Outside a model
+//!
+//! Every primitive degrades to its plain `std` behavior when used by a
+//! thread that is not running under [`model`], so code ported to these
+//! types (via a `cfg(loom)` `sync` facade) still works in ordinary tests
+//! and binaries even when compiled with `--cfg loom`.
+
+pub mod hint;
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use rt::model;

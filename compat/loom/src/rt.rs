@@ -1,0 +1,492 @@
+//! The exploration runtime: a single-token scheduler plus a depth-first
+//! search over its decision points.
+//!
+//! One OS thread per model thread, but only the token holder ever runs;
+//! every synchronization primitive calls [`Rt::switch`] which hands the
+//! token to the next thread chosen by the schedule under exploration.
+//! Sequential consistency falls out of the serialization; see the crate
+//! docs for what that does and does not cover.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, Once, PoisonError};
+
+pub(crate) type Tid = usize;
+
+/// Panic payload used to tear down the remaining threads of a poisoned
+/// (already-failed) execution; the panic hook suppresses its output so the
+/// only message the user sees is the original failure.
+pub(crate) struct SchedPoisoned;
+
+const DEFAULT_MAX_PREEMPTIONS: usize = 2;
+const DEFAULT_MAX_SCHEDULES: usize = 200_000;
+/// Per-execution bound on scheduling points; tripping it means a livelock
+/// (e.g. an unbounded spin that never lets the other threads finish).
+const MAX_STEPS: usize = 500_000;
+
+/// What a thread wants to do at its current scheduling point.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub(crate) enum Intent {
+    /// Unconditional step: atomic op, fence, spawn, or thread start.
+    Step,
+    /// Voluntary yield: deprioritized, never counts as a preemption.
+    Yield,
+    /// Acquire lock `id` exclusively (mutex lock / rwlock write).
+    Acquire(u64),
+    /// Acquire lock `id` shared (rwlock read).
+    AcquireShared(u64),
+    /// Wait for thread `tid` to finish.
+    Join(Tid),
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Run {
+    /// Parked at a scheduling point, waiting for the token.
+    Waiting(Intent),
+    /// Holds the token; executes until its next scheduling point.
+    Running,
+    Finished,
+}
+
+#[derive(Default)]
+struct LockState {
+    writer: Option<Tid>,
+    readers: usize,
+}
+
+/// One decision: (chosen option index, number of options). Recording the
+/// option count lets the DFS backtrack without re-deriving eligibility.
+type Choice = (u32, u32);
+
+struct State {
+    threads: Vec<Run>,
+    current: Tid,
+    locks: HashMap<u64, LockState>,
+    schedule: Vec<Choice>,
+    cursor: usize,
+    preemptions: usize,
+    max_preemptions: usize,
+    steps: usize,
+    live: usize,
+    poisoned: bool,
+    panic_payload: Option<Box<dyn Any + Send>>,
+}
+
+pub(crate) struct Rt {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Rt>, Tid)>> = const { RefCell::new(None) };
+}
+
+/// The calling thread's model context, if it runs under [`model`].
+pub(crate) fn current() -> Option<(Arc<Rt>, Tid)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn set_ctx(ctx: Option<(Arc<Rt>, Tid)>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+enum Decision {
+    Next(Tid),
+    /// No live thread is eligible: deadlock.
+    Dead,
+    /// Replay diverged from the recorded schedule: the model closure is
+    /// nondeterministic (time, randomness, ambient threads).
+    Corrupt,
+}
+
+impl Rt {
+    fn new(prefix: Vec<Choice>, max_preemptions: usize) -> Self {
+        Rt {
+            state: Mutex::new(State {
+                threads: vec![Run::Running],
+                current: 0,
+                locks: HashMap::new(),
+                schedule: prefix,
+                cursor: 0,
+                preemptions: 0,
+                max_preemptions,
+                steps: 0,
+                live: 1,
+                poisoned: false,
+                panic_payload: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn eligible(st: &State, tid: Tid) -> bool {
+        match st.threads[tid] {
+            Run::Waiting(intent) => match intent {
+                Intent::Step | Intent::Yield => true,
+                Intent::Acquire(id) => st
+                    .locks
+                    .get(&id)
+                    .is_none_or(|l| l.writer.is_none() && l.readers == 0),
+                Intent::AcquireShared(id) => st.locks.get(&id).is_none_or(|l| l.writer.is_none()),
+                Intent::Join(t) => matches!(st.threads[t], Run::Finished),
+            },
+            _ => false,
+        }
+    }
+
+    /// Picks the next thread to run. `from` is the thread releasing the
+    /// token (`None` when it just finished).
+    fn decide(st: &mut State, from: Option<Tid>) -> Decision {
+        let eligible: Vec<Tid> = (0..st.threads.len())
+            .filter(|&t| Self::eligible(st, t))
+            .collect();
+        if eligible.is_empty() {
+            return Decision::Dead;
+        }
+        let from_eligible = from.is_some_and(|f| eligible.contains(&f));
+        let from_yield = from.is_some_and(|f| matches!(st.threads[f], Run::Waiting(Intent::Yield)));
+        let mut options = eligible;
+        if from_yield {
+            // A yield means "let someone else run": drop the yielder from
+            // the choice set unless it is the only runnable thread.
+            if options.len() > 1 {
+                options.retain(|&t| Some(t) != from);
+            }
+        } else if from_eligible && st.preemptions >= st.max_preemptions {
+            // Preemption budget spent: the running thread must continue.
+            options = vec![from.expect("from_eligible implies from")];
+        }
+        let idx = if st.cursor < st.schedule.len() {
+            let (c, n) = st.schedule[st.cursor];
+            if n as usize != options.len() {
+                return Decision::Corrupt;
+            }
+            c as usize
+        } else {
+            st.schedule.push((0, options.len() as u32));
+            0
+        };
+        st.cursor += 1;
+        let choice = options[idx];
+        if let Some(f) = from {
+            if choice != f && from_eligible && !from_yield {
+                st.preemptions += 1;
+            }
+        }
+        Decision::Next(choice)
+    }
+
+    /// Marks the execution failed; the first recorded payload wins and is
+    /// re-raised by [`model`].
+    fn poison_with(&self, st: &mut State, msg: String) {
+        st.poisoned = true;
+        if st.panic_payload.is_none() {
+            st.panic_payload = Some(Box::new(msg));
+        }
+        self.cv.notify_all();
+    }
+
+    /// Scheduling point: parks the calling thread with `intent`, lets the
+    /// schedule pick the next runner, and returns once the token comes
+    /// back. Returns `false` when the execution is poisoned (the caller
+    /// must unwind with [`SchedPoisoned`]).
+    fn switch(&self, me: Tid, intent: Intent) -> bool {
+        let mut st = self.lock_state();
+        if st.poisoned {
+            return false;
+        }
+        st.steps += 1;
+        if st.steps > MAX_STEPS {
+            self.poison_with(
+                &mut st,
+                format!("loom: exceeded {MAX_STEPS} scheduling points in one execution (livelock or unbounded spin in the model)"),
+            );
+            return false;
+        }
+        st.threads[me] = Run::Waiting(intent);
+        match Self::decide(&mut st, Some(me)) {
+            Decision::Next(t) => {
+                st.threads[t] = Run::Running;
+                st.current = t;
+                self.cv.notify_all();
+            }
+            Decision::Dead => {
+                self.poison_with(
+                    &mut st,
+                    "loom: deadlock — every live thread is blocked".to_string(),
+                );
+                return false;
+            }
+            Decision::Corrupt => {
+                self.poison_with(
+                    &mut st,
+                    "loom: nondeterministic model — replay diverged from the recorded schedule (the closure must be deterministic)".to_string(),
+                );
+                return false;
+            }
+        }
+        loop {
+            if st.poisoned {
+                return false;
+            }
+            if matches!(st.threads[me], Run::Running) {
+                // Token granted: commit the acquisition this thread was
+                // parked on. No other thread can run between the grant and
+                // this bookkeeping (single token).
+                match intent {
+                    Intent::Acquire(id) => {
+                        let l = st.locks.entry(id).or_default();
+                        debug_assert!(l.writer.is_none() && l.readers == 0);
+                        l.writer = Some(me);
+                    }
+                    Intent::AcquireShared(id) => {
+                        st.locks.entry(id).or_default().readers += 1;
+                    }
+                    _ => {}
+                }
+                return true;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Lock release: pure bookkeeping, not a scheduling point (the next
+    /// acquisition or atomic op of any thread is, which covers the same
+    /// interleavings).
+    fn release(&self, id: u64, shared: bool) {
+        let mut st = self.lock_state();
+        let l = st.locks.entry(id).or_default();
+        if shared {
+            l.readers = l.readers.saturating_sub(1);
+        } else {
+            l.writer = None;
+        }
+    }
+
+    fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut st = self.lock_state();
+        st.poisoned = true;
+        if payload.downcast_ref::<SchedPoisoned>().is_none() && st.panic_payload.is_none() {
+            st.panic_payload = Some(payload);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Registers a child thread (caller holds the token).
+    fn register_child(&self) -> Tid {
+        let mut st = self.lock_state();
+        st.threads.push(Run::Waiting(Intent::Step));
+        st.live += 1;
+        st.threads.len() - 1
+    }
+
+    /// First park of a spawned thread: waits to be scheduled for the first
+    /// time. Returns `false` if the execution died before that.
+    fn wait_first(&self, me: Tid) -> bool {
+        let mut st = self.lock_state();
+        loop {
+            if st.poisoned {
+                return false;
+            }
+            if matches!(st.threads[me], Run::Running) {
+                return true;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn thread_finished(&self, me: Tid) {
+        let mut st = self.lock_state();
+        st.threads[me] = Run::Finished;
+        st.live -= 1;
+        if st.live == 0 {
+            self.cv.notify_all();
+            return;
+        }
+        if st.poisoned {
+            return;
+        }
+        match Self::decide(&mut st, None) {
+            Decision::Next(t) => {
+                st.threads[t] = Run::Running;
+                st.current = t;
+                self.cv.notify_all();
+            }
+            Decision::Dead => self.poison_with(
+                &mut st,
+                "loom: deadlock — every live thread is blocked".to_string(),
+            ),
+            Decision::Corrupt => self.poison_with(
+                &mut st,
+                "loom: nondeterministic model — replay diverged from the recorded schedule"
+                    .to_string(),
+            ),
+        }
+    }
+
+    fn wait_quiescent(&self) {
+        let mut st = self.lock_state();
+        while st.live > 0 {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn take_results(&self) -> (Vec<Choice>, Option<Box<dyn Any + Send>>) {
+        let mut st = self.lock_state();
+        (std::mem::take(&mut st.schedule), st.panic_payload.take())
+    }
+}
+
+// ---- primitive-facing entry points -------------------------------------
+
+/// Scheduling point for the calling thread. Returns `true` when the call
+/// was model-tracked (so a paired release must be, too); panics with the
+/// quiet [`SchedPoisoned`] payload when the execution has already failed.
+pub(crate) fn sched_point(intent: Intent) -> bool {
+    if let Some((rt, me)) = current() {
+        if !rt.switch(me, intent) {
+            panic::panic_any(SchedPoisoned);
+        }
+        true
+    } else {
+        false
+    }
+}
+
+pub(crate) fn release_lock(id: u64, shared: bool) {
+    if let Some((rt, _)) = current() {
+        rt.release(id, shared);
+    }
+}
+
+/// Allocates a process-unique lock id.
+pub(crate) fn next_lock_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Spawns a model thread running `f`; used by [`crate::thread::spawn`].
+/// Returns the std handle (yielding `None` when the closure panicked) and
+/// the model thread id.
+pub(crate) fn spawn_model<F, T>(rt: Arc<Rt>, f: F) -> (std::thread::JoinHandle<Option<T>>, Tid)
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let tid = rt.register_child();
+    let rt2 = Arc::clone(&rt);
+    let handle = std::thread::spawn(move || {
+        set_ctx(Some((Arc::clone(&rt2), tid)));
+        if !rt2.wait_first(tid) {
+            rt2.thread_finished(tid);
+            return None;
+        }
+        let result = panic::catch_unwind(AssertUnwindSafe(f));
+        let out = match result {
+            Ok(v) => Some(v),
+            Err(p) => {
+                rt2.record_panic(p);
+                None
+            }
+        };
+        rt2.thread_finished(tid);
+        out
+    });
+    // Scheduling point: the child is runnable from here on, so schedules
+    // where it runs before the parent's next step are explored.
+    sched_point(Intent::Step);
+    (handle, tid)
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Installs (once, process-wide) a panic hook that silences the teardown
+/// panics of poisoned executions and delegates everything else.
+fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<SchedPoisoned>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Advances the DFS to the next unexplored schedule; `false` when the
+/// space is exhausted.
+fn next_schedule(schedule: &mut Vec<Choice>) -> bool {
+    while let Some((chosen, options)) = schedule.pop() {
+        if chosen + 1 < options {
+            schedule.push((chosen + 1, options));
+            return true;
+        }
+    }
+    false
+}
+
+/// Explores every bounded interleaving of `f`. See the crate docs for the
+/// exploration strategy, bounds, and the `LOOM_MAX_PREEMPTIONS` /
+/// `LOOM_MAX_ITERATIONS` environment overrides.
+///
+/// # Panics
+///
+/// Re-raises the first panic of any failing schedule (after printing how
+/// many schedules were explored), panics on detected deadlock or
+/// nondeterminism, and panics when the schedule budget is exceeded.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_quiet_hook();
+    let max_preemptions = env_usize("LOOM_MAX_PREEMPTIONS", DEFAULT_MAX_PREEMPTIONS);
+    let max_schedules = env_usize("LOOM_MAX_ITERATIONS", DEFAULT_MAX_SCHEDULES);
+    let f = Arc::new(f);
+    let mut prefix: Vec<Choice> = Vec::new();
+    let mut schedules = 0usize;
+    loop {
+        schedules += 1;
+        assert!(
+            schedules <= max_schedules,
+            "loom: exceeded {max_schedules} schedules; shrink the model or raise LOOM_MAX_ITERATIONS"
+        );
+        let rt = Arc::new(Rt::new(prefix, max_preemptions));
+        let rt_root = Arc::clone(&rt);
+        let f_run = Arc::clone(&f);
+        let root = std::thread::spawn(move || {
+            set_ctx(Some((Arc::clone(&rt_root), 0)));
+            let result = panic::catch_unwind(AssertUnwindSafe(|| f_run()));
+            if let Err(p) = result {
+                rt_root.record_panic(p);
+            }
+            rt_root.thread_finished(0);
+        });
+        rt.wait_quiescent();
+        let _ = root.join();
+        let (schedule, payload) = rt.take_results();
+        if let Some(p) = payload {
+            eprintln!(
+                "loom: counterexample after {schedules} schedule(s), {} decision points",
+                schedule.len()
+            );
+            panic::resume_unwind(p);
+        }
+        prefix = schedule;
+        if !next_schedule(&mut prefix) {
+            break;
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Model-checked synchronization primitives.
+//!
+//! API shape follows `parking_lot` (non-poisoning guards returned directly)
+//! because that is what the workspace's `sync` facades re-export on the
+//! non-loom side; the real loom mirrors `std`'s `Result`-returning API
+//! instead. Under [`crate::model`] every acquisition is a scheduling
+//! point; outside a model the types behave like plain `std` locks.
+
+use crate::rt::{self, Intent};
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::PoisonError;
+
+pub use std::sync::Arc;
+
+pub mod atomic;
+
+/// Mutual-exclusion lock; a scheduling point under a model.
+pub struct Mutex<T: ?Sized> {
+    id: u64,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            id: rt::next_lock_id(),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking (in model: parking on the scheduler)
+    /// until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let tracked = rt::sched_point(Intent::Acquire(self.id));
+        MutexGuard {
+            // In-model the scheduler grants the token only when the lock is
+            // free, so this inner acquisition never contends.
+            inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+            id: self.id,
+            tracked,
+        }
+    }
+
+    /// Returns a mutable reference to the protected value without locking
+    /// (exclusive access is guaranteed by `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Mutex").field(&self.inner).finish()
+    }
+}
+
+/// Guard for [`Mutex::lock`]; releases the model lock state on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: std::sync::MutexGuard<'a, T>,
+    id: u64,
+    tracked: bool,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.tracked {
+            rt::release_lock(self.id, false);
+        }
+    }
+}
+
+/// Readers-writer lock; acquisitions are scheduling points under a model.
+pub struct RwLock<T: ?Sized> {
+    id: u64,
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new lock protecting `value`.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            id: rt::next_lock_id(),
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let tracked = rt::sched_point(Intent::AcquireShared(self.id));
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+            id: self.id,
+            tracked,
+        }
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let tracked = rt::sched_point(Intent::Acquire(self.id));
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+            id: self.id,
+            tracked,
+        }
+    }
+
+    /// Returns a mutable reference to the protected value without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("RwLock").field(&self.inner).finish()
+    }
+}
+
+/// Shared guard for [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+    id: u64,
+    tracked: bool,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.tracked {
+            rt::release_lock(self.id, true);
+        }
+    }
+}
+
+/// Exclusive guard for [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+    id: u64,
+    tracked: bool,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.tracked {
+            rt::release_lock(self.id, false);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Model-checked atomics.
+//!
+//! Every operation is a scheduling point under a model and executes with
+//! `SeqCst` semantics regardless of the `Ordering` argument: the shim
+//! explores interleavings under sequential consistency, not weak-memory
+//! reorderings (see the crate docs). Outside a model the given ordering is
+//! forwarded unchanged to the `std` atomic.
+
+use crate::rt::{self, Intent};
+use std::sync::atomic::Ordering as StdOrdering;
+
+pub use std::sync::atomic::Ordering;
+
+/// True when the call came from inside a model (one scheduling point
+/// consumed); used by each op to pick SeqCst vs the caller's ordering.
+#[inline]
+fn step() -> bool {
+    rt::sched_point(Intent::Step)
+}
+
+#[inline]
+fn ord(model: bool, user: StdOrdering) -> StdOrdering {
+    if model {
+        StdOrdering::SeqCst
+    } else {
+        user
+    }
+}
+
+/// CAS failure orderings must be no stronger than success and not Release.
+#[inline]
+fn fail_ord(model: bool, user: StdOrdering) -> StdOrdering {
+    if model {
+        StdOrdering::SeqCst
+    } else {
+        user
+    }
+}
+
+macro_rules! int_atomic {
+    ($name:ident, $std:ty, $int:ty) => {
+        /// Model-checked integer atomic; see the module docs.
+        #[derive(Debug, Default)]
+        pub struct $name($std);
+
+        impl $name {
+            /// Creates a new atomic with the given initial value.
+            pub fn new(v: $int) -> Self {
+                Self(<$std>::new(v))
+            }
+
+            /// Loads the value; a scheduling point under a model.
+            pub fn load(&self, order: StdOrdering) -> $int {
+                let m = step();
+                self.0.load(ord(m, order))
+            }
+
+            /// Stores `val`; a scheduling point under a model.
+            pub fn store(&self, val: $int, order: StdOrdering) {
+                let m = step();
+                self.0.store(val, ord(m, order));
+            }
+
+            /// Atomic add returning the previous value.
+            pub fn fetch_add(&self, val: $int, order: StdOrdering) -> $int {
+                let m = step();
+                self.0.fetch_add(val, ord(m, order))
+            }
+
+            /// Atomic subtract returning the previous value.
+            pub fn fetch_sub(&self, val: $int, order: StdOrdering) -> $int {
+                let m = step();
+                self.0.fetch_sub(val, ord(m, order))
+            }
+
+            /// Atomic bitwise-or returning the previous value.
+            pub fn fetch_or(&self, val: $int, order: StdOrdering) -> $int {
+                let m = step();
+                self.0.fetch_or(val, ord(m, order))
+            }
+
+            /// Atomic maximum returning the previous value.
+            pub fn fetch_max(&self, val: $int, order: StdOrdering) -> $int {
+                let m = step();
+                self.0.fetch_max(val, ord(m, order))
+            }
+
+            /// Atomic swap returning the previous value.
+            pub fn swap(&self, val: $int, order: StdOrdering) -> $int {
+                let m = step();
+                self.0.swap(val, ord(m, order))
+            }
+
+            /// Atomic compare-exchange.
+            pub fn compare_exchange(
+                &self,
+                current: $int,
+                new: $int,
+                success: StdOrdering,
+                failure: StdOrdering,
+            ) -> Result<$int, $int> {
+                let m = step();
+                self.0
+                    .compare_exchange(current, new, ord(m, success), fail_ord(m, failure))
+            }
+
+            /// Atomic compare-exchange allowed to fail spuriously.
+            pub fn compare_exchange_weak(
+                &self,
+                current: $int,
+                new: $int,
+                success: StdOrdering,
+                failure: StdOrdering,
+            ) -> Result<$int, $int> {
+                let m = step();
+                self.0
+                    .compare_exchange_weak(current, new, ord(m, success), fail_ord(m, failure))
+            }
+
+            /// Returns a mutable reference to the value (no scheduling
+            /// point: `&mut self` proves exclusivity).
+            pub fn get_mut(&mut self) -> &mut $int {
+                self.0.get_mut()
+            }
+
+            /// Consumes the atomic, returning the value.
+            pub fn into_inner(self) -> $int {
+                self.0.into_inner()
+            }
+        }
+    };
+}
+
+int_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+int_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+int_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+/// Model-checked boolean atomic; see the module docs.
+#[derive(Debug, Default)]
+pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+impl AtomicBool {
+    /// Creates a new atomic with the given initial value.
+    pub fn new(v: bool) -> Self {
+        Self(std::sync::atomic::AtomicBool::new(v))
+    }
+
+    /// Loads the value; a scheduling point under a model.
+    pub fn load(&self, order: StdOrdering) -> bool {
+        let m = step();
+        self.0.load(ord(m, order))
+    }
+
+    /// Stores `val`; a scheduling point under a model.
+    pub fn store(&self, val: bool, order: StdOrdering) {
+        let m = step();
+        self.0.store(val, ord(m, order));
+    }
+
+    /// Atomic swap returning the previous value.
+    pub fn swap(&self, val: bool, order: StdOrdering) -> bool {
+        let m = step();
+        self.0.swap(val, ord(m, order))
+    }
+
+    /// Atomic compare-exchange.
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: StdOrdering,
+        failure: StdOrdering,
+    ) -> Result<bool, bool> {
+        let m = step();
+        self.0
+            .compare_exchange(current, new, ord(m, success), fail_ord(m, failure))
+    }
+
+    /// Returns a mutable reference to the value.
+    pub fn get_mut(&mut self) -> &mut bool {
+        self.0.get_mut()
+    }
+
+    /// Consumes the atomic, returning the value.
+    pub fn into_inner(self) -> bool {
+        self.0.into_inner()
+    }
+}
+
+/// Memory fence; a scheduling point under a model, a real fence outside.
+pub fn fence(order: StdOrdering) {
+    let m = step();
+    std::sync::atomic::fence(ord(m, order));
+}

@@ -1,0 +1,69 @@
+//! Model-aware threads: spawns register with the running model's
+//! scheduler; outside a model they are plain `std::thread` spawns.
+
+use crate::rt::{self, Intent, Tid};
+use std::sync::Arc;
+use std::thread::Result;
+
+enum Inner<T> {
+    Model {
+        handle: std::thread::JoinHandle<Option<T>>,
+        tid: Tid,
+        rt: Arc<crate::rt::Rt>,
+    },
+    Real(std::thread::JoinHandle<T>),
+}
+
+/// Handle to a spawned thread; joining is a scheduling point in a model.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result. Inside a
+    /// model the wait is a scheduling point (`Join` intent), so all
+    /// completion orders are explored.
+    pub fn join(self) -> Result<T> {
+        match self.inner {
+            Inner::Model { handle, tid, rt } => {
+                let _ = &rt; // rt keeps the runtime alive until the join
+                rt::sched_point(Intent::Join(tid));
+                match handle.join() {
+                    Ok(Some(v)) => Ok(v),
+                    Ok(None) => Err(Box::new("loom: model thread panicked")),
+                    Err(e) => Err(e),
+                }
+            }
+            Inner::Real(h) => h.join(),
+        }
+    }
+}
+
+/// Spawns a thread. Inside a model, the child becomes a model thread whose
+/// start, synchronization operations, and exit are all scheduling points.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    if let Some((rt, _me)) = rt::current() {
+        let (handle, tid) = rt::spawn_model(Arc::clone(&rt), f);
+        JoinHandle {
+            inner: Inner::Model { handle, tid, rt },
+        }
+    } else {
+        JoinHandle {
+            inner: Inner::Real(std::thread::spawn(f)),
+        }
+    }
+}
+
+/// Yields: in a model, a scheduling point that prefers other runnable
+/// threads and never charges the preemption budget.
+pub fn yield_now() {
+    if rt::current().is_some() {
+        rt::sched_point(Intent::Yield);
+    } else {
+        std::thread::yield_now();
+    }
+}

@@ -18,10 +18,9 @@
 use crate::params::Params;
 use crate::remap::mask64;
 use crate::segment::{BucketUpsert, RemapOutcome, Segment};
+use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{Arc, RwLock};
 use index_traits::{AuditReport, Auditable, ConcurrentKvIndex, Key, Value};
-use parking_lot::RwLock;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
 
 /// Directory of one concurrent EH table.
 struct CDir {
@@ -116,6 +115,44 @@ impl ConcurrentDyTis {
         self.insert_retries.load(Ordering::Relaxed)
     }
 
+    /// Intentionally broken insert, compiled only for model checking:
+    /// proves the loom models are non-vacuous.
+    ///
+    /// Identical to [`ConcurrentKvIndex::insert`] except the table key
+    /// count is bumped *after* the segment lock is dropped, and with a
+    /// torn `load`+`store` instead of `fetch_add` — the "it's just a
+    /// counter" shortcut the §3.4 protocol forbids. The loom model in
+    /// `tests/loom_models.rs` must find the two-thread schedule where one
+    /// increment is lost (`len()` under-counts, the `table-key-count`
+    /// audit trips). Callers must pick keys that fit the existing buckets;
+    /// the maintenance slow path is deliberately not reproduced here.
+    #[cfg(loom)]
+    pub fn insert_seeded_torn_counter(&self, key: Key, value: Value) {
+        let table = &self.tables[self.table_of(key)];
+        let sk = self.sub_key(key);
+        let p = &self.params;
+        let inserted = {
+            let dir = table.dir.read();
+            let seg_arc = Arc::clone(&dir.entries[Self::dir_index(&dir, sk, self.m_total)]);
+            let mut seg = seg_arc.write();
+            let m = self.m_total - seg.local_depth;
+            let k = sk & mask64(m);
+            let b = seg.bucket_of(k, self.m_total);
+            match seg.upsert_in_bucket(b, key, value, p.bucket_entries) {
+                BucketUpsert::Inserted => true,
+                BucketUpsert::Updated => false,
+                BucketUpsert::Full => panic!("seeded-bug insert requires a key that fits"),
+            }
+        };
+        if inserted {
+            // BUG (seeded): torn read-modify-write outside the critical
+            // section — a concurrent insert between the load and the store
+            // loses an increment.
+            let n = table.num_keys.load(Ordering::Acquire);
+            table.num_keys.store(n + 1, Ordering::Release);
+        }
+    }
+
     #[inline]
     fn table_of(&self, key: Key) -> usize {
         (key >> (64 - self.params.first_level_bits)) as usize
@@ -137,6 +174,9 @@ impl ConcurrentDyTis {
     /// required (split or doubling).
     fn insert_fast(&self, table: &CEh, sk: u64, key: Key, value: Value) -> bool {
         let p = &self.params;
+        // justified: each retry either inserts or observes a full bucket
+        // and performs (or defers to `maintain` for) a structural repair;
+        // repairs strictly grow capacity, so the loop terminates.
         loop {
             let dir = table.dir.read();
             let gd = dir.global_depth;

@@ -18,10 +18,9 @@ use crate::bucket::Bucket;
 use crate::params::Params;
 use crate::remap::{mask64, RemapFn};
 use crate::segment::{RemapOutcome, Segment};
+use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{Arc, Mutex, RwLock};
 use index_traits::{AuditReport, Auditable, ConcurrentKvIndex, Key, Value};
-use parking_lot::{Mutex, RwLock};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
 
 /// A segment whose buckets are individually locked.
 struct FineSegment {

@@ -45,6 +45,7 @@ pub mod persist;
 pub mod remap;
 pub mod segment;
 pub mod stats;
+pub mod sync;
 
 pub use concurrent::ConcurrentDyTis;
 pub use concurrent_fine::ConcurrentDyTisFine;

@@ -99,6 +99,8 @@ pub fn encode_record(seq: Seq, op: WalOp, key: Key, value: Value, out: &mut Vec<
     payload[17..25].copy_from_slice(&value.to_le_bytes());
     let mut crc = Crc64::new();
     crc.update(&payload);
+    // justified: PAYLOAD_LEN is the compile-time record size (25), far
+    // inside the u32 length field.
     out.extend_from_slice(&(PAYLOAD_LEN as u32).to_le_bytes());
     out.extend_from_slice(&crc.finalize().to_le_bytes());
     out.extend_from_slice(&payload);

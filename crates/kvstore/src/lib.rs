@@ -42,19 +42,20 @@
 
 pub mod protocol;
 pub mod shard;
+pub mod sync;
 
 pub use protocol::{
     format_request, format_response, parse_request, parse_response, Request, Response,
 };
 pub use shard::{DurabilityOptions, DurableShardedStore, ShardedStore};
 
+use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::sync::{Arc, Mutex};
 use dytis::ConcurrentDyTis;
 use index_traits::{ConcurrentKvIndex, Key, Value};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, ErrorKind, Result, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -150,11 +151,12 @@ struct Shared {
     opts: ServerOptions,
 }
 
-fn lock_conns(shared: &Shared) -> std::sync::MutexGuard<'_, HashMap<u64, TcpStream>> {
-    // A handler that panicked poisons the registry; the map itself is
-    // still coherent (every mutation is a single insert/remove), so keep
-    // serving instead of cascading the panic into the accept loop.
-    shared.conns.lock().unwrap_or_else(PoisonError::into_inner)
+fn lock_conns(shared: &Shared) -> crate::sync::MutexGuard<'_, HashMap<u64, TcpStream>> {
+    // The facade mutex is non-poisoning (parking_lot semantics): a handler
+    // that panics while holding the registry cannot wedge it, so the accept
+    // loop keeps serving — the map itself stays coherent because every
+    // mutation is a single insert/remove.
+    shared.conns.lock()
 }
 
 /// A running KV server.

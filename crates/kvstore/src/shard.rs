@@ -17,13 +17,13 @@
 //! the group-commit ack, and startup recovers each shard from its latest
 //! checkpoint plus log replay.
 
+use crate::sync::Arc;
 use durability::{FileStorage, Seq, Wal, WalOp, WalStats};
 use dytis::{DyTis, Params};
 use index_traits::{Key, KvIndex, Value};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::Arc;
 use std::thread::JoinHandle;
 
 enum Cmd {

@@ -1,0 +1,22 @@
+//! Synchronization facade for the serving layer, mirroring
+//! `dytis::sync`: concurrent state (the connection registry, admission
+//! counters, drain flags) imports its primitives from here so the whole
+//! crate can be compiled onto the loom shim with `RUSTFLAGS="--cfg loom"`
+//! instead of being silently excluded from model checking.
+//!
+//! Default builds use the non-poisoning `parking_lot` shim — which also
+//! retires the manual `PoisonError::into_inner` plumbing the registry
+//! lock used to need — and `std` atomics; `cfg(loom)` swaps in the
+//! scheduler-instrumented equivalents (see DESIGN.md §12).
+
+#[cfg(not(loom))]
+pub use parking_lot::{Mutex, MutexGuard};
+#[cfg(not(loom))]
+pub use std::sync::atomic;
+#[cfg(not(loom))]
+pub use std::sync::Arc;
+
+#[cfg(loom)]
+pub use loom::sync::atomic;
+#[cfg(loom)]
+pub use loom::sync::{Arc, Mutex, MutexGuard};

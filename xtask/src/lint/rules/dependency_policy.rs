@@ -1,0 +1,117 @@
+//! The workspace builds fully offline: every external crate is a
+//! vendored shim under `compat/`, wired through `[workspace.dependencies]`
+//! as a path dependency. This rule keeps that closed-world property from
+//! regressing:
+//!
+//! 1. `[workspace.dependencies]` entries must be `path = …` — a version
+//!    or git requirement would reach for the network.
+//! 2. Member dependency sections may only reference the workspace table
+//!    (`x.workspace = true`) or a path — no inline registry versions.
+//! 3. Test-only machinery stays out of shipping builds: `proptest` and
+//!    `criterion` are dev-dependency-only, and `loom` may appear only
+//!    under a `[target.'cfg(loom)'.dependencies]` table (or as a
+//!    dev-dependency of its own shim).
+
+use crate::lint::ManifestRule;
+
+/// Crates that must never ship in a normal (non-dev, non-loom) build.
+const DEV_ONLY: &[&str] = &["proptest", "criterion"];
+
+pub struct DependencyPolicy;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Section {
+    WorkspaceDeps,
+    Deps,
+    DevDeps,
+    BuildDeps,
+    LoomTargetDeps,
+    Other,
+}
+
+impl ManifestRule for DependencyPolicy {
+    fn name(&self) -> &'static str {
+        "dependency-policy"
+    }
+
+    fn check(&self, rel_path: &str, text: &str, findings: &mut Vec<String>) {
+        let mut section = Section::Other;
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') {
+                section = match line {
+                    "[workspace.dependencies]" => Section::WorkspaceDeps,
+                    "[dependencies]" => Section::Deps,
+                    "[dev-dependencies]" => Section::DevDeps,
+                    "[build-dependencies]" => Section::BuildDeps,
+                    _ if line.starts_with("[target.") && line.ends_with(".dependencies]") => {
+                        if line.contains("cfg(loom)") {
+                            Section::LoomTargetDeps
+                        } else {
+                            Section::Deps
+                        }
+                    }
+                    _ => Section::Other,
+                };
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                continue;
+            };
+            // `x.workspace = true` entries: the dep name is before the dot.
+            let key = key.trim();
+            let (dep, is_workspace_key) = match key.split_once('.') {
+                Some((dep, "workspace")) => (dep, true),
+                _ => (key, false),
+            };
+            let value = value.trim();
+            let via_workspace = is_workspace_key || value.contains("workspace = true");
+            let via_path = value.contains("path =");
+            match section {
+                Section::WorkspaceDeps => {
+                    if !via_path {
+                        findings.push(format!(
+                            "{rel_path}:{}: [{}] workspace dependency `{dep}` is not a \
+                             path entry — the build must stay offline (vendor a shim \
+                             under compat/)",
+                            i + 1,
+                            self.name(),
+                        ));
+                    }
+                }
+                Section::Deps | Section::DevDeps | Section::BuildDeps | Section::LoomTargetDeps => {
+                    if !via_workspace && !via_path {
+                        findings.push(format!(
+                            "{rel_path}:{}: [{}] dependency `{dep}` bypasses the \
+                             workspace table — use `{dep}.workspace = true`",
+                            i + 1,
+                            self.name(),
+                        ));
+                    }
+                    let shippable = matches!(section, Section::Deps | Section::BuildDeps);
+                    if shippable && DEV_ONLY.contains(&dep) {
+                        findings.push(format!(
+                            "{rel_path}:{}: [{}] `{dep}` is test-only machinery and \
+                             must be a dev-dependency",
+                            i + 1,
+                            self.name(),
+                        ));
+                    }
+                    if shippable && dep == "loom" {
+                        findings.push(format!(
+                            "{rel_path}:{}: [{}] `loom` must live under \
+                             `[target.'cfg(loom)'.dependencies]` so ordinary builds \
+                             never compile the model-checking shim",
+                            i + 1,
+                            self.name(),
+                        ));
+                    }
+                }
+                Section::Other => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Publishing a file by rename without first syncing its contents is the
+//! textbook crash-consistency bug: after a crash the new name can point
+//! at a zero-length or partially written file. Every `fs::rename` in
+//! library code must be preceded — within the same function — by a
+//! `sync_all`/`sync_data` on the temporary, or carry a `// justified:`
+//! comment (e.g. renames of files that are re-verified on recovery).
+
+use crate::lint::{FileClass, Rule, SourceFile};
+
+pub struct FsyncBeforeRename;
+
+impl Rule for FsyncBeforeRename {
+    fn name(&self) -> &'static str {
+        "fsync-before-rename"
+    }
+
+    fn applies(&self, file: &SourceFile) -> bool {
+        matches!(file.class, FileClass::Library | FileClass::Example)
+    }
+
+    fn check(&self, file: &SourceFile, findings: &mut Vec<String>) {
+        for (i, code) in file.code_lines.iter().enumerate() {
+            if file.in_test[i] || !code.contains("fs::rename(") {
+                continue;
+            }
+            if file.justified(i, "justified:") {
+                continue;
+            }
+            // Scan backwards through the enclosing function for a content
+            // sync. The function head is the nearest preceding `fn ` line
+            // at or below the rename's indentation.
+            let indent = indent_of(code);
+            let mut synced = false;
+            for j in (0..i).rev() {
+                let above = &file.code_lines[j];
+                if above.contains("sync_all(") || above.contains("sync_data(") {
+                    synced = true;
+                    break;
+                }
+                let t = above.trim_start();
+                if (t.starts_with("fn ") || t.starts_with("pub fn ") || t.contains(" fn "))
+                    && indent_of(above) < indent
+                {
+                    break;
+                }
+            }
+            if !synced {
+                findings.push(format!(
+                    "{}:{}: [{}] `fs::rename` with no preceding `sync_all`/`sync_data` in \
+                     this function — a crash can publish an unsynced file (add the fsync \
+                     or a `// justified:` comment)",
+                    file.rel_path,
+                    i + 1,
+                    self.name(),
+                ));
+            }
+        }
+    }
+}
+
+fn indent_of(line: &str) -> usize {
+    line.len() - line.trim_start().len()
+}

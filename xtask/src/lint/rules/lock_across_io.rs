@@ -1,0 +1,67 @@
+//! Blocking file or socket I/O while a lock guard is live stalls every
+//! thread queued on that lock for the duration of the syscall — the
+//! classic tail-latency cliff. Sites that genuinely need it (the WAL's
+//! group commit, drain force-closing registered sockets) carry a
+//! `// justified:` comment explaining why the lock must span the I/O.
+
+use crate::lint::guards::{acquisitions, GuardTracker};
+use crate::lint::{FileClass, Rule, SourceFile};
+
+/// Calls that hit the kernel: durability syncs, bulk reads/writes,
+/// metadata ops, socket teardown.
+const IO_PATTERNS: &[&str] = &[
+    ".sync_all(",
+    ".sync_data(",
+    ".write_all(",
+    ".read_exact(",
+    ".flush(",
+    "fs::rename(",
+    "fs::remove_file(",
+    "File::create(",
+    "File::open(",
+    ".accept(",
+    ".shutdown(",
+    ".fill_buf(",
+];
+
+pub struct LockAcrossIo;
+
+impl Rule for LockAcrossIo {
+    fn name(&self) -> &'static str {
+        "lock-across-io"
+    }
+
+    fn applies(&self, file: &SourceFile) -> bool {
+        matches!(file.class, FileClass::Library | FileClass::Example)
+    }
+
+    fn check(&self, file: &SourceFile, findings: &mut Vec<String>) {
+        let mut tracker = GuardTracker::default();
+        for (i, code) in file.code_lines.iter().enumerate() {
+            let acqs = if file.in_test[i] {
+                Vec::new()
+            } else {
+                acquisitions(code)
+            };
+            if !file.in_test[i] && !tracker.guards.is_empty() {
+                for pat in IO_PATTERNS {
+                    if code.contains(pat) && !file.justified(i, "justified:") {
+                        // invariant: the is_empty check above guarantees a guard.
+                        let held = tracker.guards.last().unwrap();
+                        findings.push(format!(
+                            "{}:{}: [{}] `{pat}` while the lock guard `{}` (line {}) is \
+                             held — move the I/O outside the critical section or add a \
+                             `// justified:` comment",
+                            file.rel_path,
+                            i + 1,
+                            self.name(),
+                            held.name,
+                            held.line
+                        ));
+                    }
+                }
+            }
+            tracker.observe(code, i + 1, &acqs);
+        }
+    }
+}

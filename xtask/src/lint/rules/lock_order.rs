@@ -1,0 +1,49 @@
+//! Guards acquired in a scope must follow the documented directory →
+//! segment → bucket order: directory/root locks (level 1) before other
+//! RwLocks (level 2) before `.lock()` mutexes (level 3). Acquiring a
+//! lower-level lock while a higher-level guard from the same scope is
+//! live is reported.
+
+use crate::lint::guards::{acquisitions, GuardTracker};
+use crate::lint::{FileClass, Rule, SourceFile};
+
+pub struct LockOrder;
+
+impl Rule for LockOrder {
+    fn name(&self) -> &'static str {
+        "lock-order"
+    }
+
+    /// Ordering bugs in tests and benches deadlock CI just as hard as in
+    /// shipping code, so only examples (which hold one lock at a time by
+    /// construction) are out of scope.
+    fn applies(&self, file: &SourceFile) -> bool {
+        file.class != FileClass::Example
+    }
+
+    fn check(&self, file: &SourceFile, findings: &mut Vec<String>) {
+        let mut tracker = GuardTracker::default();
+        for (i, code) in file.code_lines.iter().enumerate() {
+            let acqs = if file.in_test[i] && file.class == FileClass::Library {
+                Vec::new() // unit-test modules keep their own conventions
+            } else {
+                acquisitions(code)
+            };
+            for &(_, level) in &acqs {
+                if let Some(held) = tracker.guards.iter().find(|g| g.level > level) {
+                    findings.push(format!(
+                        "{}:{}: [{}] acquires a level-{level} lock while the level-{} guard \
+                         `{}` (line {}) is held — violates the directory → segment → bucket order",
+                        file.rel_path,
+                        i + 1,
+                        self.name(),
+                        held.level,
+                        held.name,
+                        held.line
+                    ));
+                }
+            }
+            tracker.observe(code, i + 1, &acqs);
+        }
+    }
+}

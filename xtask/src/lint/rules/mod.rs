@@ -1,0 +1,33 @@
+//! The rule registry. Adding a rule = one module + one line in [`all`]
+//! (or [`all_manifest`] for `Cargo.toml` lints).
+
+pub mod dependency_policy;
+pub mod fsync_before_rename;
+pub mod lock_across_io;
+pub mod lock_order;
+pub mod panic_sites;
+pub mod relaxed_atomics;
+pub mod truncating_casts;
+pub mod unbounded_retry;
+pub mod unsafe_blocks;
+
+use crate::lint::{ManifestRule, Rule};
+
+/// Every source-file rule, in diagnostic-stability order.
+pub fn all() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(panic_sites::PanicSites),
+        Box::new(relaxed_atomics::RelaxedAtomics),
+        Box::new(lock_order::LockOrder),
+        Box::new(lock_across_io::LockAcrossIo),
+        Box::new(fsync_before_rename::FsyncBeforeRename),
+        Box::new(unsafe_blocks::UnsafeBlocks),
+        Box::new(truncating_casts::TruncatingCasts),
+        Box::new(unbounded_retry::UnboundedRetry),
+    ]
+}
+
+/// Every manifest rule.
+pub fn all_manifest() -> Vec<Box<dyn ManifestRule>> {
+    vec![Box::new(dependency_policy::DependencyPolicy)]
+}

@@ -1,0 +1,32 @@
+//! `.unwrap()` / `.expect(` in library code must carry a `// invariant:`
+//! comment (same line or the block directly above) stating why the
+//! failure is impossible.
+
+use crate::lint::{Rule, SourceFile};
+
+pub struct PanicSites;
+
+impl Rule for PanicSites {
+    fn name(&self) -> &'static str {
+        "panic-sites"
+    }
+
+    fn check(&self, file: &SourceFile, findings: &mut Vec<String>) {
+        for (i, code) in file.code_lines.iter().enumerate() {
+            if file.in_test[i] {
+                continue;
+            }
+            for pat in [".unwrap()", ".expect("] {
+                if code.contains(pat) && !file.justified(i, "invariant:") {
+                    findings.push(format!(
+                        "{}:{}: [{}] `{pat}` in library code without an `// invariant:` \
+                         justification (return an error or document why this cannot fail)",
+                        file.rel_path,
+                        i + 1,
+                        self.name(),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! `Ordering::Relaxed` must carry a `// relaxed:` comment justifying why
+//! no ordering is needed (pure counters only).
+
+use crate::lint::{Rule, SourceFile};
+
+pub struct RelaxedAtomics;
+
+impl Rule for RelaxedAtomics {
+    fn name(&self) -> &'static str {
+        "relaxed-atomics"
+    }
+
+    fn check(&self, file: &SourceFile, findings: &mut Vec<String>) {
+        for (i, code) in file.code_lines.iter().enumerate() {
+            if file.in_test[i] {
+                continue;
+            }
+            if code.contains("Ordering::Relaxed") && !file.justified(i, "relaxed:") {
+                findings.push(format!(
+                    "{}:{}: [{}] `Ordering::Relaxed` without a `// relaxed:` justification \
+                     (use Acquire/Release when the value is read back for accounting)",
+                    file.rel_path,
+                    i + 1,
+                    self.name(),
+                ));
+            }
+        }
+    }
+}

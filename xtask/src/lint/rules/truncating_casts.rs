@@ -1,0 +1,67 @@
+//! Narrowing `as` casts (`as u8` / `as u16` / `as u32`) in the
+//! durability crate's framing and CRC code silently truncate: a length
+//! that outgrows the field corrupts the record stream instead of
+//! erroring. Sites must use `try_into` (or prove the range) and carry a
+//! `// justified:` comment.
+
+use crate::lint::{Rule, SourceFile};
+
+/// `crates/<dir>` components whose on-disk framing makes truncation a
+/// data-corruption bug rather than a cosmetic one.
+const SCOPED_CRATE_DIRS: &[&str] = &["durability"];
+
+pub struct TruncatingCasts;
+
+impl Rule for TruncatingCasts {
+    fn name(&self) -> &'static str {
+        "truncating-casts"
+    }
+
+    fn applies(&self, file: &SourceFile) -> bool {
+        file.class == crate::lint::FileClass::Library
+            && SCOPED_CRATE_DIRS.contains(&file.crate_dir.as_str())
+    }
+
+    fn check(&self, file: &SourceFile, findings: &mut Vec<String>) {
+        for (i, code) in file.code_lines.iter().enumerate() {
+            if file.in_test[i] {
+                continue;
+            }
+            for pat in ["as u8", "as u16", "as u32"] {
+                if has_cast(code, pat) && !file.justified(i, "justified:") {
+                    findings.push(format!(
+                        "{}:{}: [{}] narrowing `{pat}` in durability framing — use \
+                         `try_into` or add a `// justified:` range argument",
+                        file.rel_path,
+                        i + 1,
+                        self.name(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `pat` present with a word boundary after it (`as u32` must not match
+/// inside `as u32x4` if SIMD types ever appear) and `as` as its own word.
+fn has_cast(code: &str, pat: &str) -> bool {
+    let mut from = 0;
+    while let Some(off) = code[from..].find(pat) {
+        let start = from + off;
+        let end = start + pat.len();
+        let before_ok = start == 0
+            || !code[..start]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after_ok = !code[end..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}

@@ -1,0 +1,90 @@
+//! A bare `loop` that re-acquires locks or retries a CAS with neither a
+//! bound nor a backoff can livelock under contention and turns a logic
+//! bug (the retry condition never clears) into a hang instead of a
+//! panic. Retry loops in library code must show evidence of a bound
+//! (`assert!` on an attempt counter), a blocking wait (condvar `.wait`),
+//! or a backoff (`sleep`/`yield_now`/`spin_loop`) — or carry a
+//! `// justified:` termination argument.
+
+use crate::lint::guards::acquisitions;
+use crate::lint::strip::contains_word;
+use crate::lint::{Rule, SourceFile};
+
+/// Body text that makes a `loop` a *retry* loop worth scrutiny.
+fn is_retry_op(code: &str) -> bool {
+    !acquisitions(code).is_empty()
+        || code.contains("compare_exchange")
+        || code.contains("fetch_update")
+}
+
+/// Body text accepted as a bound or backoff.
+const BOUND_EVIDENCE: &[&str] = &[
+    "assert!",
+    "debug_assert!",
+    ".wait(",
+    "sleep(",
+    "yield_now",
+    "spin_loop",
+    "backoff",
+    ".park(",
+    "park_timeout",
+    ".recv(",
+];
+
+pub struct UnboundedRetry;
+
+impl Rule for UnboundedRetry {
+    fn name(&self) -> &'static str {
+        "unbounded-retry"
+    }
+
+    fn check(&self, file: &SourceFile, findings: &mut Vec<String>) {
+        for (i, code) in file.code_lines.iter().enumerate() {
+            if file.in_test[i] || !is_loop_head(code) {
+                continue;
+            }
+            // Body = lines until the `loop`'s brace closes.
+            let mut depth = 0i64;
+            let mut opened = false;
+            let mut retry = false;
+            let mut bounded = false;
+            'body: for body in &file.code_lines[i..] {
+                for c in body.chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => {
+                            depth -= 1;
+                            if opened && depth <= 0 {
+                                break 'body;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if opened {
+                    retry |= is_retry_op(body);
+                    bounded |= BOUND_EVIDENCE.iter().any(|p| body.contains(p));
+                }
+            }
+            if retry && !bounded && !file.justified(i, "justified:") {
+                findings.push(format!(
+                    "{}:{}: [{}] `loop` retries a lock/CAS with no bound or backoff — \
+                     add an attempt bound, a blocking wait, or a `// justified:` \
+                     termination argument",
+                    file.rel_path,
+                    i + 1,
+                    self.name(),
+                ));
+            }
+        }
+    }
+}
+
+/// A statement opening an unconditional `loop` block (plain, labeled, or
+/// `let x = loop {`).
+fn is_loop_head(code: &str) -> bool {
+    contains_word(code, "loop") && code.trim_end().ends_with('{')
+}

@@ -1,0 +1,51 @@
+//! `unsafe` is forbidden by default across the workspace. The planned
+//! SIMD probe kernels in `crates/core` (ROADMAP: vectorized bucket scan)
+//! are the one sanctioned exception: there, each site must still carry a
+//! `// justified:` comment stating the safety argument. Everywhere else
+//! the finding is unconditional — extend [`ALLOWLISTED_CRATE_DIRS`]
+//! deliberately, in review, rather than sprinkling comments.
+
+use crate::lint::strip::contains_word;
+use crate::lint::{Rule, SourceFile};
+
+/// `crates/<dir>` components where justified `unsafe` is permitted.
+const ALLOWLISTED_CRATE_DIRS: &[&str] = &["core"];
+
+pub struct UnsafeBlocks;
+
+impl Rule for UnsafeBlocks {
+    fn name(&self) -> &'static str {
+        "unsafe-blocks"
+    }
+
+    /// All classes: an unsound test helper corrupts the suite as surely
+    /// as library code.
+    fn applies(&self, _file: &SourceFile) -> bool {
+        true
+    }
+
+    fn check(&self, file: &SourceFile, findings: &mut Vec<String>) {
+        let allowlisted = ALLOWLISTED_CRATE_DIRS.contains(&file.crate_dir.as_str());
+        for (i, code) in file.code_lines.iter().enumerate() {
+            // `contains_word` keeps `unsafe_code` (lint attribute) from
+            // matching; stripped lines keep strings/comments from matching.
+            if !contains_word(code, "unsafe") {
+                continue;
+            }
+            if allowlisted && file.justified(i, "justified:") {
+                continue;
+            }
+            let hint = if allowlisted {
+                "add a `// justified:` safety argument"
+            } else {
+                "this crate is not on the unsafe allowlist (see unsafe_blocks.rs)"
+            };
+            findings.push(format!(
+                "{}:{}: [{}] `unsafe` — {hint}",
+                file.rel_path,
+                i + 1,
+                self.name(),
+            ));
+        }
+    }
+}

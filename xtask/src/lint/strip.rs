@@ -1,0 +1,141 @@
+//! Token-level preprocessing shared by every rule: comment/string
+//! stripping and the justification-comment lookup.
+
+/// Strips string literals, char literals, and comments from a source line,
+/// carrying block-comment state across lines. Returned text preserves token
+/// adjacency well enough for the pattern scans the rules perform.
+#[derive(Default)]
+pub struct Stripper {
+    in_block_comment: bool,
+}
+
+impl Stripper {
+    pub fn strip(&mut self, line: &str) -> String {
+        let bytes: Vec<char> = line.chars().collect();
+        let mut out = String::with_capacity(line.len());
+        let mut i = 0usize;
+        while i < bytes.len() {
+            if self.in_block_comment {
+                if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                    self.in_block_comment = false;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            match bytes[i] {
+                '/' if bytes.get(i + 1) == Some(&'/') => break, // line comment
+                '/' if bytes.get(i + 1) == Some(&'*') => {
+                    self.in_block_comment = true;
+                    i += 2;
+                }
+                '"' => {
+                    out.push('"');
+                    i += 1;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            '\\' => i += 2,
+                            '"' => {
+                                out.push('"');
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                }
+                '\'' => {
+                    // Char literal (skip it) vs lifetime tick (keep going).
+                    let is_char_lit = match bytes.get(i + 1) {
+                        Some('\\') => true,
+                        Some(_) => bytes.get(i + 2) == Some(&'\''),
+                        None => false,
+                    };
+                    if is_char_lit {
+                        i += 1;
+                        if bytes.get(i) == Some(&'\\') {
+                            i += 2;
+                        }
+                        while i < bytes.len() && bytes[i] != '\'' {
+                            i += 1;
+                        }
+                        i += 1;
+                    } else {
+                        out.push('\'');
+                        i += 1;
+                    }
+                }
+                c => {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// True when the flagged line, an earlier line of the same (possibly
+/// multi-line) statement, or the contiguous `//` comment block directly
+/// above that statement contains `marker`.
+pub fn justified<S: AsRef<str>>(raw_lines: &[S], i: usize, marker: &str) -> bool {
+    if raw_lines[i].as_ref().contains(marker) {
+        return true;
+    }
+    // Walk up to the first line of the enclosing statement: a line is a
+    // continuation while the line above it is code that does not end a
+    // statement or open/close a block.
+    let mut j = i;
+    while j > 0 {
+        let above = raw_lines[j - 1].as_ref().trim();
+        if above.is_empty()
+            || above.starts_with("//")
+            || above.ends_with(';')
+            || above.ends_with('{')
+            || above.ends_with('}')
+        {
+            break;
+        }
+        j -= 1;
+        if raw_lines[j].as_ref().contains(marker) {
+            return true;
+        }
+    }
+    while j > 0 {
+        j -= 1;
+        let t = raw_lines[j].as_ref().trim_start();
+        if t.starts_with("//") {
+            if t.contains(marker) {
+                return true;
+            }
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+/// True when `text` contains `word` delimited by non-identifier characters
+/// on both sides (so `unsafe` does not match `unsafe_code`).
+pub fn contains_word(text: &str, word: &str) -> bool {
+    let mut from = 0;
+    while let Some(off) = text[from..].find(word) {
+        let start = from + off;
+        let end = start + word.len();
+        let before_ok = start == 0
+            || !text[..start]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after_ok = !text[end..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}

@@ -1,46 +1,21 @@
-//! Dependency-free workspace tooling, invoked as `cargo run -p xtask -- lint`.
+//! CLI for the workspace lint engine: `cargo run -p xtask -- lint`.
 //!
-//! The `lint` subcommand scans every library source under `crates/` (the
-//! benchmark harness `crates/bench`, test modules, `tests/`, `benches/`,
-//! `examples/`, the `compat/` shims, and xtask itself are exempt) for three
-//! classes of correctness hazards the compiler does not catch:
-//!
-//! 1. **Panic sites** — `.unwrap()` / `.expect(` in library code must carry
-//!    a `// invariant:` comment (same line or the comment block directly
-//!    above) stating why the failure is impossible.
-//! 2. **Relaxed atomics** — `Ordering::Relaxed` must carry a `// relaxed:`
-//!    comment justifying why no ordering is needed (pure counters only).
-//! 3. **Lock order** — guards acquired in a scope must follow the documented
-//!    directory → segment → bucket order: directory/root locks (a `.read()`
-//!    / `.write()` whose receiver ends in `dir` or `inner`) before other
-//!    RwLocks before `.lock()` mutexes. Acquiring a lower-level lock while a
-//!    higher-level guard from the same scope is live is reported.
-//!
-//! All diagnostics are `file:line: message`; any finding exits non-zero.
+//! The rules, source-set collection, and diagnostics all live in
+//! `xtask::lint` (see `src/lint/mod.rs` and DESIGN.md §12); this binary
+//! only resolves the workspace root and maps findings to an exit code.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+use xtask::lint;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => {
-            let root = workspace_root();
-            let mut findings = Vec::new();
-            for file in rust_sources(&root.join("crates")) {
-                let Ok(text) = std::fs::read_to_string(&file) else {
-                    findings.push(format!("{}: unreadable", file.display()));
-                    continue;
-                };
-                let rel = file
-                    .strip_prefix(&root)
-                    .unwrap_or(&file)
-                    .display()
-                    .to_string();
-                lint_file(&rel, &text, &mut findings);
-            }
+            let findings = lint::run(&workspace_root());
             if findings.is_empty() {
-                println!("xtask lint: clean");
+                println!("xtask lint: clean ({} rules)", lint::rule_count());
                 ExitCode::SUCCESS
             } else {
                 for f in &findings {
@@ -61,430 +36,4 @@ fn workspace_root() -> PathBuf {
     // xtask sits directly under the workspace root.
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     manifest.parent().map(Path::to_path_buf).unwrap_or(manifest)
-}
-
-/// Recursively collects `.rs` files, skipping bench/test/example trees and
-/// the benchmark harness crate.
-fn rust_sources(dir: &Path) -> Vec<PathBuf> {
-    const SKIP_DIRS: &[&str] = &["tests", "benches", "examples", "target", "bench"];
-    let mut out = Vec::new();
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return out;
-    };
-    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
-    entries.sort();
-    for path in entries {
-        let name = path
-            .file_name()
-            .and_then(|n| n.to_str())
-            .unwrap_or_default();
-        if path.is_dir() {
-            if !SKIP_DIRS.contains(&name) && !name.starts_with('.') {
-                out.extend(rust_sources(&path));
-            }
-        } else if name.ends_with(".rs") {
-            out.push(path);
-        }
-    }
-    out
-}
-
-/// A lock guard live in the current scope.
-struct Guard {
-    depth: usize,
-    level: u8,
-    name: String,
-    line: usize,
-}
-
-/// Runs all three rules over one file, appending `file:line: message`
-/// diagnostics to `findings`.
-fn lint_file(file: &str, text: &str, findings: &mut Vec<String>) {
-    let raw_lines: Vec<&str> = text.lines().collect();
-    let mut stripper = Stripper::default();
-    let code_lines: Vec<String> = raw_lines.iter().map(|l| stripper.strip(l)).collect();
-
-    let mut depth = 0usize;
-    let mut guards: Vec<Guard> = Vec::new();
-    // Test-module skipping: `#[cfg(...test...)] mod x { ... }`.
-    let mut pending_test_attr = false;
-    let mut test_exit_depth: Option<usize> = None;
-
-    for (i, code) in code_lines.iter().enumerate() {
-        let lineno = i + 1;
-        let trimmed = code.trim();
-        let in_test = test_exit_depth.is_some();
-
-        if !in_test {
-            if trimmed.starts_with("#[") {
-                if trimmed.contains("cfg(") && trimmed.contains("test") {
-                    pending_test_attr = true;
-                }
-            } else if !trimmed.is_empty() {
-                if pending_test_attr && trimmed.starts_with("mod ") && trimmed.contains('{') {
-                    test_exit_depth = Some(depth);
-                }
-                pending_test_attr = false;
-            }
-        }
-
-        if test_exit_depth.is_none() {
-            check_panic_sites(file, lineno, code, &raw_lines, i, findings);
-            check_relaxed(file, lineno, code, &raw_lines, i, findings);
-            check_lock_order(file, lineno, code, depth, &mut guards, findings);
-        }
-
-        for c in code.chars() {
-            match c {
-                '{' => depth += 1,
-                '}' => {
-                    depth = depth.saturating_sub(1);
-                    guards.retain(|g| g.depth <= depth);
-                    if test_exit_depth.is_some_and(|d| depth <= d) {
-                        test_exit_depth = None;
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
-}
-
-/// True when the flagged line, an earlier line of the same (possibly
-/// multi-line) statement, or the contiguous `//` comment block directly
-/// above that statement contains `marker`.
-fn justified(raw_lines: &[&str], i: usize, marker: &str) -> bool {
-    if raw_lines[i].contains(marker) {
-        return true;
-    }
-    // Walk up to the first line of the enclosing statement: a line is a
-    // continuation while the line above it is code that does not end a
-    // statement or open/close a block.
-    let mut j = i;
-    while j > 0 {
-        let above = raw_lines[j - 1].trim();
-        if above.is_empty()
-            || above.starts_with("//")
-            || above.ends_with(';')
-            || above.ends_with('{')
-            || above.ends_with('}')
-        {
-            break;
-        }
-        j -= 1;
-        if raw_lines[j].contains(marker) {
-            return true;
-        }
-    }
-    while j > 0 {
-        j -= 1;
-        let t = raw_lines[j].trim_start();
-        if t.starts_with("//") {
-            if t.contains(marker) {
-                return true;
-            }
-        } else {
-            break;
-        }
-    }
-    false
-}
-
-fn check_panic_sites(
-    file: &str,
-    lineno: usize,
-    code: &str,
-    raw_lines: &[&str],
-    i: usize,
-    findings: &mut Vec<String>,
-) {
-    for pat in [".unwrap()", ".expect("] {
-        if code.contains(pat) && !justified(raw_lines, i, "invariant:") {
-            findings.push(format!(
-                "{file}:{lineno}: `{pat}` in library code without an `// invariant:` \
-                 justification (return an error or document why this cannot fail)"
-            ));
-        }
-    }
-}
-
-fn check_relaxed(
-    file: &str,
-    lineno: usize,
-    code: &str,
-    raw_lines: &[&str],
-    i: usize,
-    findings: &mut Vec<String>,
-) {
-    if code.contains("Ordering::Relaxed") && !justified(raw_lines, i, "relaxed:") {
-        findings.push(format!(
-            "{file}:{lineno}: `Ordering::Relaxed` without a `// relaxed:` justification \
-             (use Acquire/Release when the value is read back for accounting)"
-        ));
-    }
-}
-
-/// Lock level of an acquisition ending at byte offset `dot` (the `.` of
-/// `.read()`/`.write()`): 1 for directory/root locks, 2 otherwise.
-fn rwlock_level(code: &str, dot: usize) -> u8 {
-    let ident: String = code[..dot]
-        .chars()
-        .rev()
-        .take_while(|c| c.is_alphanumeric() || *c == '_')
-        .collect();
-    let ident: String = ident.chars().rev().collect();
-    if ident == "dir" || ident == "inner" {
-        1
-    } else {
-        2
-    }
-}
-
-fn check_lock_order(
-    file: &str,
-    lineno: usize,
-    code: &str,
-    depth: usize,
-    guards: &mut Vec<Guard>,
-    findings: &mut Vec<String>,
-) {
-    // Explicit early release.
-    if let Some(rest) = code.trim().strip_prefix("drop(") {
-        if let Some(name) = rest.strip_suffix(");") {
-            let name = name.trim();
-            if let Some(pos) = guards.iter().rposition(|g| g.name == name) {
-                guards.remove(pos);
-            }
-        }
-    }
-    let mut acquisitions: Vec<(usize, u8)> = Vec::new();
-    for pat in [".read()", ".write()"] {
-        let mut from = 0;
-        while let Some(off) = code[from..].find(pat) {
-            let dot = from + off;
-            acquisitions.push((dot, rwlock_level(code, dot)));
-            from = dot + pat.len();
-        }
-    }
-    let mut from = 0;
-    while let Some(off) = code[from..].find(".lock()") {
-        acquisitions.push((from + off, 3));
-        from += off + ".lock()".len();
-    }
-    if acquisitions.is_empty() {
-        return;
-    }
-    acquisitions.sort_unstable();
-    for &(_, level) in &acquisitions {
-        if let Some(held) = guards.iter().find(|g| g.level > level) {
-            findings.push(format!(
-                "{file}:{lineno}: acquires a level-{level} lock while the level-{} guard \
-                 `{}` (line {}) is held — violates the directory → segment → bucket order",
-                held.level, held.name, held.line
-            ));
-        }
-    }
-    // A `let`-bound guard stays held until its scope closes or `drop(name)`.
-    let trimmed = code.trim();
-    if let Some(rest) = trimmed.strip_prefix("let ") {
-        let rest = rest.strip_prefix("mut ").unwrap_or(rest);
-        let name: String = rest
-            .chars()
-            .take_while(|c| c.is_alphanumeric() || *c == '_')
-            .collect();
-        // Highest level on the line is what the binding ends up holding
-        // (chained accesses through lower-level guards are transient).
-        if let Some(&(_, level)) = acquisitions.iter().max_by_key(|&&(_, l)| l) {
-            if !name.is_empty() {
-                guards.push(Guard {
-                    depth,
-                    level,
-                    name,
-                    line: lineno,
-                });
-            }
-        }
-    }
-}
-
-/// Strips string literals, char literals, and comments from a source line,
-/// carrying block-comment state across lines. Returned text preserves token
-/// adjacency well enough for the pattern scans above.
-#[derive(Default)]
-struct Stripper {
-    in_block_comment: bool,
-}
-
-impl Stripper {
-    fn strip(&mut self, line: &str) -> String {
-        let bytes: Vec<char> = line.chars().collect();
-        let mut out = String::with_capacity(line.len());
-        let mut i = 0usize;
-        while i < bytes.len() {
-            if self.in_block_comment {
-                if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
-                    self.in_block_comment = false;
-                    i += 2;
-                } else {
-                    i += 1;
-                }
-                continue;
-            }
-            match bytes[i] {
-                '/' if bytes.get(i + 1) == Some(&'/') => break, // line comment
-                '/' if bytes.get(i + 1) == Some(&'*') => {
-                    self.in_block_comment = true;
-                    i += 2;
-                }
-                '"' => {
-                    out.push('"');
-                    i += 1;
-                    while i < bytes.len() {
-                        match bytes[i] {
-                            '\\' => i += 2,
-                            '"' => {
-                                out.push('"');
-                                i += 1;
-                                break;
-                            }
-                            _ => i += 1,
-                        }
-                    }
-                }
-                '\'' => {
-                    // Char literal (skip it) vs lifetime tick (keep going).
-                    let is_char_lit = match bytes.get(i + 1) {
-                        Some('\\') => true,
-                        Some(_) => bytes.get(i + 2) == Some(&'\''),
-                        None => false,
-                    };
-                    if is_char_lit {
-                        i += 1;
-                        if bytes.get(i) == Some(&'\\') {
-                            i += 2;
-                        }
-                        while i < bytes.len() && bytes[i] != '\'' {
-                            i += 1;
-                        }
-                        i += 1;
-                    } else {
-                        out.push('\'');
-                        i += 1;
-                    }
-                }
-                c => {
-                    out.push(c);
-                    i += 1;
-                }
-            }
-        }
-        out
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn run(src: &str) -> Vec<String> {
-        let mut findings = Vec::new();
-        lint_file("f.rs", src, &mut findings);
-        findings
-    }
-
-    #[test]
-    fn unwrap_without_comment_flagged() {
-        let f = run("fn a() { x.unwrap(); }\n");
-        assert_eq!(f.len(), 1);
-        assert!(f[0].contains("f.rs:1"), "{}", f[0]);
-    }
-
-    #[test]
-    fn unwrap_with_invariant_comment_passes() {
-        assert!(
-            run("fn a() {\n    // invariant: x is Some here.\n    x.unwrap();\n}\n").is_empty()
-        );
-        assert!(run("fn a() { x.unwrap(); } // invariant: non-empty\n").is_empty());
-    }
-
-    #[test]
-    fn comment_above_multiline_statement_justifies() {
-        let src = "fn a() {\n    // invariant: chan is open.\n    tx.send(x)\n        .expect(\"alive\");\n}\n";
-        assert!(run(src).is_empty());
-        let src = "fn a() {\n    tx.send(x)\n        .expect(\"alive\");\n}\n";
-        assert_eq!(run(src).len(), 1);
-    }
-
-    #[test]
-    fn expect_in_test_module_ignored() {
-        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.expect(\"boom\"); }\n}\n";
-        assert!(run(src).is_empty());
-    }
-
-    #[test]
-    fn expect_after_test_module_still_flagged() {
-        let src = "#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn lib() { x.expect(\"boom\"); }\n";
-        assert_eq!(run(src).len(), 1);
-    }
-
-    #[test]
-    fn relaxed_without_comment_flagged() {
-        let f = run("fn a() { c.fetch_add(1, Ordering::Relaxed); }\n");
-        assert_eq!(f.len(), 1);
-        assert!(f[0].contains("Relaxed"));
-    }
-
-    #[test]
-    fn relaxed_with_comment_passes() {
-        let src = "fn a() {\n    // relaxed: monotonic stats counter.\n    c.fetch_add(1, Ordering::Relaxed);\n}\n";
-        assert!(run(src).is_empty());
-    }
-
-    #[test]
-    fn patterns_inside_strings_and_comments_ignored() {
-        let src =
-            "fn a() {\n    let s = \".unwrap()\";\n    /* x.unwrap() */\n    let t = 'x';\n}\n";
-        assert!(run(src).is_empty());
-    }
-
-    #[test]
-    fn lock_order_violation_flagged() {
-        let src = "fn a(&self) {\n    let seg = e.write();\n    let dir = self.dir.read();\n}\n";
-        let f = run(src);
-        assert_eq!(f.len(), 1);
-        assert!(f[0].contains("f.rs:3"), "{}", f[0]);
-        assert!(f[0].contains("level-1"), "{}", f[0]);
-    }
-
-    #[test]
-    fn lock_order_correct_sequence_passes() {
-        let src = "fn a(&self) {\n    let dir = self.dir.read();\n    let seg = dir.entries[0].write();\n    let b = seg.buckets[0].lock();\n}\n";
-        assert!(run(src).is_empty());
-    }
-
-    #[test]
-    fn lock_order_resets_across_scopes() {
-        let src = "fn a(&self) {\n    {\n        let seg = e.write();\n    }\n    let dir = self.dir.read();\n}\n";
-        assert!(run(src).is_empty());
-    }
-
-    #[test]
-    fn drop_releases_guard() {
-        let src = "fn a(&self) {\n    let seg = e.write();\n    drop(seg);\n    let dir = self.dir.read();\n}\n";
-        assert!(run(src).is_empty());
-    }
-
-    #[test]
-    fn mutex_then_rwlock_flagged() {
-        let src = "fn a(&self) {\n    let g = m.lock();\n    let r = other.read();\n}\n";
-        let f = run(src);
-        assert_eq!(f.len(), 1);
-        assert!(f[0].contains("level-2"), "{}", f[0]);
-    }
-
-    #[test]
-    fn io_read_write_with_args_not_lock_acquisitions() {
-        let src = "fn a() {\n    w.write_all(&buf);\n    r.read(&mut buf);\n}\n";
-        assert!(run(src).is_empty());
-    }
 }

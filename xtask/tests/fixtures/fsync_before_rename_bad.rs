@@ -1,0 +1,7 @@
+// Seeded violation: publishes the temp file without syncing its contents.
+fn publish(tmp: &Path, dst: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut f = File::create(tmp)?;
+    f.write_all(bytes)?;
+    std::fs::rename(tmp, dst)?;
+    Ok(())
+}

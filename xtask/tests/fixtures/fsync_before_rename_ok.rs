@@ -1,0 +1,16 @@
+// Clean: contents are durable before the rename publishes the name —
+// plus one justified rename of a file that recovery re-verifies.
+fn publish(tmp: &Path, dst: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut f = File::create(tmp)?;
+    f.write_all(bytes)?;
+    f.sync_data()?;
+    std::fs::rename(tmp, dst)?;
+    Ok(())
+}
+
+fn stage(tmp: &Path, dst: &Path) -> std::io::Result<()> {
+    // justified: staging move inside the scratch dir; recovery CRC-checks
+    // the file before trusting it, so a torn publish is detected.
+    std::fs::rename(tmp, dst)?;
+    Ok(())
+}

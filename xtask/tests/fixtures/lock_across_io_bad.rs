@@ -1,0 +1,7 @@
+// Seeded violation: fsync while the registry mutex is held.
+fn checkpoint(&self) -> std::io::Result<()> {
+    let state = self.state.lock();
+    self.file.write_all(&state.serialize())?;
+    self.file.sync_all()?;
+    Ok(())
+}

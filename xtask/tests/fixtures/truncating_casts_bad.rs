@@ -1,0 +1,5 @@
+// Seeded violation: a runtime length narrowed into the framing field.
+fn frame(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+}

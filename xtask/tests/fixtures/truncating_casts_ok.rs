@@ -1,0 +1,12 @@
+// Clean: checked conversion, plus a justified compile-time-constant cast.
+fn frame(out: &mut Vec<u8>, payload: &[u8]) -> Result<(), FrameError> {
+    let len = u32::try_from(payload.len()).map_err(|_| FrameError::TooLong)?;
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(())
+}
+
+fn header(out: &mut Vec<u8>) {
+    // justified: HEADER_LEN is a compile-time 16, far inside u32.
+    out.extend_from_slice(&(HEADER_LEN as u32).to_le_bytes());
+}

@@ -1,0 +1,9 @@
+// Seeded violation: retries the lock forever with no bound or backoff.
+fn wait_ready(&self) {
+    loop {
+        let st = self.state.lock();
+        if st.ready {
+            return;
+        }
+    }
+}

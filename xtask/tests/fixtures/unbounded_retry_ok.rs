@@ -1,0 +1,35 @@
+// Clean: a bounded retry, a condvar wait, and a justified retry loop.
+fn insert(&self, key: u64, value: u64) {
+    let mut guard = 0u32;
+    loop {
+        guard += 1;
+        assert!(guard < 10_000, "insert failed to converge");
+        let mut seg = self.seg.write();
+        if seg.try_insert(key, value) {
+            return;
+        }
+    }
+}
+
+fn wait_ready(&self) {
+    let mut st = self.state.lock();
+    loop {
+        if st.ready {
+            return;
+        }
+        st = self.cv.wait(st);
+    }
+}
+
+fn upsert(&self, key: u64, value: u64) {
+    // justified: each retry either succeeds or strictly grows capacity
+    // via maintain(), so the loop terminates.
+    loop {
+        let dir = self.dir.read();
+        if dir.try_upsert(key, value) {
+            return;
+        }
+        drop(dir);
+        self.maintain();
+    }
+}

@@ -1,0 +1,4 @@
+// Seeded violation: raw-pointer read with no safety argument.
+fn probe(slot: *const u64) -> u64 {
+    unsafe { slot.read() }
+}

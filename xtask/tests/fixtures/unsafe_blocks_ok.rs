@@ -1,0 +1,6 @@
+// Clean (in an allowlisted crate): the safety argument is stated.
+fn probe(slots: &[u64; 8], idx: usize) -> u64 {
+    // justified: idx is masked to 0..8 by the caller (bucket_of), so the
+    // unchecked access stays inside the fixed-size bucket array.
+    unsafe { *slots.get_unchecked(idx & 7) }
+}
