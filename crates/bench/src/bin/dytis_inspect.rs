@@ -25,7 +25,7 @@ fn main() {
         for &k in &keys {
             idx.insert(k, k);
         }
-        let params = idx.params().clone();
+        let params = *idx.params();
         let mut seg_sizes: Vec<usize> = Vec::new();
         let mut piece_counts: Vec<usize> = Vec::new();
         let mut used_tables = 0usize;

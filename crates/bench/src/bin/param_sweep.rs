@@ -17,7 +17,7 @@ fn measure(params: &Params, n_ops: usize) -> (f64, f64, f64) {
     let mut count = 0.0;
     for ds in Dataset::GROUP1 {
         let keys = dataset_keys(ds, false);
-        let mut idx = DyTis::with_params(params.clone());
+        let mut idx = DyTis::with_params(*params);
         let load: Vec<Op> = keys.iter().map(|&k| Op::Insert(k, k)).collect();
         ins += run_ops(&mut idx, &load).mops;
         let ops = generate_ops(Workload::C, &keys, &[], n_ops, 3);

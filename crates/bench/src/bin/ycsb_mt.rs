@@ -201,13 +201,7 @@ fn net_cell(
     }
     let wall_ns = wall.elapsed().as_nanos() as u64;
     let after = store.maintenance_stats();
-    let maintenance = MaintenanceStats {
-        splits: after.splits - before.splits,
-        expansions: after.expansions - before.expansions,
-        remaps: after.remaps - before.remaps,
-        doublings: after.doublings - before.doublings,
-        keys_moved: after.keys_moved - before.keys_moved,
-    };
+    let maintenance = after.delta_since(&before);
     let insert_retries = store.insert_retries() - retries_before;
     let report = server.shutdown();
     assert!(report.drained, "net cell server failed to drain");
@@ -280,7 +274,8 @@ fn cell_json(c: &Cell) -> String {
             "{{\"workload\":\"{}\",\"threads\":{},\"ops\":{},\"elapsed_ns\":{},",
             "\"mops\":{:.4},\"avg_ns\":{:.1},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},",
             "\"p999_ns\":{},\"p9999_ns\":{},\"maintenance\":{{\"splits\":{},",
-            "\"expansions\":{},\"remaps\":{},\"doublings\":{},\"insert_retries\":{}}}}}"
+            "\"expansions\":{},\"remaps\":{},\"doublings\":{},\"shrinks\":{},",
+            "\"insert_retries\":{}}}}}"
         ),
         json_escape(c.workload),
         c.threads,
@@ -297,6 +292,7 @@ fn cell_json(c: &Cell) -> String {
         m.expansions,
         m.remaps,
         m.doublings,
+        m.shrinks,
         c.insert_retries,
     )
 }
@@ -374,13 +370,7 @@ fn main() {
                 let retries_before = idx.insert_retries();
                 let summary = run_threads(&dyn_idx, &ops, threads);
                 let after = idx.maintenance_stats();
-                let maintenance = MaintenanceStats {
-                    splits: after.splits - before.splits,
-                    expansions: after.expansions - before.expansions,
-                    remaps: after.remaps - before.remaps,
-                    doublings: after.doublings - before.doublings,
-                    keys_moved: after.keys_moved - before.keys_moved,
-                };
+                let maintenance = after.delta_since(&before);
                 let insert_retries = idx.insert_retries() - retries_before;
                 (summary, maintenance, insert_retries)
             };

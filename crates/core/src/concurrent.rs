@@ -39,6 +39,7 @@ struct CEh {
     expansions: AtomicU64,
     remaps: AtomicU64,
     doublings: AtomicU64,
+    shrinks: AtomicU64,
 }
 
 /// The multi-threaded DyTIS index (used by the Figure 12 evaluation).
@@ -79,6 +80,7 @@ impl ConcurrentDyTis {
                 expansions: AtomicU64::new(0),
                 remaps: AtomicU64::new(0),
                 doublings: AtomicU64::new(0),
+                shrinks: AtomicU64::new(0),
             })
             .collect();
         ConcurrentDyTis {
@@ -90,9 +92,10 @@ impl ConcurrentDyTis {
     }
 
     /// Totals of the structural maintenance operations performed so far
-    /// (splits, segment expansions, remaps, directory doublings), summed
-    /// over all first-level tables.  Exact once writers have quiesced.
-    /// `keys_moved` is not tracked by the concurrent variant and reads 0.
+    /// (splits, segment expansions, remaps, directory doublings, shrinks),
+    /// summed over all first-level tables.  Exact once writers have
+    /// quiesced.  `keys_moved` is not tracked by the concurrent variant and
+    /// reads 0.
     pub fn maintenance_stats(&self) -> index_traits::MaintenanceStats {
         let mut s = index_traits::MaintenanceStats::default();
         for t in &self.tables {
@@ -105,6 +108,8 @@ impl ConcurrentDyTis {
             s.remaps += t.remaps.load(Ordering::Relaxed);
             // relaxed: see above.
             s.doublings += t.doublings.load(Ordering::Relaxed);
+            // relaxed: see above.
+            s.shrinks += t.shrinks.load(Ordering::Relaxed);
         }
         s
     }
@@ -400,8 +405,13 @@ impl ConcurrentKvIndex for ConcurrentDyTis {
         table.num_keys.fetch_sub(1, Ordering::Release);
         // Deletion merge (§3.3): a shrink only changes the segment object's
         // contents, so the segment write lock suffices (§3.4).
-        if seg.total_buckets() > 1 && seg.utilization(&self.params) < self.params.shrink_threshold {
-            let _ = seg.shrink(self.m_total, &self.params);
+        if seg.total_buckets() > 1
+            && seg.utilization(&self.params) < self.params.shrink_threshold
+            && seg.shrink(self.m_total, &self.params)
+        {
+            // relaxed: monotonic stats counter, read after quiescence.
+            table.shrinks.fetch_add(1, Ordering::Relaxed);
+            obs::counter!("cdytis.shrink").inc();
         }
         Some(v)
     }

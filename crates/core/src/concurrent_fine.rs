@@ -130,7 +130,9 @@ impl ConcurrentDyTisFine {
 
     /// Totals of the structural maintenance operations performed so far.
     /// Exact once writers have quiesced; `keys_moved` is not tracked and
-    /// reads 0.
+    /// reads 0.  The fine-grained variant never merges segments on delete
+    /// (its remove path only takes a bucket latch), so `shrinks` reads 0
+    /// by construction.
     pub fn maintenance_stats(&self) -> index_traits::MaintenanceStats {
         index_traits::MaintenanceStats {
             // relaxed: monotonic advisory counters; exact totals are only

@@ -145,7 +145,16 @@ impl EhTable {
         self.num_keys -= 1;
         let seg = self.seg(id);
         if seg.total_buckets() > 1 && seg.utilization(params) < params.shrink_threshold {
-            let _ = self.seg_mut(id).shrink(m_total, params);
+            let t0 = Instant::now();
+            let n = self.seg(id).num_keys as u64;
+            if self.seg_mut(id).shrink(m_total, params) {
+                self.stats.ops.shrinks += 1;
+                self.stats.ops.keys_moved += n;
+                let dt = t0.elapsed().as_nanos() as u64;
+                self.stats.times.shrink_ns += dt;
+                obs::counter!("dytis.shrink").inc();
+                obs::histogram!("dytis.shrink_ns").record(dt);
+            }
             #[cfg(debug_assertions)]
             self.debug_audit_segment(id, params);
         }
@@ -837,6 +846,10 @@ mod tests {
             assert_eq!(t.get(k, k, &p), Some(k));
         }
         assert_eq!(t.remove(5, 5, &p), None);
+        assert!(
+            t.stats().ops.shrinks > 0,
+            "delete-heavy run must count at least one shrink"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 /// buckets (128 key slots at 8-byte keys/values), remapping/expansion
 /// starting at local depth 6, and a segment-size limit multiplier of 2 that
 /// the adaptive policy can raise to 128 for expansion-heavy datasets.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Params {
     /// Number of key MSBs used by the static first level (`R`).
     pub first_level_bits: u32,

@@ -16,12 +16,14 @@ pub struct OpTimes {
     pub remap_ns: u64,
     /// Nanoseconds spent performing directory doublings.
     pub doubling_ns: u64,
+    /// Nanoseconds spent performing delete-driven segment shrinks.
+    pub shrink_ns: u64,
 }
 
 impl OpTimes {
     /// Total maintenance time in nanoseconds.
     pub fn total_ns(&self) -> u64 {
-        self.split_ns + self.expansion_ns + self.remap_ns + self.doubling_ns
+        self.split_ns + self.expansion_ns + self.remap_ns + self.doubling_ns + self.shrink_ns
     }
 
     /// Adds another breakdown into this one.
@@ -30,6 +32,7 @@ impl OpTimes {
         self.expansion_ns += other.expansion_ns;
         self.remap_ns += other.remap_ns;
         self.doubling_ns += other.doubling_ns;
+        self.shrink_ns += other.shrink_ns;
     }
 }
 
@@ -45,11 +48,7 @@ pub struct DytisStats {
 impl DytisStats {
     /// Adds another instance's statistics into this one.
     pub fn merge(&mut self, other: &DytisStats) {
-        self.ops.splits += other.ops.splits;
-        self.ops.expansions += other.ops.expansions;
-        self.ops.remaps += other.ops.remaps;
-        self.ops.doublings += other.ops.doublings;
-        self.ops.keys_moved += other.ops.keys_moved;
+        self.ops.merge(&other.ops);
         self.times.merge(&other.times);
     }
 }
@@ -65,10 +64,11 @@ mod tests {
             expansion_ns: 2,
             remap_ns: 3,
             doubling_ns: 4,
+            shrink_ns: 5,
         };
         let b = a;
         a.merge(&b);
-        assert_eq!(a.total_ns(), 20);
+        assert_eq!(a.total_ns(), 30);
     }
 
     #[test]
@@ -76,10 +76,12 @@ mod tests {
         let mut a = DytisStats::default();
         let mut b = DytisStats::default();
         b.ops.splits = 3;
+        b.ops.shrinks = 2;
         b.ops.keys_moved = 7;
         a.merge(&b);
         a.merge(&b);
         assert_eq!(a.ops.splits, 6);
+        assert_eq!(a.ops.shrinks, 4);
         assert_eq!(a.ops.keys_moved, 14);
     }
 }

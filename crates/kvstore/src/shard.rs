@@ -20,7 +20,7 @@
 use crate::sync::Arc;
 use durability::{FileStorage, Seq, Wal, WalOp, WalStats};
 use dytis::{DyTis, Params};
-use index_traits::{Key, KvIndex, Value};
+use index_traits::{AuditReport, Auditable, Key, KvIndex, MaintenanceStats, Value};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
@@ -223,6 +223,9 @@ pub struct DurabilityOptions {
     pub ops_per_checkpoint: u64,
     /// Per-fsync batch cap for each shard's WAL committer.
     pub max_batch_records: usize,
+    /// Geometry of each shard's private DyTIS engine. Checkpoints carry
+    /// raw pairs, so reopening a store with different params is safe.
+    pub params: Params,
 }
 
 impl Default for DurabilityOptions {
@@ -231,6 +234,7 @@ impl Default for DurabilityOptions {
             shard_bits: 2,
             ops_per_checkpoint: 100_000,
             max_batch_records: 1024,
+            params: Params::default(),
         }
     }
 }
@@ -245,6 +249,10 @@ enum DurableCmd {
     Scan(Key, usize, SyncSender<Vec<(Key, Value)>>),
     Len(SyncSender<usize>),
     Checkpoint(SyncSender<io::Result<()>>),
+    /// Snapshot of the shard engine's maintenance counters.
+    Stats(SyncSender<MaintenanceStats>),
+    /// Deep structural audit of the shard's private index.
+    Audit(SyncSender<AuditReport>),
     Stop,
 }
 
@@ -291,9 +299,9 @@ impl DurableShardedStore {
             let mut idx = match std::fs::File::open(&ckpt_path) {
                 Ok(f) => {
                     let mut r = std::io::BufReader::new(f);
-                    dytis::persist::load_from(&mut r, Params::default())?
+                    dytis::persist::load_from(&mut r, opts.params)?
                 }
-                Err(e) if e.kind() == io::ErrorKind::NotFound => DyTis::new(),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => DyTis::with_params(opts.params),
                 Err(e) => return Err(e),
             };
             let recovered = durability::recover_log_file(&wal_path, |rec| match rec.op {
@@ -453,6 +461,38 @@ impl DurableShardedStore {
         Ok(())
     }
 
+    /// Pooled structure-maintenance counters across all shard engines
+    /// (splits, expansions, remaps, doublings, shrinks, keys moved). The
+    /// scenario lab samples this live to correlate drift with maintenance.
+    pub fn maintenance_stats(&self) -> MaintenanceStats {
+        let mut agg = MaintenanceStats::default();
+        for s in &self.senders {
+            let (tx, rx) = sync_channel(1);
+            // invariant: the engine outlives `self` and replies to every
+            // Stats.
+            s.send(DurableCmd::Stats(tx)).expect("engine alive");
+            // invariant: the engine replied above before dropping `tx`.
+            agg.merge(&rx.recv().expect("engine replies"));
+        }
+        agg
+    }
+
+    /// Deep structural audit of every shard's index, merged into one
+    /// report. Each shard audits quiesced (its engine thread runs the
+    /// audit between commands), so the result is exact.
+    pub fn audit(&self) -> AuditReport {
+        let mut agg = AuditReport::new("DurableShardedStore");
+        for s in &self.senders {
+            let (tx, rx) = sync_channel(1);
+            // invariant: the engine outlives `self` and replies to every
+            // Audit.
+            s.send(DurableCmd::Audit(tx)).expect("engine alive");
+            // invariant: the engine replied above before dropping `tx`.
+            agg.merge(rx.recv().expect("engine replies"));
+        }
+        agg
+    }
+
     /// Aggregated group-commit statistics across all shard WALs.
     pub fn wal_stats(&self) -> WalStats {
         let mut agg = WalStats {
@@ -581,6 +621,12 @@ fn durable_engine(
                     ops_since_ckpt = 0;
                 }
                 let _ = reply.send(r);
+            }
+            DurableCmd::Stats(reply) => {
+                let _ = reply.send(idx.stats().ops);
+            }
+            DurableCmd::Audit(reply) => {
+                let _ = reply.send(idx.audit());
             }
             DurableCmd::Stop => break,
         }

@@ -20,6 +20,7 @@ fn opts(shard_bits: u32, ops_per_checkpoint: u64) -> DurabilityOptions {
         shard_bits,
         ops_per_checkpoint,
         max_batch_records: 256,
+        ..DurabilityOptions::default()
     }
 }
 
@@ -205,6 +206,46 @@ fn concurrent_writers_group_commit() {
     assert_eq!(store.len(), (threads * per_thread) as usize);
     let store =
         std::sync::Arc::try_unwrap(store).unwrap_or_else(|_| panic!("sole owner after scope"));
+    store.shutdown().expect("shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn maintenance_stats_and_audit_reach_every_shard() {
+    let dir = temp_dir("stats-audit");
+    // Small engine geometry so maintenance fires at test scale.
+    let store = DurableShardedStore::open(
+        &dir,
+        DurabilityOptions {
+            params: dytis::Params::small(),
+            ..opts(2, 0)
+        },
+    )
+    .expect("open");
+    let before = store.maintenance_stats();
+    // Enough sequential keys per shard to force splits in every engine.
+    for i in 0..20_000u64 {
+        store.set(key(i), i).expect("set");
+    }
+    let after = store.maintenance_stats();
+    let delta = after.delta_since(&before);
+    assert!(delta.total_ops() > 0, "no maintenance counted: {delta:?}");
+    // Delete most keys so the shrink counter fires through the engines too.
+    for i in 0..19_000u64 {
+        store.del(key(i)).expect("del");
+    }
+    let shrunk = store.maintenance_stats().delta_since(&after);
+    assert!(
+        shrunk.shrinks > 0,
+        "delete flood shrank nothing: {shrunk:?}"
+    );
+    let report = store.audit();
+    assert!(report.is_clean(), "audit dirty: {report:?}");
+    assert!(
+        report.checks > 100,
+        "vacuous audit: {} checks",
+        report.checks
+    );
     store.shutdown().expect("shutdown");
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -79,6 +79,32 @@ pub fn variance_of_skewness(keys: &[u64], chunk_size: usize, delta: f64) -> f64 
 
 /// Histogram of `keys` over `[min, max]` with `bins` buckets, add-one
 /// smoothed and normalized to a probability distribution.
+///
+/// Public so live drivers (the scenario lab) can histogram sliding windows
+/// with a caller-chosen shared range.
+pub fn histogram_density(keys: &[u64], min: u64, max: u64, bins: usize) -> Vec<f64> {
+    histogram(keys, min, max, bins)
+}
+
+/// KL divergence between two consecutive insertion windows, computed over
+/// their joint key range exactly as one [`key_distribution_divergence`]
+/// pair: `KL(cur || prev)` — "how surprising is the new window given the
+/// old one". Returns 0.0 when either window is empty.
+///
+/// This is the live-sampling primitive of the scenario runner: it tracks
+/// one window pair at a time instead of materializing the full insertion
+/// history.
+pub fn window_kl(prev: &[u64], cur: &[u64], bins: usize) -> f64 {
+    if prev.is_empty() || cur.is_empty() {
+        return 0.0;
+    }
+    let min = prev.iter().chain(cur).min().copied().unwrap_or(0);
+    let max = prev.iter().chain(cur).max().copied().unwrap_or(0);
+    let hp = histogram(prev, min, max, bins);
+    let hc = histogram(cur, min, max, bins);
+    kl_divergence(&hc, &hp)
+}
+
 fn histogram(keys: &[u64], min: u64, max: u64, bins: usize) -> Vec<f64> {
     let mut h = vec![1.0f64; bins]; // Add-one smoothing avoids log(0).
     let width = (max - min).max(1);
@@ -231,6 +257,42 @@ mod tests {
         let orig = key_distribution_divergence(&keys, 4_000, 64);
         let shuf = key_distribution_divergence(&shuffled, 4_000, 64);
         assert!(shuf < orig / 2.0, "orig {orig} shuf {shuf}");
+    }
+
+    #[test]
+    fn window_kl_matches_pairwise_kdd() {
+        // One window pair == key_distribution_divergence over exactly two
+        // chunks.
+        let keys: Vec<u64> = (0..10_000u64)
+            .map(|i| (i / 5_000) << 40 | splitmix(i) & 0xFFFF_FFFF)
+            .collect();
+        let pairwise = key_distribution_divergence(&keys, 5_000, 64);
+        let live = window_kl(&keys[..5_000], &keys[5_000..], 64);
+        assert!((pairwise - live).abs() < 1e-12, "{pairwise} vs {live}");
+    }
+
+    #[test]
+    fn window_kl_empty_windows_are_zero() {
+        assert_eq!(window_kl(&[], &[1, 2, 3], 16), 0.0);
+        assert_eq!(window_kl(&[1, 2, 3], &[], 16), 0.0);
+    }
+
+    #[test]
+    fn window_kl_detects_range_shift() {
+        let a: Vec<u64> = (0..2_000u64).map(splitmix).collect();
+        let b: Vec<u64> = a.iter().map(|k| k >> 8).collect();
+        let same = window_kl(&a, &a, 64);
+        let shifted = window_kl(&a, &b, 64);
+        assert!(shifted > same + 0.5, "same {same} shifted {shifted}");
+    }
+
+    #[test]
+    fn histogram_density_is_normalized() {
+        let keys: Vec<u64> = (0..1_000u64).map(splitmix).collect();
+        let h = histogram_density(&keys, 0, u64::MAX, 32);
+        let total: f64 = h.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(h.iter().all(|&v| v > 0.0), "add-one smoothing");
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! The built-in scenario battery.
+//!
+//! Each builder takes a `scale` — roughly the ops of one phase — so tests
+//! replay small instances while the bench runs full-size ones. All four
+//! scenarios plus the stationary control share the same construction so
+//! "drift fires more remaps than stationary" is an apples-to-apples
+//! comparison (identical op counts and mixes, different distributions).
+
+use crate::dsl::{Event, OpMix, Phase, Scenario};
+use ycsb::KeyDist;
+
+fn phase(name: &str, dist: KeyDist, mix: OpMix, ops: usize, ramp: usize) -> Phase {
+    Phase {
+        name: name.to_string(),
+        dist,
+        mix,
+        ops,
+        ramp,
+    }
+}
+
+/// The serve-phase mix shared by the drift scenario and its control.
+fn drift_mix() -> OpMix {
+    OpMix {
+        insert: 70,
+        read: 20,
+        scan: 10,
+        ..OpMix::default()
+    }
+}
+
+/// MM -> TX drift: a map-like warmup, then the distribution ramps into an
+/// advancing taxi clock. Because the warmup trained the structure on a key
+/// region the serve phase abandons, every serve-phase TX key lands in
+/// territory the index has never seen — the serve phase should fire
+/// visibly more maintenance than the shape-identical no-shift
+/// [`stationary_control`].
+pub fn mm_to_tx_drift(scale: usize) -> Scenario {
+    Scenario {
+        name: "mm-to-tx-drift".to_string(),
+        seed: 0xD21F7,
+        phases: vec![
+            phase("warmup", KeyDist::Mm, OpMix::insert_only(), scale, 0),
+            phase(
+                "serve",
+                KeyDist::Tx,
+                drift_mix(),
+                scale * 2,
+                (scale / 2).max(1),
+            ),
+        ],
+        events: vec![],
+    }
+}
+
+/// No-shift control for [`mm_to_tx_drift`]: the serve phase is *identical*
+/// (same TX distribution, mix, length, and seed), but the warmup already
+/// drew from the same taxi stream, so serve-phase keys arrive in regions
+/// the structure has trained on. Compare the two scenarios' **serve-phase**
+/// maintenance deltas: the difference is the cost of the distribution
+/// shift itself, with the serve workload held fixed.
+pub fn stationary_control(scale: usize) -> Scenario {
+    Scenario {
+        name: "stationary-control".to_string(),
+        seed: 0xD21F7,
+        phases: vec![
+            phase("warmup", KeyDist::Tx, OpMix::insert_only(), scale, 0),
+            phase("serve", KeyDist::Tx, drift_mix(), scale * 2, 0),
+        ],
+        events: vec![],
+    }
+}
+
+/// Hot-key storm: a Zipf load phase, then a mixed serve phase interrupted
+/// by a storm that hammers 8 live keys.
+pub fn hot_key_storm(scale: usize) -> Scenario {
+    Scenario {
+        name: "hot-key-storm".to_string(),
+        seed: 0x5709,
+        phases: vec![
+            phase(
+                "load",
+                KeyDist::Zipf { theta: 0.99 },
+                OpMix::insert_only(),
+                scale,
+                0,
+            ),
+            phase(
+                "serve",
+                KeyDist::Zipf { theta: 0.99 },
+                OpMix {
+                    insert: 20,
+                    read: 50,
+                    update: 30,
+                    ..OpMix::default()
+                },
+                scale * 2,
+                0,
+            ),
+        ],
+        events: vec![Event::HotKeyStorm {
+            at: scale + scale / 2,
+            ops: (scale / 2).max(1),
+            keys: 8,
+        }],
+    }
+}
+
+/// Delete-heavy shrink: fill uniformly, then an 80%-delete phase drains
+/// the structure (firing the shrink counters), and a bulk reload splices
+/// a sorted batch back in.
+pub fn delete_heavy_shrink(scale: usize) -> Scenario {
+    Scenario {
+        name: "delete-heavy-shrink".to_string(),
+        seed: 0xDE1E7E,
+        phases: vec![
+            phase("fill", KeyDist::Uniform, OpMix::insert_only(), scale, 0),
+            phase(
+                "drain",
+                KeyDist::Uniform,
+                OpMix {
+                    read: 20,
+                    delete: 80,
+                    ..OpMix::default()
+                },
+                scale * 2,
+                0,
+            ),
+        ],
+        events: vec![Event::BulkReload {
+            at: scale * 5 / 2,
+            n: (scale / 4).max(1),
+        }],
+    }
+}
+
+/// Every built-in scenario (the drift battery the differential tests and
+/// the CI suite replay), excluding the stationary control.
+pub fn all(scale: usize) -> Vec<Scenario> {
+    vec![
+        mm_to_tx_drift(scale),
+        hot_key_storm(scale),
+        delete_heavy_shrink(scale),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_validate_at_many_scales() {
+        for scale in [16, 100, 1_000, 10_000] {
+            for sc in all(scale)
+                .into_iter()
+                .chain(std::iter::once(stationary_control(scale)))
+            {
+                sc.validate().unwrap_or_else(|e| {
+                    panic!("{} at scale {scale}: {e}", sc.name);
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn drift_and_control_are_shape_identical() {
+        let d = mm_to_tx_drift(1_000);
+        let c = stationary_control(1_000);
+        assert_eq!(d.total_ops(), c.total_ops());
+        assert_eq!(d.seed, c.seed);
+        for (pd, pc) in d.phases.iter().zip(&c.phases) {
+            assert_eq!(pd.ops, pc.ops);
+            assert_eq!(pd.mix, pc.mix);
+        }
+    }
+
+    #[test]
+    fn builtins_roundtrip_through_the_dsl() {
+        for sc in all(500) {
+            let text = sc.to_text();
+            assert_eq!(Scenario::parse(&text).expect("parse"), sc, "{text}");
+        }
+    }
+}

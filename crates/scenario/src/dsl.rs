@@ -1,0 +1,473 @@
+//! The declarative scenario DSL.
+//!
+//! A scenario is a line-oriented text document:
+//!
+//! ```text
+//! # MM -> TX drift with a mid-run hot-key storm.
+//! scenario mm-to-tx
+//! seed 42
+//! phase warmup dist=mm mix=insert:100 ops=20000
+//! phase drift  dist=tx mix=insert:60,read:30,scan:10 ops=30000 ramp=5000
+//! event hotkey at=25000 ops=2000 keys=8
+//! event reload at=40000 n=5000
+//! ```
+//!
+//! Each `phase` names a key distribution (see [`KeyDist`]), an operation
+//! mix (weighted `insert`/`read`/`update`/`scan`/`delete`), a duration in
+//! operations, and an optional `ramp`: for the first `ramp` ops of the
+//! phase, insert keys are drawn from a mixture that interpolates from the
+//! previous phase's distribution to this one's.
+//!
+//! Events inject disturbances at a global op offset: `hotkey` freezes the
+//! stream onto a few live keys (a hot-key storm), `reload` splices a
+//! sorted bulk upload of fresh keys. [`Scenario::parse`] and
+//! [`Scenario::to_text`] are exact inverses for canonical documents —
+//! property-tested in `tests/dsl_props.rs`.
+
+use ycsb::KeyDist;
+
+/// Weighted operation mix of one phase. Weights are relative (they need
+/// not sum to 100); at least one must be non-zero.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OpMix {
+    /// Weight of inserts (fresh keys from the phase distribution).
+    pub insert: u32,
+    /// Weight of point reads of live keys.
+    pub read: u32,
+    /// Weight of in-place updates of live keys.
+    pub update: u32,
+    /// Weight of short ordered scans from live keys.
+    pub scan: u32,
+    /// Weight of deletes of live keys.
+    pub delete: u32,
+}
+
+impl OpMix {
+    /// 100% inserts.
+    pub fn insert_only() -> OpMix {
+        OpMix {
+            insert: 100,
+            ..OpMix::default()
+        }
+    }
+
+    /// Sum of all weights.
+    pub fn total(&self) -> u64 {
+        self.insert as u64
+            + self.read as u64
+            + self.update as u64
+            + self.scan as u64
+            + self.delete as u64
+    }
+
+    fn to_token(self) -> String {
+        let mut parts = Vec::new();
+        for (name, w) in [
+            ("insert", self.insert),
+            ("read", self.read),
+            ("update", self.update),
+            ("scan", self.scan),
+            ("delete", self.delete),
+        ] {
+            if w > 0 {
+                parts.push(format!("{name}:{w}"));
+            }
+        }
+        parts.join(",")
+    }
+
+    fn parse_token(tok: &str) -> Result<OpMix, String> {
+        let mut mix = OpMix::default();
+        for part in tok.split(',') {
+            let (name, w) = part
+                .split_once(':')
+                .ok_or_else(|| format!("mix entry {part:?} is not name:weight"))?;
+            let w: u32 = w
+                .parse()
+                .map_err(|_| format!("bad mix weight in {part:?}"))?;
+            match name {
+                "insert" => mix.insert = w,
+                "read" => mix.read = w,
+                "update" => mix.update = w,
+                "scan" => mix.scan = w,
+                "delete" => mix.delete = w,
+                _ => return Err(format!("unknown mix op {name:?}")),
+            }
+        }
+        if mix.total() == 0 {
+            return Err(format!("mix {tok:?} has no weight"));
+        }
+        Ok(mix)
+    }
+}
+
+/// One phase of a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// Display name (no whitespace).
+    pub name: String,
+    /// Insert-key distribution.
+    pub dist: KeyDist,
+    /// Operation mix.
+    pub mix: OpMix,
+    /// Duration in operations.
+    pub ops: usize,
+    /// Interpolation ramp length (ops) from the previous phase's
+    /// distribution; 0 switches instantly. Ignored on the first phase.
+    pub ramp: usize,
+}
+
+/// A disturbance injected at a global op offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// For `ops` operations starting at offset `at`, the stream hammers
+    /// `keys` live keys with a 50/50 read/update mix.
+    HotKeyStorm {
+        /// Global op offset where the storm starts.
+        at: usize,
+        /// Storm length in ops.
+        ops: usize,
+        /// Number of distinct hot keys.
+        keys: usize,
+    },
+    /// At offset `at`, splices a sorted bulk upload of `n` fresh keys
+    /// drawn from the active phase distribution.
+    BulkReload {
+        /// Global op offset of the reload.
+        at: usize,
+        /// Number of keys bulk-inserted.
+        n: usize,
+    },
+}
+
+impl Event {
+    /// Global op offset at which the event fires.
+    pub fn at(&self) -> usize {
+        match *self {
+            Event::HotKeyStorm { at, .. } | Event::BulkReload { at, .. } => at,
+        }
+    }
+}
+
+/// A parsed scenario document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name (no whitespace).
+    pub name: String,
+    /// Seed for the deterministic op-stream compiler.
+    pub seed: u64,
+    /// Phases, replayed in order.
+    pub phases: Vec<Phase>,
+    /// Injected events, any order; the compiler sorts by offset.
+    pub events: Vec<Event>,
+}
+
+fn kv_fields(rest: &str, line_no: usize) -> Result<Vec<(&str, &str)>, String> {
+    rest.split_whitespace()
+        .map(|field| {
+            field
+                .split_once('=')
+                .ok_or_else(|| format!("line {line_no}: field {field:?} is not key=value"))
+        })
+        .collect()
+}
+
+impl Scenario {
+    /// Total declared ops across phases (excluding spliced reload bursts).
+    pub fn total_ops(&self) -> usize {
+        self.phases.iter().map(|p| p.ops).sum()
+    }
+
+    /// Serializes to the canonical text form ([`Scenario::parse`]'s exact
+    /// inverse).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("scenario {}\n", self.name));
+        out.push_str(&format!("seed {}\n", self.seed));
+        for p in &self.phases {
+            out.push_str(&format!(
+                "phase {} dist={} mix={} ops={}",
+                p.name,
+                p.dist.to_token(),
+                p.mix.to_token(),
+                p.ops
+            ));
+            if p.ramp > 0 {
+                out.push_str(&format!(" ramp={}", p.ramp));
+            }
+            out.push('\n');
+        }
+        for e in &self.events {
+            match *e {
+                Event::HotKeyStorm { at, ops, keys } => {
+                    out.push_str(&format!("event hotkey at={at} ops={ops} keys={keys}\n"));
+                }
+                Event::BulkReload { at, n } => {
+                    out.push_str(&format!("event reload at={at} n={n}\n"));
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a scenario document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending line for any
+    /// syntax or validation failure.
+    pub fn parse(text: &str) -> Result<Scenario, String> {
+        let mut name: Option<String> = None;
+        let mut seed = 0u64;
+        let mut phases = Vec::new();
+        let mut events = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (head, rest) = match line.split_once(char::is_whitespace) {
+                Some((h, r)) => (h, r.trim()),
+                None => (line, ""),
+            };
+            match head {
+                "scenario" => {
+                    if rest.is_empty() || rest.contains(char::is_whitespace) {
+                        return Err(format!("line {line_no}: scenario needs one name"));
+                    }
+                    name = Some(rest.to_string());
+                }
+                "seed" => {
+                    seed = rest
+                        .parse()
+                        .map_err(|_| format!("line {line_no}: bad seed {rest:?}"))?;
+                }
+                "phase" => {
+                    let (pname, fields) = rest
+                        .split_once(char::is_whitespace)
+                        .ok_or_else(|| format!("line {line_no}: phase needs a name and fields"))?;
+                    let mut dist = None;
+                    let mut mix = None;
+                    let mut ops = None;
+                    let mut ramp = 0usize;
+                    for (k, v) in kv_fields(fields, line_no)? {
+                        match k {
+                            "dist" => {
+                                dist = Some(
+                                    KeyDist::parse_token(v)
+                                        .map_err(|e| format!("line {line_no}: {e}"))?,
+                                )
+                            }
+                            "mix" => {
+                                mix = Some(
+                                    OpMix::parse_token(v)
+                                        .map_err(|e| format!("line {line_no}: {e}"))?,
+                                )
+                            }
+                            "ops" => {
+                                ops = Some(
+                                    v.parse()
+                                        .map_err(|_| format!("line {line_no}: bad ops {v:?}"))?,
+                                )
+                            }
+                            "ramp" => {
+                                ramp = v
+                                    .parse()
+                                    .map_err(|_| format!("line {line_no}: bad ramp {v:?}"))?
+                            }
+                            _ => return Err(format!("line {line_no}: unknown phase field {k:?}")),
+                        }
+                    }
+                    phases.push(Phase {
+                        name: pname.to_string(),
+                        dist: dist.ok_or_else(|| format!("line {line_no}: phase needs dist="))?,
+                        mix: mix.ok_or_else(|| format!("line {line_no}: phase needs mix="))?,
+                        ops: ops.ok_or_else(|| format!("line {line_no}: phase needs ops="))?,
+                        ramp,
+                    });
+                }
+                "event" => {
+                    let (kind, fields) = match rest.split_once(char::is_whitespace) {
+                        Some((k, f)) => (k, f),
+                        None => (rest, ""),
+                    };
+                    let get = |want: &str| -> Result<usize, String> {
+                        for (k, v) in kv_fields(fields, line_no)? {
+                            if k == want {
+                                return v
+                                    .parse()
+                                    .map_err(|_| format!("line {line_no}: bad {want} {v:?}"));
+                            }
+                        }
+                        Err(format!("line {line_no}: event {kind} needs {want}="))
+                    };
+                    match kind {
+                        "hotkey" => events.push(Event::HotKeyStorm {
+                            at: get("at")?,
+                            ops: get("ops")?,
+                            keys: get("keys")?,
+                        }),
+                        "reload" => events.push(Event::BulkReload {
+                            at: get("at")?,
+                            n: get("n")?,
+                        }),
+                        _ => return Err(format!("line {line_no}: unknown event {kind:?}")),
+                    }
+                }
+                _ => return Err(format!("line {line_no}: unknown directive {head:?}")),
+            }
+        }
+        let sc = Scenario {
+            name: name.ok_or("missing `scenario <name>` line")?,
+            seed,
+            phases,
+            events,
+        };
+        sc.validate()?;
+        Ok(sc)
+    }
+
+    /// Structural validation shared by [`Scenario::parse`] and
+    /// programmatic construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first violated rule.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.phases.is_empty() {
+            return Err("scenario has no phases".to_string());
+        }
+        let total = self.total_ops();
+        for p in &self.phases {
+            if p.ops == 0 {
+                return Err(format!("phase {:?} has ops=0", p.name));
+            }
+            if p.ramp > p.ops {
+                return Err(format!(
+                    "phase {:?}: ramp {} > ops {}",
+                    p.name, p.ramp, p.ops
+                ));
+            }
+            if p.mix.total() == 0 {
+                return Err(format!("phase {:?} has an all-zero mix", p.name));
+            }
+            if p.name.is_empty() || p.name.contains(char::is_whitespace) {
+                return Err(format!("bad phase name {:?}", p.name));
+            }
+        }
+        for e in &self.events {
+            if e.at() >= total {
+                return Err(format!(
+                    "event at offset {} is past the scenario's {total} ops",
+                    e.at()
+                ));
+            }
+            match *e {
+                Event::HotKeyStorm { ops, keys, .. } => {
+                    if ops == 0 || keys == 0 {
+                        return Err("hotkey storm needs ops>0 and keys>0".to_string());
+                    }
+                }
+                Event::BulkReload { n, .. } => {
+                    if n == 0 {
+                        return Err("reload needs n>0".to_string());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = "\
+# comment\n\
+scenario mm-to-tx\n\
+seed 42\n\
+phase warmup dist=mm mix=insert:100 ops=20000\n\
+phase drift dist=tx mix=insert:60,read:30,scan:10 ops=30000 ramp=5000\n\
+event hotkey at=25000 ops=2000 keys=8\n\
+event reload at=40000 n=5000\n";
+
+    #[test]
+    fn parses_the_doc_example() {
+        let sc = Scenario::parse(DOC).expect("parse");
+        assert_eq!(sc.name, "mm-to-tx");
+        assert_eq!(sc.seed, 42);
+        assert_eq!(sc.phases.len(), 2);
+        assert_eq!(sc.phases[0].dist, KeyDist::Mm);
+        assert_eq!(sc.phases[0].mix, OpMix::insert_only());
+        assert_eq!(sc.phases[1].ramp, 5_000);
+        assert_eq!(
+            sc.events,
+            vec![
+                Event::HotKeyStorm {
+                    at: 25_000,
+                    ops: 2_000,
+                    keys: 8
+                },
+                Event::BulkReload {
+                    at: 40_000,
+                    n: 5_000
+                }
+            ]
+        );
+        assert_eq!(sc.total_ops(), 50_000);
+    }
+
+    #[test]
+    fn roundtrips_through_text() {
+        let sc = Scenario::parse(DOC).expect("parse");
+        let text = sc.to_text();
+        let again = Scenario::parse(&text).expect("reparse");
+        assert_eq!(sc, again);
+        assert_eq!(text, again.to_text());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for (doc, why) in [
+            ("seed 1\nphase p dist=mm mix=insert:1 ops=10\n", "no name"),
+            ("scenario x\n", "no phases"),
+            ("scenario x\nphase p dist=mm mix=insert:1 ops=0\n", "ops=0"),
+            (
+                "scenario x\nphase p dist=mm mix=insert:1 ops=5 ramp=9\n",
+                "ramp > ops",
+            ),
+            (
+                "scenario x\nphase p dist=wat mix=insert:1 ops=5\n",
+                "bad dist",
+            ),
+            (
+                "scenario x\nphase p dist=mm mix=fly:1 ops=5\n",
+                "bad mix op",
+            ),
+            (
+                "scenario x\nphase p dist=mm mix=insert:1 ops=5\nevent hotkey at=99 ops=1 keys=1\n",
+                "event past end",
+            ),
+            (
+                "scenario x\nphase p dist=mm mix=insert:1 ops=5\nevent quake at=1 ops=1\n",
+                "unknown event",
+            ),
+        ] {
+            assert!(Scenario::parse(doc).is_err(), "should reject: {why}");
+        }
+    }
+
+    #[test]
+    fn mix_token_omits_zero_weights() {
+        let mix = OpMix {
+            insert: 60,
+            read: 30,
+            scan: 10,
+            ..OpMix::default()
+        };
+        assert_eq!(mix.to_token(), "insert:60,read:30,scan:10");
+        assert_eq!(OpMix::parse_token("insert:60,read:30,scan:10"), Ok(mix));
+    }
+}

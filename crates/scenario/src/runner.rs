@@ -1,0 +1,255 @@
+//! The drift-replay runner: executes a compiled scenario against any
+//! target, sampling the dynamic-dataset metrics (variance of skewness, KL
+//! divergence between consecutive insert windows) live against the
+//! target's maintenance counters.
+
+use crate::stream::{CompiledScenario, ScenarioOp, SCAN_COUNT};
+use crate::timeline::{PhaseResult, Sample, Timeline};
+use index_traits::{Key, KvIndex, MaintenanceStats, Value};
+use std::time::Instant;
+
+/// Anything a scenario can drive: an in-process index, the durable store,
+/// or a network client. Methods take `&mut self` so adapters can own
+/// connections and cursors.
+pub trait ScenarioTarget {
+    /// Upsert.
+    fn set(&mut self, key: Key, value: Value);
+    /// Point lookup.
+    fn get(&mut self, key: Key) -> Option<Value>;
+    /// Delete; returns the previous value if present.
+    fn del(&mut self, key: Key) -> Option<Value>;
+    /// Ordered scan appending up to `count` pairs.
+    fn scan(&mut self, start: Key, count: usize, out: &mut Vec<(Key, Value)>);
+    /// Maintenance counters, if the target exposes them. Targets without
+    /// counters still get skewness/KL sampling; their deltas read zero.
+    fn maintenance_stats(&mut self) -> Option<MaintenanceStats> {
+        None
+    }
+    /// Display name for the timeline JSON.
+    fn target_name(&self) -> &'static str;
+}
+
+/// Adapter driving any [`KvIndex`] (no maintenance counters).
+pub struct IndexTarget<'a, I: KvIndex> {
+    /// The wrapped index.
+    pub idx: &'a mut I,
+}
+
+impl<I: KvIndex> ScenarioTarget for IndexTarget<'_, I> {
+    fn set(&mut self, key: Key, value: Value) {
+        self.idx.insert(key, value);
+    }
+    fn get(&mut self, key: Key) -> Option<Value> {
+        self.idx.get(key)
+    }
+    fn del(&mut self, key: Key) -> Option<Value> {
+        self.idx.remove(key)
+    }
+    fn scan(&mut self, start: Key, count: usize, out: &mut Vec<(Key, Value)>) {
+        self.idx.scan(start, count, out);
+    }
+    fn target_name(&self) -> &'static str {
+        self.idx.name()
+    }
+}
+
+/// Adapter driving a [`dytis::DyTis`] with live maintenance counters.
+pub struct DytisTarget<'a> {
+    /// The wrapped index.
+    pub idx: &'a mut dytis::DyTis,
+}
+
+impl ScenarioTarget for DytisTarget<'_> {
+    fn set(&mut self, key: Key, value: Value) {
+        self.idx.insert(key, value);
+    }
+    fn get(&mut self, key: Key) -> Option<Value> {
+        KvIndex::get(self.idx, key)
+    }
+    fn del(&mut self, key: Key) -> Option<Value> {
+        self.idx.remove(key)
+    }
+    fn scan(&mut self, start: Key, count: usize, out: &mut Vec<(Key, Value)>) {
+        KvIndex::scan(self.idx, start, count, out);
+    }
+    fn maintenance_stats(&mut self) -> Option<MaintenanceStats> {
+        Some(self.idx.stats().ops)
+    }
+    fn target_name(&self) -> &'static str {
+        "dytis"
+    }
+}
+
+/// Sampling configuration of one run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Ops between metric samples.
+    pub sample_every: usize,
+    /// Insert-window length for the skewness/KL computation.
+    pub window: usize,
+    /// Histogram bins for the KL computation.
+    pub bins: usize,
+    /// PLR chunk size for the skewness computation.
+    pub chunk: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            sample_every: 2_000,
+            window: 2_000,
+            bins: 64,
+            chunk: 1_024,
+        }
+    }
+}
+
+/// Replays `compiled` against `target`, producing the per-phase timeline.
+///
+/// # Panics
+///
+/// Panics if `opts.sample_every`, `opts.window`, or `opts.chunk` is 0.
+pub fn run<T: ScenarioTarget>(
+    target: &mut T,
+    compiled: &CompiledScenario,
+    opts: &RunOptions,
+) -> Timeline {
+    assert!(opts.sample_every > 0 && opts.window > 0 && opts.chunk > 0);
+    let delta_bound = dyn_metrics::calibrated_error_bound(opts.chunk);
+    let start_stats = target.maintenance_stats().unwrap_or_default();
+    let mut samples = Vec::new();
+    let mut phases = Vec::new();
+    let mut scan_buf: Vec<(Key, Value)> = Vec::with_capacity(SCAN_COUNT);
+    let mut sink = 0u64;
+    // Sliding insert windows: `cur` fills, then rolls into `prev`.
+    let mut prev_window: Vec<Key> = Vec::new();
+    let mut cur_window: Vec<Key> = Vec::with_capacity(opts.window);
+
+    for span in &compiled.phases {
+        let phase_t0 = Instant::now();
+        let phase_before = target.maintenance_stats().unwrap_or_default();
+        for (i, op) in compiled.ops[span.start..span.end].iter().enumerate() {
+            let g = span.start + i;
+            match *op {
+                ScenarioOp::Insert(k, v) => {
+                    target.set(k, v);
+                    if cur_window.len() == opts.window {
+                        prev_window = std::mem::take(&mut cur_window);
+                    }
+                    cur_window.push(k);
+                }
+                ScenarioOp::Read(k) => sink ^= target.get(k).unwrap_or(0),
+                ScenarioOp::Update(k, v) => target.set(k, v),
+                ScenarioOp::Scan(k) => {
+                    scan_buf.clear();
+                    target.scan(k, SCAN_COUNT, &mut scan_buf);
+                    sink ^= scan_buf.len() as u64;
+                }
+                ScenarioOp::Delete(k) => {
+                    sink ^= target.del(k).unwrap_or(0);
+                }
+            }
+            if (g + 1) % opts.sample_every == 0 {
+                let skewness = if cur_window.len() >= opts.chunk / 2 {
+                    dyn_metrics::variance_of_skewness(&cur_window, opts.chunk, delta_bound)
+                } else {
+                    0.0
+                };
+                let kl = dyn_metrics::window_kl(&prev_window, &cur_window, opts.bins);
+                samples.push(Sample {
+                    op_index: g + 1,
+                    phase: span.name.clone(),
+                    skewness,
+                    kl,
+                    stats: target
+                        .maintenance_stats()
+                        .unwrap_or_default()
+                        .delta_since(&start_stats),
+                });
+            }
+        }
+        let phase_after = target.maintenance_stats().unwrap_or_default();
+        phases.push(PhaseResult {
+            name: span.name.clone(),
+            start: span.start,
+            end: span.end,
+            elapsed_ns: phase_t0.elapsed().as_nanos() as u64,
+            delta: phase_after.delta_since(&phase_before),
+        });
+    }
+    std::hint::black_box(sink);
+
+    let total = target
+        .maintenance_stats()
+        .unwrap_or_default()
+        .delta_since(&start_stats);
+    Timeline {
+        scenario: compiled.name.clone(),
+        target: target.target_name().to_string(),
+        ops: compiled.ops.len(),
+        samples,
+        phases,
+        total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin;
+    use crate::stream::compile;
+    use dytis::{DyTis, Params};
+
+    #[test]
+    fn runner_samples_and_tracks_phases() {
+        let sc = builtin::mm_to_tx_drift(4_000);
+        let compiled = compile(&sc);
+        let mut idx = DyTis::with_params(Params::small());
+        let mut target = DytisTarget { idx: &mut idx };
+        let opts = RunOptions {
+            sample_every: 1_000,
+            window: 1_000,
+            ..RunOptions::default()
+        };
+        let tl = run(&mut target, &compiled, &opts);
+        assert_eq!(tl.phases.len(), sc.phases.len());
+        assert!(!tl.samples.is_empty());
+        assert!(tl.samples.iter().all(|s| s.kl >= 0.0));
+        assert!(tl.total.total_ops() > 0, "no maintenance fired: {tl:?}");
+        // Phase spans partition the run.
+        assert_eq!(tl.phases[0].start, 0);
+        assert_eq!(tl.phases.last().map(|p| p.end), Some(tl.ops));
+    }
+
+    #[test]
+    fn index_target_has_no_stats_but_still_samples() {
+        let sc = builtin::delete_heavy_shrink(2_000);
+        let compiled = compile(&sc);
+        let mut oracle = std::collections::BTreeMap::new();
+        struct MapTarget<'a>(&'a mut std::collections::BTreeMap<Key, Value>);
+        impl ScenarioTarget for MapTarget<'_> {
+            fn set(&mut self, k: Key, v: Value) {
+                self.0.insert(k, v);
+            }
+            fn get(&mut self, k: Key) -> Option<Value> {
+                self.0.get(&k).copied()
+            }
+            fn del(&mut self, k: Key) -> Option<Value> {
+                self.0.remove(&k)
+            }
+            fn scan(&mut self, start: Key, count: usize, out: &mut Vec<(Key, Value)>) {
+                out.extend(self.0.range(start..).take(count).map(|(k, v)| (*k, *v)));
+            }
+            fn target_name(&self) -> &'static str {
+                "btreemap"
+            }
+        }
+        let tl = run(
+            &mut MapTarget(&mut oracle),
+            &compiled,
+            &RunOptions::default(),
+        );
+        assert_eq!(tl.total, MaintenanceStats::default());
+        assert!(!tl.samples.is_empty());
+    }
+}

@@ -1,0 +1,408 @@
+//! Deterministic expansion of a [`Scenario`] into a concrete op stream.
+//!
+//! Compilation is *target independent*: the stream depends only on the
+//! scenario and its seed, never on index behavior, so every `KvIndex`
+//! implementation (and the BTreeMap oracle) replays byte-identical
+//! operation sequences in the drift differential tests. The compiler
+//! simulates the live key set itself to pick read/update/delete/scan
+//! victims.
+
+use crate::dsl::{Event, Scenario};
+use index_traits::{Key, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use ycsb::KeySampler;
+
+/// Keys returned per scan op.
+pub const SCAN_COUNT: usize = 64;
+
+/// One concrete operation of a compiled scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioOp {
+    /// Upsert of a freshly drawn key.
+    Insert(Key, Value),
+    /// Point lookup of a (probably) live key.
+    Read(Key),
+    /// In-place update of a live key.
+    Update(Key, Value),
+    /// Ordered scan of up to [`SCAN_COUNT`] pairs from `start`.
+    Scan(Key),
+    /// Delete of a live key.
+    Delete(Key),
+}
+
+/// Which endpoint distribution produced a ramped insert key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RampSource {
+    /// The previous phase's sampler.
+    Prev,
+    /// The current phase's sampler.
+    Cur,
+}
+
+/// Mixture weight of the *current* phase's distribution at ramp position
+/// `i` of `ramp` (0-based). Starts near 0, ends near 1, monotone.
+pub fn ramp_weight(i: usize, ramp: usize) -> f64 {
+    if ramp == 0 {
+        return 1.0;
+    }
+    (i as f64 + 1.0) / (ramp as f64 + 1.0)
+}
+
+/// Draws one ramped insert key: the current sampler with probability `w`,
+/// the previous one otherwise. Exposed (with provenance) so the DSL
+/// property tests can verify the interpolation stays within its two
+/// endpoint distributions.
+pub fn sample_ramped(
+    prev: &mut KeySampler,
+    cur: &mut KeySampler,
+    w: f64,
+    rng: &mut StdRng,
+) -> (Key, RampSource) {
+    if rng.gen_bool(w.clamp(0.0, 1.0)) {
+        (cur.sample(rng), RampSource::Cur)
+    } else {
+        (prev.sample(rng), RampSource::Prev)
+    }
+}
+
+/// Span of one phase within the compiled op vector. `start..end` indexes
+/// [`CompiledScenario::ops`]; spliced reload bursts extend the span they
+/// fire in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSpan {
+    /// Phase name from the DSL.
+    pub name: String,
+    /// First op index of the phase (inclusive).
+    pub start: usize,
+    /// One past the last op index of the phase.
+    pub end: usize,
+}
+
+/// A fully expanded scenario: the op stream plus phase markers.
+#[derive(Debug, Clone)]
+pub struct CompiledScenario {
+    /// Scenario name.
+    pub name: String,
+    /// Seed the stream was expanded from.
+    pub seed: u64,
+    /// The concrete operation sequence.
+    pub ops: Vec<ScenarioOp>,
+    /// Phase boundaries over `ops`.
+    pub phases: Vec<PhaseSpan>,
+}
+
+/// The compiler's simulated live-key set: O(1) insert, delete, and
+/// uniform victim pick via swap-remove.
+struct LiveSet {
+    keys: Vec<Key>,
+    pos: HashMap<Key, usize>,
+}
+
+impl LiveSet {
+    fn new() -> LiveSet {
+        LiveSet {
+            keys: Vec::new(),
+            pos: HashMap::new(),
+        }
+    }
+
+    fn insert(&mut self, k: Key) {
+        if !self.pos.contains_key(&k) {
+            self.pos.insert(k, self.keys.len());
+            self.keys.push(k);
+        }
+    }
+
+    fn remove(&mut self, k: Key) {
+        if let Some(i) = self.pos.remove(&k) {
+            let last = self.keys.len() - 1;
+            self.keys.swap(i, last);
+            self.keys.pop();
+            if i < self.keys.len() {
+                self.pos.insert(self.keys[i], i);
+            }
+        }
+    }
+
+    fn pick(&self, rng: &mut StdRng) -> Option<Key> {
+        if self.keys.is_empty() {
+            None
+        } else {
+            Some(self.keys[rng.gen_range(0..self.keys.len())])
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+/// Expands `sc` into its deterministic op stream.
+///
+/// # Panics
+///
+/// Panics if the scenario fails [`Scenario::validate`] — compile inputs
+/// are expected to be pre-validated (parse always validates).
+pub fn compile(sc: &Scenario) -> CompiledScenario {
+    if let Err(e) = sc.validate() {
+        panic!("compile of invalid scenario: {e}");
+    }
+    let mut rng = StdRng::seed_from_u64(sc.seed);
+    let mut live = LiveSet::new();
+    let mut ops: Vec<ScenarioOp> = Vec::with_capacity(sc.total_ops());
+    let mut phases = Vec::with_capacity(sc.phases.len());
+    let mut value_counter: Value = 0;
+    let mut prev_sampler: Option<KeySampler> = None;
+    // Storm state: when Some, ops hammer this snapshot until `g` reaches
+    // the stored end offset (in declared-op coordinates).
+    let mut storm: Option<(Vec<Key>, usize)> = None;
+    // Global declared-op index: event offsets address this counter, so
+    // spliced reload bursts do not shift later events.
+    let mut g = 0usize;
+
+    for (pi, phase) in sc.phases.iter().enumerate() {
+        let span_start = ops.len();
+        let mut cur_sampler = KeySampler::new(phase.dist, sc.seed ^ ((pi as u64) << 32));
+        for j in 0..phase.ops {
+            // Fire events scheduled at this declared offset.
+            for e in &sc.events {
+                match *e {
+                    Event::HotKeyStorm { at, ops: len, keys } if at == g => {
+                        let n = keys.min(live.len());
+                        let snapshot: Vec<Key> =
+                            (0..n).filter_map(|_| live.pick(&mut rng)).collect();
+                        if !snapshot.is_empty() {
+                            storm = Some((snapshot, g + len));
+                        }
+                    }
+                    Event::BulkReload { at, n } if at == g => {
+                        let mut batch: Vec<Key> =
+                            (0..n).map(|_| cur_sampler.sample(&mut rng)).collect();
+                        batch.sort_unstable();
+                        batch.dedup();
+                        for k in batch {
+                            live.insert(k);
+                            ops.push(ScenarioOp::Insert(k, value_counter));
+                            value_counter += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if let Some((_, end)) = &storm {
+                if g >= *end {
+                    storm = None;
+                }
+            }
+
+            let op = if let Some((hot, _)) = &storm {
+                // Storm semantics: 50/50 read/update over the hot set.
+                let k = hot[rng.gen_range(0..hot.len())];
+                if rng.gen_bool(0.5) {
+                    ScenarioOp::Read(k)
+                } else {
+                    value_counter += 1;
+                    ScenarioOp::Update(k, value_counter - 1)
+                }
+            } else {
+                let roll = rng.gen_range(0..phase.mix.total());
+                let m = &phase.mix;
+                let want_insert = roll < m.insert as u64;
+                if want_insert || live.len() == 0 {
+                    // Fresh key: ramped between the previous and current
+                    // phase distributions for the first `ramp` ops.
+                    let key = match (&mut prev_sampler, pi > 0 && j < phase.ramp) {
+                        (Some(prev), true) => {
+                            let w = ramp_weight(j, phase.ramp);
+                            sample_ramped(prev, &mut cur_sampler, w, &mut rng).0
+                        }
+                        _ => cur_sampler.sample(&mut rng),
+                    };
+                    live.insert(key);
+                    value_counter += 1;
+                    ScenarioOp::Insert(key, value_counter - 1)
+                } else if roll < (m.insert + m.read) as u64 {
+                    // invariant: live is non-empty on this branch (checked
+                    // above), so pick() returns Some.
+                    ScenarioOp::Read(live.pick(&mut rng).expect("live non-empty"))
+                } else if roll < (m.insert + m.read + m.update) as u64 {
+                    value_counter += 1;
+                    ScenarioOp::Update(
+                        // invariant: live is non-empty on this branch.
+                        live.pick(&mut rng).expect("live non-empty"),
+                        value_counter - 1,
+                    )
+                } else if roll < (m.insert + m.read + m.update + m.scan) as u64 {
+                    // invariant: live is non-empty on this branch.
+                    ScenarioOp::Scan(live.pick(&mut rng).expect("live non-empty"))
+                } else {
+                    // invariant: live is non-empty on this branch.
+                    let k = live.pick(&mut rng).expect("live non-empty");
+                    live.remove(k);
+                    ScenarioOp::Delete(k)
+                }
+            };
+            ops.push(op);
+            g += 1;
+        }
+        prev_sampler = Some(cur_sampler);
+        phases.push(PhaseSpan {
+            name: phase.name.clone(),
+            start: span_start,
+            end: ops.len(),
+        });
+    }
+
+    CompiledScenario {
+        name: sc.name.clone(),
+        seed: sc.seed,
+        ops,
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::{OpMix, Phase};
+    use ycsb::KeyDist;
+
+    fn two_phase(seed: u64, events: Vec<Event>) -> Scenario {
+        Scenario {
+            name: "t".into(),
+            seed,
+            phases: vec![
+                Phase {
+                    name: "a".into(),
+                    dist: KeyDist::Uniform,
+                    mix: OpMix::insert_only(),
+                    ops: 2_000,
+                    ramp: 0,
+                },
+                Phase {
+                    name: "b".into(),
+                    dist: KeyDist::Tx,
+                    mix: OpMix {
+                        insert: 40,
+                        read: 30,
+                        update: 10,
+                        scan: 10,
+                        delete: 10,
+                    },
+                    ops: 3_000,
+                    ramp: 1_000,
+                },
+            ],
+            events,
+        }
+    }
+
+    #[test]
+    fn compile_is_deterministic() {
+        let sc = two_phase(9, vec![]);
+        assert_eq!(compile(&sc).ops, compile(&sc).ops);
+    }
+
+    #[test]
+    fn phase_spans_cover_the_stream() {
+        let c = compile(&two_phase(1, vec![]));
+        assert_eq!(c.phases.len(), 2);
+        assert_eq!(c.phases[0].start, 0);
+        assert_eq!(c.phases[0].end, c.phases[1].start);
+        assert_eq!(c.phases[1].end, c.ops.len());
+        assert_eq!(c.ops.len(), 5_000);
+    }
+
+    #[test]
+    fn non_insert_ops_target_live_keys() {
+        // Replay the stream against a model set: every read/update/delete
+        // must hit a key that is live at that point.
+        let c = compile(&two_phase(3, vec![]));
+        let mut live = std::collections::HashSet::new();
+        for op in &c.ops {
+            match *op {
+                ScenarioOp::Insert(k, _) => {
+                    live.insert(k);
+                }
+                ScenarioOp::Read(k) | ScenarioOp::Update(k, _) | ScenarioOp::Scan(k) => {
+                    assert!(live.contains(&k), "victim {k} not live");
+                }
+                ScenarioOp::Delete(k) => {
+                    assert!(live.remove(&k), "deleted {k} not live");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reload_splices_a_sorted_burst() {
+        let c = compile(&two_phase(5, vec![Event::BulkReload { at: 2_500, n: 500 }]));
+        assert!(c.ops.len() > 5_400, "burst missing: {}", c.ops.len());
+        // Find the longest run of consecutive ascending inserts — the
+        // spliced batch is sorted and at least ~500 long (minus dedup).
+        let mut best = 0usize;
+        let mut run = 0usize;
+        let mut last: Option<Key> = None;
+        for op in &c.ops {
+            match *op {
+                ScenarioOp::Insert(k, _) if last.is_none_or(|p| p < k) => {
+                    run += 1;
+                    last = Some(k);
+                }
+                ScenarioOp::Insert(k, _) => {
+                    best = best.max(run);
+                    run = 1;
+                    last = Some(k);
+                }
+                _ => {
+                    best = best.max(run);
+                    run = 0;
+                    last = None;
+                }
+            }
+        }
+        best = best.max(run);
+        assert!(best >= 400, "no sorted burst found (best run {best})");
+    }
+
+    #[test]
+    fn storm_concentrates_on_few_keys() {
+        let c = compile(&two_phase(
+            7,
+            vec![Event::HotKeyStorm {
+                at: 2_500,
+                ops: 800,
+                keys: 4,
+            }],
+        ));
+        // The storm window (declared offsets 2500..3300 == op indices here,
+        // since no reload splices) should touch at most 4 distinct keys.
+        let mut touched = std::collections::HashSet::new();
+        for op in &c.ops[2_500..3_300] {
+            match *op {
+                ScenarioOp::Read(k) | ScenarioOp::Update(k, _) => {
+                    touched.insert(k);
+                }
+                other => panic!("storm emitted {other:?}"),
+            }
+        }
+        assert!(!touched.is_empty() && touched.len() <= 4, "{touched:?}");
+    }
+
+    #[test]
+    fn ramp_weight_is_monotone_and_bounded() {
+        let ramp = 1_000;
+        let mut prev = 0.0;
+        for i in 0..ramp {
+            let w = ramp_weight(i, ramp);
+            assert!((0.0..=1.0).contains(&w));
+            assert!(w >= prev);
+            prev = w;
+        }
+        assert!(ramp_weight(0, ramp) < 0.01);
+        assert!(ramp_weight(ramp - 1, ramp) > 0.99);
+        assert_eq!(ramp_weight(5, 0), 1.0);
+    }
+}

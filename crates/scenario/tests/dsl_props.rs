@@ -1,0 +1,236 @@
+//! Property-based tests for the scenario DSL and its compiler: the text
+//! form must roundtrip losslessly, ramp interpolation must stay within its
+//! two endpoint distributions, and compiled op streams must honor the
+//! declared op mix within tolerance.
+//!
+//! Gated behind the `proptest` feature (`cargo test -p scenario --features
+//! proptest`) so the default offline test run stays lean.
+#![cfg(feature = "proptest")]
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scenario::{
+    compile, ramp_weight, sample_ramped, Event, OpMix, Phase, RampSource, Scenario, ScenarioOp,
+};
+use ycsb::{fnv_hash, KeyDist, KeySampler};
+
+fn arb_dist() -> impl Strategy<Value = KeyDist> {
+    prop_oneof![
+        Just(KeyDist::Uniform),
+        Just(KeyDist::Mm),
+        Just(KeyDist::MmFixed),
+        Just(KeyDist::Tx),
+        (1u32..1_000).prop_map(|m| KeyDist::Zipf {
+            theta: f64::from(m) / 1_000.0,
+        }),
+        (1u32..64).prop_map(|spots| KeyDist::Hot { spots }),
+    ]
+}
+
+/// Five weights, at least one non-zero (the shim has no filter combinator,
+/// so a zero-total draw is nudged instead of rejected).
+fn arb_mix() -> impl Strategy<Value = OpMix> {
+    ((0u32..100, 0u32..100, 0u32..100), (0u32..100, 0u32..100)).prop_map(
+        |((insert, read, update), (scan, delete))| {
+            let mut mix = OpMix {
+                insert,
+                read,
+                update,
+                scan,
+                delete,
+            };
+            if mix.total() == 0 {
+                mix.read = 1;
+            }
+            mix
+        },
+    )
+}
+
+/// Raw phase ingredients (named at scenario-assembly time).
+fn arb_phase_parts() -> impl Strategy<Value = (KeyDist, OpMix, usize, bool)> {
+    ((arb_dist(), arb_mix()), (1usize..5_000, any::<bool>()))
+        .prop_map(|((dist, mix), (ops, full_ramp))| (dist, mix, ops, full_ramp))
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        any::<u64>(),
+        proptest::collection::vec(arb_phase_parts(), 1..4),
+        (1u32..100, 1u32..500, 1u32..16),
+    )
+        .prop_map(|(seed, parts, (at_pct, burst, keys))| {
+            let phases: Vec<Phase> = parts
+                .into_iter()
+                .enumerate()
+                .map(|(i, (dist, mix, ops, full_ramp))| Phase {
+                    name: format!("p{i}"),
+                    dist,
+                    mix,
+                    ops,
+                    ramp: if full_ramp { ops / 2 } else { 0 },
+                })
+                .collect();
+            let total: usize = phases.iter().map(|p| p.ops).sum();
+            let at = (total - 1) * at_pct as usize / 100;
+            let sc = Scenario {
+                name: "prop-scenario".to_string(),
+                seed,
+                phases,
+                events: vec![
+                    Event::HotKeyStorm {
+                        at,
+                        ops: burst as usize,
+                        keys: keys as usize,
+                    },
+                    Event::BulkReload {
+                        at,
+                        n: burst as usize,
+                    },
+                ],
+            };
+            sc.validate().expect("generated scenario must validate");
+            sc
+        })
+}
+
+/// Enumerates the exact support of a `Hot` distribution (mirrors the
+/// sampler's base construction, which `hot_uses_exactly_n_spots` pins).
+fn hot_support(spots: u32, seed: u64) -> std::collections::HashSet<u64> {
+    (0..u64::from(spots))
+        .map(|i| fnv_hash(seed ^ i) >> 1)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// parse(to_text(sc)) == sc for arbitrary valid scenarios.
+    #[test]
+    fn dsl_roundtrips(sc in arb_scenario()) {
+        let text = sc.to_text();
+        let parsed = Scenario::parse(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{text}")))?;
+        prop_assert_eq!(parsed, sc);
+    }
+
+    /// Ramp weights are a monotone walk from ~0 to ~1 for any ramp length.
+    #[test]
+    fn ramp_weights_monotone(ramp in 1usize..10_000) {
+        let mut prev = 0.0;
+        for i in 0..ramp {
+            let w = ramp_weight(i, ramp);
+            prop_assert!((0.0..=1.0).contains(&w));
+            prop_assert!(w >= prev);
+            prev = w;
+        }
+        prop_assert!(ramp == 1 || ramp_weight(ramp - 1, ramp) > ramp_weight(0, ramp));
+    }
+
+    /// Interpolation never leaves its endpoints: with two `Hot`
+    /// distributions (the only ones with enumerable support), every ramped
+    /// draw is in the union of the supports, and the provenance tag agrees
+    /// with which support the key came from.
+    #[test]
+    fn ramp_stays_within_endpoint_distributions(
+        seeds in (any::<u64>(), any::<u64>()),
+        spots in (1u32..32, 1u32..32),
+        w_milli in 0u32..=1_000,
+    ) {
+        let (seed_a, seed_b) = seeds;
+        let (spots_a, spots_b) = spots;
+        let mut prev = KeySampler::new(KeyDist::Hot { spots: spots_a }, seed_a);
+        let mut cur = KeySampler::new(KeyDist::Hot { spots: spots_b }, seed_b);
+        let sup_a = hot_support(spots_a, seed_a);
+        let sup_b = hot_support(spots_b, seed_b);
+        let w = f64::from(w_milli) / 1_000.0;
+        let mut rng = StdRng::seed_from_u64(seed_a ^ seed_b);
+        for _ in 0..200 {
+            let (k, src) = sample_ramped(&mut prev, &mut cur, w, &mut rng);
+            prop_assert!(
+                sup_a.contains(&k) || sup_b.contains(&k),
+                "ramped key {k} outside both endpoint supports"
+            );
+            match src {
+                RampSource::Prev => prop_assert!(sup_a.contains(&k)),
+                RampSource::Cur => prop_assert!(sup_b.contains(&k)),
+            }
+        }
+    }
+
+    /// Degenerate weights pin the source: w=0 only draws the previous
+    /// distribution, w=1 only the current one.
+    #[test]
+    fn ramp_extremes_pin_the_source(seed in any::<u64>()) {
+        let mut prev = KeySampler::new(KeyDist::Uniform, seed);
+        let mut cur = KeySampler::new(KeyDist::Tx, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let (_, src) = sample_ramped(&mut prev, &mut cur, 0.0, &mut rng);
+            prop_assert_eq!(src, RampSource::Prev);
+            let (_, src) = sample_ramped(&mut prev, &mut cur, 1.0, &mut rng);
+            prop_assert_eq!(src, RampSource::Cur);
+        }
+    }
+
+    /// Compiled streams honor the declared op mix within tolerance. The
+    /// serve phase follows a large insert-only warmup so the live set is
+    /// never empty (the live-empty insert fallback would skew the mix);
+    /// the generator keeps insert >= delete so the set cannot drain.
+    #[test]
+    fn compiled_stream_honors_declared_mix(
+        seed in any::<u64>(),
+        raw_mix in arb_mix(),
+    ) {
+        const SERVE_OPS: usize = 4_000;
+        let mut mix = raw_mix;
+        if mix.delete > mix.insert {
+            std::mem::swap(&mut mix.delete, &mut mix.insert);
+        }
+        let sc = Scenario {
+            name: "mix-check".to_string(),
+            seed,
+            phases: vec![
+                Phase {
+                    name: "fill".to_string(),
+                    dist: KeyDist::Uniform,
+                    mix: OpMix::insert_only(),
+                    ops: 2_000,
+                    ramp: 0,
+                },
+                Phase {
+                    name: "serve".to_string(),
+                    dist: KeyDist::Uniform,
+                    mix,
+                    ops: SERVE_OPS,
+                    ramp: 0,
+                },
+            ],
+            events: vec![],
+        };
+        let compiled = compile(&sc);
+        let span = &compiled.phases[1];
+        let mut counts = [0usize; 5];
+        for op in &compiled.ops[span.start..span.end] {
+            match op {
+                ScenarioOp::Insert(..) => counts[0] += 1,
+                ScenarioOp::Read(..) => counts[1] += 1,
+                ScenarioOp::Update(..) => counts[2] += 1,
+                ScenarioOp::Scan(..) => counts[3] += 1,
+                ScenarioOp::Delete(..) => counts[4] += 1,
+            }
+        }
+        let total = mix.total() as f64;
+        let weights = [mix.insert, mix.read, mix.update, mix.scan, mix.delete];
+        for (got, want) in counts.iter().zip(weights) {
+            let expected = f64::from(want) / total;
+            let observed = *got as f64 / SERVE_OPS as f64;
+            // 4000 draws: allow 5 percentage points of absolute slack.
+            prop_assert!(
+                (observed - expected).abs() < 0.05,
+                "mix {mix:?}: expected {expected:.3}, observed {observed:.3}"
+            );
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Non-vacuity regression for the shrink counter: the delete-heavy
+//! built-in scenario must actually fire segment shrinks (PR-era bug: the
+//! shrink path ran but was never counted through `maintenance_stats()`,
+//! so a drift harness asserting on it would have silently passed against
+//! a structure that never shrank — or, worse, one where shrink was broken
+//! entirely).
+//!
+//! The insert-only control proves the counter is *specific*: a growing
+//! run must report zero shrinks.
+
+use dytis::{DyTis, Params};
+use scenario::{builtin, compile, run, DytisTarget, RunOptions};
+
+const SCALE: usize = if cfg!(debug_assertions) {
+    4_000
+} else {
+    20_000
+};
+
+#[test]
+fn delete_heavy_scenario_fires_the_shrink_counter() {
+    let compiled = compile(&builtin::delete_heavy_shrink(SCALE));
+    let mut idx = DyTis::with_params(Params::small());
+    let mut target = DytisTarget { idx: &mut idx };
+    let tl = run(&mut target, &compiled, &RunOptions::default());
+
+    assert!(
+        tl.total.shrinks > 0,
+        "delete-heavy drift fired no shrinks — counter unwired or shrink dead: {:?}",
+        tl.total
+    );
+    // Shrinks move keys; the keys_moved aggregate must reflect that.
+    assert!(
+        tl.total.keys_moved > 0,
+        "shrinks fired but moved no keys: {:?}",
+        tl.total
+    );
+    // The shrinks happen in the drain phase, not the fill phase.
+    let fill = tl.phases.iter().find(|p| p.name == "fill").expect("fill");
+    let drain = tl.phases.iter().find(|p| p.name == "drain").expect("drain");
+    assert_eq!(fill.delta.shrinks, 0, "fill phase shrank: {:?}", fill.delta);
+    assert!(
+        drain.delta.shrinks > 0,
+        "drain phase shrank nothing: {:?}",
+        drain.delta
+    );
+}
+
+#[test]
+fn insert_only_control_reports_zero_shrinks() {
+    let compiled = compile(&builtin::stationary_control(SCALE));
+    let mut idx = DyTis::with_params(Params::small());
+    let mut target = DytisTarget { idx: &mut idx };
+    let tl = run(&mut target, &compiled, &RunOptions::default());
+
+    assert_eq!(
+        tl.total.shrinks, 0,
+        "no deletes in the stream, yet shrinks were counted: {:?}",
+        tl.total
+    );
+    // And the structure did real maintenance work otherwise (the control
+    // is not vacuous either).
+    assert!(
+        tl.total.total_ops() > 0,
+        "control did nothing: {:?}",
+        tl.total
+    );
+}

@@ -120,6 +120,8 @@ pub struct MaintenanceStats {
     pub remaps: u64,
     /// Number of directory doublings (or tree-depth increases).
     pub doublings: u64,
+    /// Number of segment shrinks (delete-driven compactions, DyTIS §3.6).
+    pub shrinks: u64,
     /// Keys copied while rebuilding structures (memory-copy overhead proxy).
     pub keys_moved: u64,
 }
@@ -127,7 +129,30 @@ pub struct MaintenanceStats {
 impl MaintenanceStats {
     /// Total number of structure-changing operations.
     pub fn total_ops(&self) -> u64 {
-        self.splits + self.expansions + self.remaps + self.doublings
+        self.splits + self.expansions + self.remaps + self.doublings + self.shrinks
+    }
+
+    /// Per-field difference against an earlier snapshot (`self - earlier`),
+    /// saturating at zero so monotonic counters never wrap.
+    pub fn delta_since(&self, earlier: &MaintenanceStats) -> MaintenanceStats {
+        MaintenanceStats {
+            splits: self.splits.saturating_sub(earlier.splits),
+            expansions: self.expansions.saturating_sub(earlier.expansions),
+            remaps: self.remaps.saturating_sub(earlier.remaps),
+            doublings: self.doublings.saturating_sub(earlier.doublings),
+            shrinks: self.shrinks.saturating_sub(earlier.shrinks),
+            keys_moved: self.keys_moved.saturating_sub(earlier.keys_moved),
+        }
+    }
+
+    /// Adds another counter set into this one (used when pooling shards).
+    pub fn merge(&mut self, other: &MaintenanceStats) {
+        self.splits += other.splits;
+        self.expansions += other.expansions;
+        self.remaps += other.remaps;
+        self.doublings += other.doublings;
+        self.shrinks += other.shrinks;
+        self.keys_moved += other.keys_moved;
     }
 }
 
@@ -194,8 +219,35 @@ mod tests {
             expansions: 2,
             remaps: 3,
             doublings: 4,
+            shrinks: 5,
             keys_moved: 100,
         };
-        assert_eq!(s.total_ops(), 10);
+        assert_eq!(s.total_ops(), 15);
+    }
+
+    #[test]
+    fn maintenance_stats_delta_and_merge() {
+        let early = MaintenanceStats {
+            splits: 1,
+            remaps: 2,
+            ..Default::default()
+        };
+        let late = MaintenanceStats {
+            splits: 4,
+            remaps: 2,
+            shrinks: 3,
+            ..Default::default()
+        };
+        let d = late.delta_since(&early);
+        assert_eq!(d.splits, 3);
+        assert_eq!(d.remaps, 0);
+        assert_eq!(d.shrinks, 3);
+        // Saturating: a reset counter never underflows.
+        assert_eq!(early.delta_since(&late).splits, 0);
+        let mut pooled = early;
+        pooled.merge(&late);
+        assert_eq!(pooled.splits, 5);
+        assert_eq!(pooled.shrinks, 3);
+        assert_eq!(pooled.total_ops(), 5 + 4 + 3);
     }
 }

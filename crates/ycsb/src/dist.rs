@@ -1,0 +1,371 @@
+//! Phase-parameterizable streaming key distributions.
+//!
+//! The stationary YCSB harness in the crate root picks request keys from a
+//! pre-loaded array. The scenario lab (DyTIS's *dynamic dataset* premise,
+//! paper §2.1) instead needs samplers that produce an unbounded stream of
+//! *insert* keys whose distribution can be swapped, ramped, and drifted
+//! mid-run. Each [`KeySampler`] is a self-contained stateful generator:
+//! cloning one forks the stream, and identical seeds replay identical keys.
+//!
+//! The MM/TX variants reproduce the dynamic characteristics the paper
+//! attributes to the map and taxi dataset families (Figure 1): MM has a
+//! smooth multi-city density whose geographic focus drifts slowly (medium
+//! key-distribution divergence), TX is an advancing timestamp clock with
+//! diurnal demand modulation (high divergence — each window occupies a key
+//! range the previous one barely touched).
+
+use crate::zipf::ScrambledZipfian;
+use crate::{fnv_hash, DEFAULT_THETA};
+use index_traits::Key;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A key distribution a scenario phase can name.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// Uniform over the 63-bit key space.
+    Uniform,
+    /// Scrambled Zipfian over a fixed item universe (stationary, skewed).
+    Zipf {
+        /// Zipfian constant in `(0, 1)`; YCSB's default is 0.99.
+        theta: f64,
+    },
+    /// Map-family stream: city-mixture density with a drifting geographic
+    /// focus (medium divergence between insertion windows).
+    Mm,
+    /// The stationary control for [`KeyDist::Mm`]: the same city-mixture
+    /// density (identical centres for a given seed) but with the drifting
+    /// focus removed — every window draws the same mixture, so key
+    /// *locality* matches MM while the *shift* is gone.
+    MmFixed,
+    /// Taxi-family stream: advancing clock with diurnal demand modulation
+    /// (high divergence — the key range moves monotonically).
+    Tx,
+    /// A handful of exact hot keys (hot-key storm injector).
+    Hot {
+        /// Number of distinct hot keys.
+        spots: u32,
+    },
+}
+
+impl KeyDist {
+    /// Canonical DSL token (`uniform`, `zipf:0.99`, `mm`, `tx`, `hot:8`).
+    pub fn to_token(&self) -> String {
+        match self {
+            KeyDist::Uniform => "uniform".to_string(),
+            KeyDist::Zipf { theta } => format!("zipf:{theta}"),
+            KeyDist::Mm => "mm".to_string(),
+            KeyDist::MmFixed => "mm-fixed".to_string(),
+            KeyDist::Tx => "tx".to_string(),
+            KeyDist::Hot { spots } => format!("hot:{spots}"),
+        }
+    }
+
+    /// Parses a DSL token produced by [`KeyDist::to_token`].
+    pub fn parse_token(tok: &str) -> Result<KeyDist, String> {
+        let (head, arg) = match tok.split_once(':') {
+            Some((h, a)) => (h, Some(a)),
+            None => (tok, None),
+        };
+        match (head, arg) {
+            ("uniform", None) => Ok(KeyDist::Uniform),
+            ("mm", None) => Ok(KeyDist::Mm),
+            ("mm-fixed", None) => Ok(KeyDist::MmFixed),
+            ("tx", None) => Ok(KeyDist::Tx),
+            ("zipf", None) => Ok(KeyDist::Zipf {
+                theta: DEFAULT_THETA,
+            }),
+            ("zipf", Some(a)) => {
+                let theta: f64 = a.parse().map_err(|_| format!("bad zipf theta {a:?}"))?;
+                if !(theta > 0.0 && theta < 1.0) {
+                    return Err(format!("zipf theta {theta} outside (0, 1)"));
+                }
+                Ok(KeyDist::Zipf { theta })
+            }
+            ("hot", Some(a)) => {
+                let spots: u32 = a.parse().map_err(|_| format!("bad hot spot count {a:?}"))?;
+                if spots == 0 {
+                    return Err("hot distribution needs at least one spot".to_string());
+                }
+                Ok(KeyDist::Hot { spots })
+            }
+            ("hot", None) => Ok(KeyDist::Hot { spots: 8 }),
+            _ => Err(format!("unknown distribution {tok:?}")),
+        }
+    }
+}
+
+/// Item universe for the Zipf sampler: large enough that head collisions do
+/// not dominate, small enough that the zeta precomputation is instant.
+const ZIPF_UNIVERSE: usize = 1 << 20;
+
+/// Draws per MM focus step: how long the geographic focus lingers on one
+/// region before drifting to the next (the tile-bulk insertion analogue of
+/// `families::map_like`).
+const MM_FOCUS_SPAN: u64 = 2_048;
+
+/// Nominal seconds of simulated clock per TX draw before demand modulation.
+const TX_STEP_SECONDS: f64 = 30.0;
+
+fn normal(rng: &mut StdRng, mu: f64, sigma: f64) -> f64 {
+    // Box-Muller; one value per call keeps the sampler state trivial.
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    mu + sigma * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+fn lonlat_key(lon: f64, lat: f64) -> u64 {
+    let lon = lon.clamp(-180.0, 180.0);
+    let lat = lat.clamp(-90.0, 90.0);
+    let ulon = ((lon + 180.0) * 1e7) as u64; // < 2^32
+    let ulat = ((lat + 90.0) * 1e7) as u64; // < 2^31
+    (ulon << 31) | ulat
+}
+
+enum SamplerState {
+    Uniform,
+    Zipf(ScrambledZipfian),
+    Mm {
+        /// (lon, lat) population centres, fixed for the sampler's lifetime.
+        cities: Vec<(f64, f64)>,
+        /// Draws so far; drives the drifting focus window.
+        draws: u64,
+        /// When false, the focus never advances: the stationary MM control.
+        drift: bool,
+    },
+    Tx {
+        /// Simulated pickup clock in seconds.
+        clock: f64,
+    },
+    Hot {
+        /// The exact hot keys.
+        bases: Vec<Key>,
+    },
+}
+
+/// A stateful streaming key generator for one [`KeyDist`].
+///
+/// Construction consumes entropy from `seed` to place centres/hot spots;
+/// `sample` then draws keys using the caller's rng so several samplers can
+/// interleave deterministically on one stream.
+pub struct KeySampler {
+    dist: KeyDist,
+    state: SamplerState,
+}
+
+impl KeySampler {
+    /// Builds a sampler for `dist`, deriving fixed structure (city centres,
+    /// hot-spot keys) from `seed`.
+    pub fn new(dist: KeyDist, seed: u64) -> KeySampler {
+        let mut setup = StdRng::seed_from_u64(seed ^ 0xD15_7A11);
+        let state = match dist {
+            KeyDist::Uniform => SamplerState::Uniform,
+            KeyDist::Zipf { theta } => {
+                SamplerState::Zipf(ScrambledZipfian::new(ZIPF_UNIVERSE, theta))
+            }
+            KeyDist::Mm | KeyDist::MmFixed => {
+                let lon0 = setup.gen_range(-80.0..-40.0);
+                let lat0 = setup.gen_range(-40.0..10.0);
+                let mut cities: Vec<(f64, f64)> = (0..24)
+                    .map(|_| {
+                        (
+                            lon0 + setup.gen_range(0.0..30.0),
+                            lat0 + setup.gen_range(0.0..30.0),
+                        )
+                    })
+                    .collect();
+                // West-to-east focus order mirrors map_like's tile-sorted
+                // bulk insertion: the drifting focus sweeps the key space.
+                cities.sort_by(|a, b| a.0.total_cmp(&b.0));
+                SamplerState::Mm {
+                    cities,
+                    draws: 0,
+                    drift: dist == KeyDist::Mm,
+                }
+            }
+            KeyDist::Tx => SamplerState::Tx { clock: 0.0 },
+            KeyDist::Hot { spots } => {
+                let bases = (0..spots as u64).map(|i| fnv_hash(seed ^ i) >> 1).collect();
+                SamplerState::Hot { bases }
+            }
+        };
+        KeySampler { dist, state }
+    }
+
+    /// The distribution this sampler draws from.
+    pub fn dist(&self) -> KeyDist {
+        self.dist
+    }
+
+    /// Draws the next key of the stream.
+    pub fn sample(&mut self, rng: &mut StdRng) -> Key {
+        match &mut self.state {
+            SamplerState::Uniform => rng.gen::<u64>() >> 1,
+            SamplerState::Zipf(z) => {
+                // Stable rank -> key mapping: re-hashing the scrambled item
+                // id spreads the head over the key space while keeping each
+                // item's key identical across draws.
+                fnv_hash(z.sample(rng) as u64) >> 1
+            }
+            SamplerState::Mm {
+                cities,
+                draws,
+                drift,
+            } => {
+                // The focus window drifts one city every MM_FOCUS_SPAN draws
+                // (tile-bulk uploads); 30% of traffic stays globally spread
+                // so consecutive windows diverge *medium*, not totally. The
+                // fixed variant pins the focus: same density, no shift.
+                let focus = if *drift {
+                    (*draws / MM_FOCUS_SPAN) as usize
+                } else {
+                    0
+                };
+                *draws += 1;
+                let city = if rng.gen_bool(0.7) {
+                    (focus + rng.gen_range(0..4usize)) % cities.len()
+                } else {
+                    rng.gen_range(0..cities.len())
+                };
+                let (clon, clat) = cities[city];
+                lonlat_key(normal(rng, clon, 1.0), normal(rng, clat, 1.0))
+            }
+            SamplerState::Tx { clock } => {
+                let day_phase = (*clock / 86_400.0).fract();
+                let base = 1.0 + 0.85 * (std::f64::consts::TAU * (day_phase - 0.3)).sin();
+                let demand = base.max(0.05).powf(2.3);
+                *clock += TX_STEP_SECONDS / demand.max(0.02);
+                let pickup = *clock as u64;
+                let meta: u64 = rng.gen_range(0..(1 << 18));
+                ((pickup << 31) | meta) >> 1
+            }
+            SamplerState::Hot { bases } => bases[rng.gen_range(0..bases.len())],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn draw(dist: KeyDist, seed: u64, n: usize) -> Vec<Key> {
+        let mut s = KeySampler::new(dist, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| s.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn samplers_are_deterministic() {
+        for dist in [
+            KeyDist::Uniform,
+            KeyDist::Zipf { theta: 0.99 },
+            KeyDist::Mm,
+            KeyDist::MmFixed,
+            KeyDist::Tx,
+            KeyDist::Hot { spots: 4 },
+        ] {
+            assert_eq!(draw(dist, 7, 500), draw(dist, 7, 500), "{dist:?}");
+        }
+    }
+
+    #[test]
+    fn token_roundtrip() {
+        for dist in [
+            KeyDist::Uniform,
+            KeyDist::Zipf { theta: 0.75 },
+            KeyDist::Mm,
+            KeyDist::MmFixed,
+            KeyDist::Tx,
+            KeyDist::Hot { spots: 16 },
+        ] {
+            let tok = dist.to_token();
+            assert_eq!(KeyDist::parse_token(&tok), Ok(dist), "{tok}");
+        }
+        assert!(KeyDist::parse_token("zipf:1.5").is_err());
+        assert!(KeyDist::parse_token("hot:0").is_err());
+        assert!(KeyDist::parse_token("gauss").is_err());
+    }
+
+    #[test]
+    fn tx_clock_advances_monotonically() {
+        let keys = draw(KeyDist::Tx, 3, 5_000);
+        let pickups: Vec<u64> = keys.iter().map(|k| k >> 30).collect();
+        assert!(pickups.windows(2).all(|w| w[0] <= w[1]), "clock regressed");
+        assert!(pickups[4_999] > pickups[0]);
+    }
+
+    #[test]
+    fn mm_focus_drifts_between_windows() {
+        // The focus window drifts, so the modal longitude band of an early
+        // window should lose most of its mass by the end of the stream.
+        let keys = draw(KeyDist::Mm, 11, 40 * MM_FOCUS_SPAN as usize);
+        let band = |k: u64| (k >> 31) / 20_000_000; // 2-degree lon bands
+        let freq = |w: &[Key]| -> std::collections::HashMap<u64, usize> {
+            let mut m = std::collections::HashMap::new();
+            for &k in w {
+                *m.entry(band(k)).or_insert(0usize) += 1;
+            }
+            m
+        };
+        let w0 = freq(&keys[..2_000]);
+        let w_far = freq(&keys[keys.len() - 2_000..]);
+        let (&top_band, &top_count) = w0.iter().max_by_key(|(_, c)| **c).unwrap();
+        let far_count = w_far.get(&top_band).copied().unwrap_or(0);
+        assert!(
+            far_count * 2 < top_count,
+            "modal band {top_band} kept its mass: early {top_count}, late {far_count}"
+        );
+    }
+
+    #[test]
+    fn mm_fixed_modal_band_is_stationary() {
+        // Same construction as mm_focus_drifts_between_windows, opposite
+        // assertion: with the focus pinned, the early modal longitude band
+        // keeps (most of) its mass at the end of the stream.
+        let keys = draw(KeyDist::MmFixed, 11, 40 * MM_FOCUS_SPAN as usize);
+        let band = |k: u64| (k >> 31) / 20_000_000;
+        let freq = |w: &[Key]| -> std::collections::HashMap<u64, usize> {
+            let mut m = std::collections::HashMap::new();
+            for &k in w {
+                *m.entry(band(k)).or_insert(0usize) += 1;
+            }
+            m
+        };
+        let w0 = freq(&keys[..2_000]);
+        let w_far = freq(&keys[keys.len() - 2_000..]);
+        let (&top_band, &top_count) = w0.iter().max_by_key(|(_, c)| **c).unwrap();
+        let far_count = w_far.get(&top_band).copied().unwrap_or(0);
+        assert!(
+            far_count * 2 >= top_count,
+            "fixed focus lost its modal band {top_band}: early {top_count}, late {far_count}"
+        );
+    }
+
+    #[test]
+    fn zipf_stream_is_head_heavy_and_stable() {
+        let keys = draw(KeyDist::Zipf { theta: 0.99 }, 5, 50_000);
+        let mut counts = std::collections::HashMap::new();
+        for &k in &keys {
+            *counts.entry(k).or_insert(0usize) += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        assert!(max > 500, "head key drawn only {max} times");
+        assert!(counts.len() > 1_000, "only {} distinct keys", counts.len());
+    }
+
+    #[test]
+    fn hot_uses_exactly_n_spots() {
+        let keys = draw(KeyDist::Hot { spots: 6 }, 9, 10_000);
+        let distinct: HashSet<Key> = keys.iter().copied().collect();
+        assert_eq!(distinct.len(), 6);
+    }
+
+    #[test]
+    fn uniform_spans_the_space() {
+        let keys = draw(KeyDist::Uniform, 1, 10_000);
+        let min = keys.iter().min().unwrap();
+        let max = keys.iter().max().unwrap();
+        assert!(max - min > (1u64 << 61));
+    }
+}

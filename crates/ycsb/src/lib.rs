@@ -17,8 +17,10 @@
 //! For A/B/C/F the whole dataset is loaded first; for D' and E, 80% is
 //! loaded and the remaining 20% feeds the insert mix.
 
+pub mod dist;
 pub mod zipf;
 
+pub use dist::{KeyDist, KeySampler};
 pub use zipf::{fnv_hash, ScrambledZipfian, Zipfian, DEFAULT_THETA};
 
 use index_traits::{ConcurrentKvIndex, Key, KvIndex, Value};

@@ -13,6 +13,7 @@ pub use index_traits;
 pub use kvstore;
 pub use lipp;
 pub use obs;
+pub use scenario;
 pub use stx_btree;
 pub use xindex;
 pub use ycsb;

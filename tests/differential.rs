@@ -256,6 +256,7 @@ fn differential_durable_store_kill_and_recover() {
         shard_bits: 2,
         ops_per_checkpoint: 0,
         max_batch_records: 256,
+        ..DurabilityOptions::default()
     };
     let mut store = Some(DurableShardedStore::open(&dir, opts).expect("open"));
     let mut oracle: BTreeMap<Key, Value> = BTreeMap::new();

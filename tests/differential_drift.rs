@@ -1,0 +1,191 @@
+//! Differential drift testing: every built-in scenario of the drift
+//! battery (`scenario::builtin`) is compiled once and replayed through
+//! every `KvIndex` implementation in lockstep with a `BTreeMap<u64, u64>`
+//! oracle. Unlike `tests/differential.rs` (stationary random traces),
+//! these streams *shift distribution mid-run* — MM→TX drift, hot-key
+//! storms, delete-heavy shrink with a sorted bulk-reload splice — so the
+//! maintenance machinery fires under the paper's dynamic-dataset premise
+//! while correctness is checked op by op.
+//!
+//! At every phase boundary the structure's deep invariant audit must come
+//! back clean and non-vacuous.
+
+use dytis_repro::alex_index::Alex;
+use dytis_repro::dytis::{DyTis, Params};
+use dytis_repro::exhash::{Cceh, ExtendibleHash};
+use dytis_repro::index_traits::{Auditable, Key, KvIndex, Value};
+use dytis_repro::lipp::Lipp;
+use dytis_repro::scenario::{builtin, compile, CompiledScenario, ScenarioOp, SCAN_COUNT};
+use dytis_repro::stx_btree::BPlusTree;
+use dytis_repro::xindex::XIndex;
+use std::collections::BTreeMap;
+
+/// Per-phase op count of each scenario. Release builds force real DyTIS
+/// maintenance under `Params::small()`; debug stays responsive.
+const SCALE: usize = if cfg!(debug_assertions) {
+    3_000
+} else {
+    20_000
+};
+
+/// Replays `compiled` through `idx` in lockstep with the oracle. Scans are
+/// compared only when `scans` is set (the hash baselines implement scan as
+/// a no-op). At each phase boundary the audit must be clean.
+fn replay<I: KvIndex + Auditable>(idx: &mut I, compiled: &CompiledScenario, scans: bool) {
+    let name = idx.name();
+    let mut oracle: BTreeMap<Key, Value> = BTreeMap::new();
+    let mut got = Vec::with_capacity(SCAN_COUNT);
+    let mut boundaries = compiled.phases.iter().peekable();
+    for (i, &op) in compiled.ops.iter().enumerate() {
+        match op {
+            ScenarioOp::Insert(k, v) | ScenarioOp::Update(k, v) => {
+                idx.insert(k, v);
+                oracle.insert(k, v);
+            }
+            ScenarioOp::Read(k) => {
+                assert_eq!(
+                    idx.get(k),
+                    oracle.get(&k).copied(),
+                    "{name}: {} op {i}: get({k}) diverged",
+                    compiled.name
+                );
+            }
+            ScenarioOp::Scan(start) => {
+                if scans {
+                    got.clear();
+                    idx.scan(start, SCAN_COUNT, &mut got);
+                    let want: Vec<(Key, Value)> = oracle
+                        .range(start..)
+                        .take(SCAN_COUNT)
+                        .map(|(&k, &v)| (k, v))
+                        .collect();
+                    assert_eq!(
+                        got, want,
+                        "{name}: {} op {i}: scan({start}) diverged",
+                        compiled.name
+                    );
+                }
+            }
+            ScenarioOp::Delete(k) => {
+                assert_eq!(
+                    idx.remove(k),
+                    oracle.remove(&k),
+                    "{name}: {} op {i}: remove({k}) diverged",
+                    compiled.name
+                );
+            }
+        }
+        if boundaries.peek().is_some_and(|span| span.end == i + 1) {
+            let span = boundaries.next().unwrap();
+            assert_eq!(
+                idx.len(),
+                oracle.len(),
+                "{name}: {} phase {:?}: len diverged",
+                compiled.name,
+                span.name
+            );
+            let report = idx.audit();
+            assert!(
+                report.is_clean(),
+                "{name}: {} phase {:?}: audit violations {:?}",
+                compiled.name,
+                span.name,
+                report.violations
+            );
+            // Non-vacuity scales with live keys: a drained structure
+            // legitimately has little to check, a full one must not.
+            let floor = oracle.len().min(100);
+            assert!(
+                report.checks > floor,
+                "{name}: {} phase {:?}: vacuous audit ({} checks, {} live keys)",
+                compiled.name,
+                span.name,
+                report.checks,
+                oracle.len()
+            );
+        }
+    }
+    assert_eq!(
+        idx.len(),
+        oracle.len(),
+        "{name}: {} final len",
+        compiled.name
+    );
+}
+
+fn battery<I: KvIndex + Auditable>(build: impl Fn() -> I, scans: bool) {
+    for sc in builtin::all(SCALE) {
+        let compiled = compile(&sc);
+        replay(&mut build(), &compiled, scans);
+    }
+}
+
+#[test]
+fn drift_dytis_small_params() {
+    battery(|| DyTis::with_params(Params::small()), true);
+}
+
+#[test]
+fn drift_dytis_default_params() {
+    battery(DyTis::new, true);
+}
+
+#[test]
+fn drift_btree() {
+    battery(BPlusTree::new, true);
+}
+
+#[test]
+fn drift_alex() {
+    battery(Alex::new, true);
+}
+
+#[test]
+fn drift_xindex() {
+    battery(XIndex::new, true);
+}
+
+#[test]
+fn drift_lipp() {
+    battery(Lipp::new, true);
+}
+
+// The hash baselines implement `scan` as a no-op (unordered layout), so
+// the replay skips scan comparison for them.
+#[test]
+fn drift_extendible_hash() {
+    battery(ExtendibleHash::new, false);
+}
+
+#[test]
+fn drift_cceh() {
+    battery(Cceh::new, false);
+}
+
+/// The drift acceptance bar, as a test: the MM→TX drift scenario must fire
+/// strictly more serve-phase remap activity on DyTIS than its
+/// shape-identical stationary control (same TX serve distribution, but the
+/// warmup already trained the structure on it).
+#[test]
+fn drift_fires_more_serve_phase_maintenance_than_stationary_control() {
+    use dytis_repro::scenario::{run, DytisTarget, RunOptions};
+
+    let serve_activity = |sc: &dytis_repro::scenario::Scenario| -> u64 {
+        let compiled = compile(sc);
+        let mut idx = DyTis::with_params(Params::small());
+        let mut target = DytisTarget { idx: &mut idx };
+        let tl = run(&mut target, &compiled, &RunOptions::default());
+        let p = tl
+            .phases
+            .iter()
+            .find(|p| p.name == "serve")
+            .expect("serve phase");
+        p.delta.remaps + p.delta.splits + p.delta.expansions + p.delta.doublings
+    };
+    let drift = serve_activity(&builtin::mm_to_tx_drift(SCALE));
+    let control = serve_activity(&builtin::stationary_control(SCALE));
+    assert!(
+        drift > control,
+        "drift serve phase fired {drift} remap-activity ops, stationary control {control}"
+    );
+}
