@@ -359,6 +359,30 @@ pub(crate) fn sched_point(intent: Intent) -> bool {
     }
 }
 
+/// Non-blocking shared acquisition of lock `id`, used by
+/// `RwLock::try_read`. In a model this is one scheduling point
+/// (`Intent::Step`, so the attempt itself can be interleaved against);
+/// once the token comes back the caller runs exclusively (single token),
+/// so inspecting the lock state and registering the reader is race-free.
+/// Returns `(tracked, acquired)`: `tracked` means the call ran under a
+/// model and an acquired guard must release through [`release_lock`].
+pub(crate) fn try_acquire_shared(id: u64) -> (bool, bool) {
+    if let Some((rt, me)) = current() {
+        if !rt.switch(me, Intent::Step) {
+            panic::panic_any(SchedPoisoned);
+        }
+        let mut st = rt.lock_state();
+        let l = st.locks.entry(id).or_default();
+        let acquired = l.writer.is_none();
+        if acquired {
+            l.readers += 1;
+        }
+        (true, acquired)
+    } else {
+        (false, false)
+    }
+}
+
 pub(crate) fn release_lock(id: u64, shared: bool) {
     if let Some((rt, _)) = current() {
         rt.release(id, shared);

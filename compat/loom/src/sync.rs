@@ -127,6 +127,38 @@ impl<T: ?Sized> RwLock<T> {
         }
     }
 
+    /// Attempts shared read access without blocking; `None` when a writer
+    /// holds the lock. In a model the attempt is one scheduling point and
+    /// the grab-or-fail decision is made against the model's lock state.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        let (tracked, acquired) = rt::try_acquire_shared(self.id);
+        if tracked {
+            if !acquired {
+                return None;
+            }
+            // The model granted shared access, so no model thread holds the
+            // inner write lock; this cannot block.
+            return Some(RwLockReadGuard {
+                inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+                id: self.id,
+                tracked: true,
+            });
+        }
+        match self.inner.try_read() {
+            Ok(inner) => Some(RwLockReadGuard {
+                inner,
+                id: self.id,
+                tracked: false,
+            }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(RwLockReadGuard {
+                inner: p.into_inner(),
+                id: self.id,
+                tracked: false,
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Acquires exclusive write access.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         let tracked = rt::sched_point(Intent::Acquire(self.id));

@@ -187,6 +187,65 @@ impl AtomicBool {
     }
 }
 
+/// Model-checked pointer atomic; see the module docs.
+#[derive(Debug)]
+pub struct AtomicPtr<T>(std::sync::atomic::AtomicPtr<T>);
+
+impl<T> AtomicPtr<T> {
+    /// Creates a new atomic holding `p`.
+    pub fn new(p: *mut T) -> Self {
+        Self(std::sync::atomic::AtomicPtr::new(p))
+    }
+
+    /// Loads the pointer; a scheduling point under a model.
+    pub fn load(&self, order: StdOrdering) -> *mut T {
+        let m = step();
+        self.0.load(ord(m, order))
+    }
+
+    /// Stores `p`; a scheduling point under a model.
+    pub fn store(&self, p: *mut T, order: StdOrdering) {
+        let m = step();
+        self.0.store(p, ord(m, order));
+    }
+
+    /// Atomic swap returning the previous pointer.
+    pub fn swap(&self, p: *mut T, order: StdOrdering) -> *mut T {
+        let m = step();
+        self.0.swap(p, ord(m, order))
+    }
+
+    /// Atomic compare-exchange.
+    pub fn compare_exchange(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: StdOrdering,
+        failure: StdOrdering,
+    ) -> Result<*mut T, *mut T> {
+        let m = step();
+        self.0
+            .compare_exchange(current, new, ord(m, success), fail_ord(m, failure))
+    }
+
+    /// Returns a mutable reference to the pointer (no scheduling point:
+    /// `&mut self` proves exclusivity).
+    pub fn get_mut(&mut self) -> &mut *mut T {
+        self.0.get_mut()
+    }
+
+    /// Consumes the atomic, returning the pointer.
+    pub fn into_inner(self) -> *mut T {
+        self.0.into_inner()
+    }
+}
+
+impl<T> Default for AtomicPtr<T> {
+    fn default() -> Self {
+        Self::new(std::ptr::null_mut())
+    }
+}
+
 /// Memory fence; a scheduling point under a model, a real fence outside.
 pub fn fence(order: StdOrdering) {
     let m = step();

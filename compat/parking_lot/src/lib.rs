@@ -71,6 +71,16 @@ impl<T: ?Sized> RwLock<T> {
         self.0.read().unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// Attempts shared read access without blocking; `None` when a writer
+    /// holds (or is waiting on, per std's writer-preference) the lock.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Acquires exclusive write access, blocking until available.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         self.0.write().unwrap_or_else(PoisonError::into_inner)

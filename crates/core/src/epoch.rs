@@ -1,0 +1,429 @@
+//! Epoch-based reclamation for the optimistic read path (DESIGN.md §14).
+//!
+//! The concurrent DyTIS variants publish their directory as an immutable
+//! snapshot behind an [`EpochPtr`]. Readers [`Collector::pin`] an epoch
+//! guard, load the snapshot, and probe without ever taking the directory
+//! lock; maintenance swaps in a fresh snapshot and *retires* the old one
+//! through the collector, which frees it only once every reader that could
+//! have observed it has unpinned. The protocol is the classic
+//! epoch/quiescent-state scheme (cf. crossbeam-epoch), shrunk to the two
+//! operations this crate needs and built on the loom-switchable
+//! [`crate::sync`] facade so the whole lifecycle is model-checkable.
+//!
+//! # Protocol
+//!
+//! * A global epoch counter is bumped by every [`Collector::retire`]; the
+//!   retired item is stamped with the pre-bump value.
+//! * A reader pins by claiming one of [`SLOTS`] announcement slots
+//!   (CAS `IDLE` → observed epoch), then **validating** that the global
+//!   epoch still equals what it announced, re-announcing on a miss. Once
+//!   validation succeeds, every retire that could free memory the reader
+//!   can still reach carries a stamp ≥ the announced epoch (see the
+//!   ordering argument on [`Collector::pin`]).
+//! * [`Collector::collect`] frees garbage whose stamp is strictly below
+//!   the minimum announced epoch.
+//!
+//! All atomics use `SeqCst`: the correctness argument below is a
+//! sequential-consistency argument, the loom shim explores SC
+//! interleavings only, and the read path is already dominated by cache
+//! misses, not fence cost.
+//!
+//! # Bounded, with a fallback
+//!
+//! `pin` can fail (all slots busy, or the epoch keeps advancing past the
+//! validation cap). Callers must treat `None` as "take the locked read
+//! path instead" — the optimistic path is an optimization, never a
+//! liveness requirement. This keeps every retry loop in this module
+//! statically bounded (see `xtask lint`'s `unbounded-retry` rule).
+
+// This module is the crate's one unsafe boundary: `EpochPtr` manages raw
+// boxes whose lifetime the collector's pin protocol governs. Each unsafe
+// block carries a `// justified:` argument; Miri runs the unit tests below
+// and the TSan job runs the integration surface.
+#![allow(unsafe_code)]
+
+use crate::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use crate::sync::Mutex;
+use std::any::Any;
+use std::cell::Cell;
+
+/// Number of announcement slots — an upper bound on concurrently pinned
+/// readers. Excess readers fall back to the locked path. Kept tiny under
+/// loom so a collect scan costs 4 scheduling points instead of 64.
+#[cfg(not(loom))]
+pub const SLOTS: usize = 64;
+#[cfg(loom)]
+pub const SLOTS: usize = 4;
+
+/// Slot value meaning "no reader announced here".
+const IDLE: u64 = u64::MAX;
+
+/// Cap on re-validation rounds in [`Collector::pin`] before giving up.
+const PIN_ATTEMPTS: usize = 16;
+
+thread_local! {
+    /// Start the slot scan where this thread last succeeded, so steady-state
+    /// readers don't all fight over slot 0. Under loom, model threads are
+    /// fresh OS threads each execution, so the hint replays deterministically.
+    static SLOT_HINT: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Deferred-free counters; see [`Collector::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochStats {
+    /// Total items handed to [`Collector::retire`] so far.
+    pub deferred: u64,
+    /// Of those, how many have actually been dropped.
+    pub freed: u64,
+    /// Items still parked in the garbage list (`deferred - freed`).
+    pub pending: usize,
+}
+
+/// The reclamation authority: global epoch, reader announcements, and the
+/// stamped garbage list.
+pub struct Collector {
+    global: AtomicU64,
+    slots: [AtomicU64; SLOTS],
+    garbage: Mutex<Vec<(u64, Box<dyn Any + Send>)>>,
+    deferred: AtomicU64,
+    freed: AtomicU64,
+}
+
+impl Collector {
+    /// Creates an empty collector at epoch 0 with all slots idle.
+    pub fn new() -> Self {
+        Collector {
+            global: AtomicU64::new(0),
+            slots: std::array::from_fn(|_| AtomicU64::new(IDLE)),
+            garbage: Mutex::new(Vec::new()),
+            deferred: AtomicU64::new(0),
+            freed: AtomicU64::new(0),
+        }
+    }
+
+    /// Pins the calling thread into the current epoch. Returns `None` when
+    /// every slot is taken or the epoch outruns the validation cap — the
+    /// caller must fall back to its locked path.
+    ///
+    /// Why validation makes the guard sound (SC argument): the reader
+    /// stores `e` into its slot, then re-loads the global epoch and only
+    /// succeeds if it still reads `e`. Any `retire` whose stamp is `s < e`
+    /// performed its `fetch_add` (publishing `s+1 ≤ e`) before the reader's
+    /// validating load, and its unlink (the [`EpochPtr::swap`]) precedes
+    /// that `fetch_add` in program order — so the reader's subsequent
+    /// [`EpochPtr::load`] cannot observe the retired pointer. Any retire
+    /// with stamp `s ≥ e` can only be freed once `min_pinned() > s ≥ e`,
+    /// and the reader's announced `e` (stored before the validating load,
+    /// read by `collect` after the `fetch_add`) keeps `min_pinned() ≤ e`
+    /// until the guard drops.
+    pub fn pin(&self) -> Option<Guard<'_>> {
+        let hint = SLOT_HINT.with(Cell::get).min(SLOTS - 1);
+        let mut e = self.global.load(SeqCst);
+        // Claim a slot: one CAS attempt per slot, starting at the hint.
+        let mut slot = None;
+        for i in 0..SLOTS {
+            let s = (hint + i) % SLOTS;
+            if self.slots[s]
+                .compare_exchange(IDLE, e, SeqCst, SeqCst)
+                .is_ok()
+            {
+                slot = Some(s);
+                break;
+            }
+        }
+        let slot = slot?;
+        // Validate (bounded): the announcement only protects epochs ≥ the
+        // announced value, so it must not lag the global epoch.
+        for _ in 0..PIN_ATTEMPTS {
+            let now = self.global.load(SeqCst);
+            if now == e {
+                SLOT_HINT.with(|h| h.set(slot));
+                return Some(Guard {
+                    collector: self,
+                    slot,
+                });
+            }
+            e = now;
+            self.slots[slot].store(e, SeqCst);
+        }
+        // Retiring traffic is outrunning us; release the slot and let the
+        // caller take its locked fallback.
+        self.slots[slot].store(IDLE, SeqCst);
+        None
+    }
+
+    /// Hands `item` to the collector: it is dropped only once every reader
+    /// pinned at or before the current epoch has unpinned. Advances the
+    /// global epoch and opportunistically collects.
+    pub fn retire(&self, item: Box<dyn Any + Send>) {
+        let stamp = self.global.fetch_add(1, SeqCst);
+        self.deferred.fetch_add(1, SeqCst);
+        obs::counter!("epoch.deferred_frees").inc();
+        self.garbage.lock().push((stamp, item));
+        self.collect();
+    }
+
+    /// Smallest announced epoch, or `u64::MAX` when no reader is pinned.
+    fn min_pinned(&self) -> u64 {
+        let mut min = u64::MAX;
+        for s in &self.slots {
+            min = min.min(s.load(SeqCst));
+        }
+        min
+    }
+
+    /// Drops every garbage item stamped strictly below the minimum pinned
+    /// epoch; returns how many were freed.
+    pub fn collect(&self) -> usize {
+        let min = self.min_pinned();
+        let mut garbage = self.garbage.lock();
+        let before = garbage.len();
+        garbage.retain(|&(stamp, _)| stamp >= min);
+        let freed = before - garbage.len();
+        drop(garbage);
+        if freed > 0 {
+            self.freed.fetch_add(freed as u64, SeqCst);
+        }
+        freed
+    }
+
+    /// True when no reader is currently pinned. Racy by nature — only
+    /// meaningful from contexts that exclude new pins (e.g. audits holding
+    /// the structure's write locks) or as a heuristic.
+    pub fn quiescent(&self) -> bool {
+        self.min_pinned() == u64::MAX
+    }
+
+    /// Deferred/freed/pending counters (always-on, like
+    /// `maintenance_stats`).
+    pub fn stats(&self) -> EpochStats {
+        let deferred = self.deferred.load(SeqCst);
+        let freed = self.freed.load(SeqCst);
+        EpochStats {
+            deferred,
+            freed,
+            pending: self.garbage.lock().len(),
+        }
+    }
+
+    /// SEEDED BUG (tests only): frees all garbage *ignoring* reader pins.
+    /// Exists so the loom reclamation model can demonstrate that the pin
+    /// protocol is load-bearing: with this in place of [`collect`], the
+    /// model finds a use-after-retire counterexample.
+    #[cfg(any(test, loom))]
+    pub fn collect_ignoring_pins(&self) -> usize {
+        let mut garbage = self.garbage.lock();
+        let freed = garbage.len();
+        garbage.clear();
+        drop(garbage);
+        if freed > 0 {
+            self.freed.fetch_add(freed as u64, SeqCst);
+        }
+        freed
+    }
+
+    /// SEEDED CORRUPTION (tests only): parks `item` with an uncollectable
+    /// stamp so it survives every collect — used to prove the audit layer's
+    /// epoch-quiescence check fires.
+    #[cfg(any(test, loom))]
+    pub fn retire_uncollectable(&self, item: Box<dyn Any + Send>) {
+        self.deferred.fetch_add(1, SeqCst);
+        self.garbage.lock().push((u64::MAX, item));
+    }
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Collector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collector")
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Proof of a pinned epoch; readers hold one across every snapshot
+/// dereference. Dropping it un-announces the slot.
+pub struct Guard<'c> {
+    collector: &'c Collector,
+    slot: usize,
+}
+
+impl Drop for Guard<'_> {
+    fn drop(&mut self) {
+        self.collector.slots[self.slot].store(IDLE, SeqCst);
+    }
+}
+
+/// An atomically swappable, epoch-reclaimed box: the publication point of
+/// the directory snapshot.
+///
+/// # Contract
+///
+/// Every replacement must go through [`EpochPtr::swap`] with the *same*
+/// [`Collector`] that readers pin against; the pointee is immutable while
+/// published. Under that contract, [`EpochPtr::load`] is safe to call with
+/// a live guard (see the ordering argument on [`Collector::pin`]).
+pub struct EpochPtr<T: Send + 'static> {
+    ptr: crate::sync::atomic::AtomicPtr<T>,
+}
+
+// justified: EpochPtr owns its pointee like Box<T> does (last pointer is
+// freed on drop, earlier ones via the collector), so Send/Sync bounds
+// mirror Box: sharing &EpochPtr hands out &T (needs T: Sync) and moving it
+// moves the T (needs T: Send).
+unsafe impl<T: Send + Sync + 'static> Send for EpochPtr<T> {}
+// justified: see above — &EpochPtr only exposes &T and the atomic pointer.
+unsafe impl<T: Send + Sync + 'static> Sync for EpochPtr<T> {}
+
+impl<T: Send + 'static> EpochPtr<T> {
+    /// Publishes `value` as the initial pointee.
+    pub fn new(value: Box<T>) -> Self {
+        EpochPtr {
+            ptr: crate::sync::atomic::AtomicPtr::new(Box::into_raw(value)),
+        }
+    }
+
+    /// Dereferences the current pointee under an epoch guard. The returned
+    /// borrow is valid for the guard's lifetime: a concurrent `swap` only
+    /// *retires* the old box, and the collector cannot free it while the
+    /// guard's slot stays announced.
+    pub fn load<'g>(&self, _guard: &'g Guard<'_>) -> &'g T {
+        let p = self.ptr.load(SeqCst);
+        // justified: p was published by `new` or `swap` (both via
+        // Box::into_raw, never null) and cannot have been freed: frees go
+        // through the collector, which the caller's guard pins (see the
+        // SC argument on Collector::pin).
+        unsafe { &*p }
+    }
+
+    /// Publishes `new` and retires the previous pointee through
+    /// `collector`.
+    pub fn swap(&self, new: Box<T>, collector: &Collector) {
+        let old = self.ptr.swap(Box::into_raw(new), SeqCst);
+        // justified: `old` came from Box::into_raw in `new`/`swap` and is
+        // unlinked by this swap — no future load can return it, and
+        // in-flight readers are covered by the collector's pin protocol,
+        // which defers the actual drop.
+        collector.retire(unsafe { Box::from_raw(old) });
+    }
+}
+
+impl<T: Send + 'static> Drop for EpochPtr<T> {
+    fn drop(&mut self) {
+        let p = *self.ptr.get_mut();
+        // justified: &mut self proves no reader holds a borrow; the current
+        // pointee is owned by this EpochPtr (swap retired all predecessors),
+        // so reconstituting the Box here frees it exactly once.
+        unsafe {
+            drop(Box::from_raw(p));
+        }
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// Drop-counting payload so tests observe exactly when frees happen.
+    struct Tracked(Arc<AtomicUsize>);
+    impl Drop for Tracked {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn tracked(drops: &Arc<AtomicUsize>) -> Box<Tracked> {
+        Box::new(Tracked(Arc::clone(drops)))
+    }
+
+    #[test]
+    fn unpinned_retire_frees_immediately() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let c = Collector::new();
+        c.retire(tracked(&drops));
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+        let st = c.stats();
+        assert_eq!((st.deferred, st.freed, st.pending), (1, 1, 0));
+    }
+
+    #[test]
+    fn pinned_reader_defers_the_free() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let c = Collector::new();
+        let guard = c.pin().expect("fresh collector must pin");
+        c.retire(tracked(&drops));
+        c.collect();
+        assert_eq!(drops.load(Ordering::SeqCst), 0, "freed under a pin");
+        assert_eq!(c.stats().pending, 1);
+        drop(guard);
+        c.collect();
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+        assert_eq!(c.stats().pending, 0);
+        assert!(c.quiescent());
+    }
+
+    #[test]
+    fn older_garbage_frees_under_a_newer_pin() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let c = Collector::new();
+        c.retire(tracked(&drops)); // stamp 0, freed immediately (no pins)
+        let _guard = c.pin().expect("pin"); // pinned at epoch 1
+        c.retire(tracked(&drops)); // stamp 1: reader may hold it
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+        assert_eq!(c.stats().pending, 1);
+    }
+
+    #[test]
+    fn pin_exhaustion_falls_back_to_none() {
+        let c = Collector::new();
+        let guards: Vec<_> = (0..SLOTS).map(|_| c.pin().expect("slot")).collect();
+        assert!(c.pin().is_none(), "no slot left; caller must take locks");
+        drop(guards);
+        assert!(c.pin().is_some());
+    }
+
+    #[test]
+    fn epoch_ptr_swap_retires_and_drop_frees_current() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let c = Collector::new();
+        let p = EpochPtr::new(tracked(&drops));
+        let guard = c.pin().expect("pin");
+        let _borrow = p.load(&guard);
+        p.swap(tracked(&drops), &c);
+        assert_eq!(drops.load(Ordering::SeqCst), 0, "old box freed under pin");
+        drop(guard);
+        c.collect();
+        assert_eq!(drops.load(Ordering::SeqCst), 1, "old box freed after unpin");
+        drop(p);
+        assert_eq!(drops.load(Ordering::SeqCst), 2, "drop frees the live box");
+    }
+
+    #[test]
+    fn seeded_collect_ignoring_pins_frees_under_a_pin() {
+        // The seeded bug the loom model catches: without honoring pins the
+        // free happens while a reader is still announced.
+        let drops = Arc::new(AtomicUsize::new(0));
+        let c = Collector::new();
+        let _guard = c.pin().expect("pin");
+        c.retire(tracked(&drops));
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        c.collect_ignoring_pins();
+        assert_eq!(drops.load(Ordering::SeqCst), 1, "bug frees despite pin");
+    }
+
+    #[test]
+    fn uncollectable_garbage_survives_quiescent_collect() {
+        let c = Collector::new();
+        c.retire_uncollectable(Box::new(0u64));
+        c.collect();
+        assert!(c.quiescent());
+        assert_eq!(c.stats().pending, 1, "seeded corruption never collects");
+    }
+}

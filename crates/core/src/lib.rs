@@ -40,6 +40,7 @@ pub mod concurrent;
 pub mod concurrent_fine;
 pub mod cursor;
 pub mod eh;
+pub mod epoch;
 pub mod params;
 pub mod persist;
 pub mod remap;
@@ -47,7 +48,7 @@ pub mod segment;
 pub mod stats;
 pub mod sync;
 
-pub use concurrent::ConcurrentDyTis;
+pub use concurrent::{ConcurrentDyTis, ReadStats};
 pub use concurrent_fine::ConcurrentDyTisFine;
 pub use cursor::{CursorInvalidated, ScanCursor};
 pub use params::Params;

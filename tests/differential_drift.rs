@@ -162,6 +162,125 @@ fn drift_cceh() {
     battery(Cceh::new, false);
 }
 
+/// Drift read-hammer on the bucket-locked variant: the writer replays the
+/// MM→TX drift stream (keys forced even) through `ConcurrentDyTisFine`, so
+/// maintenance fires under a *shifting* distribution, while reader threads
+/// hammer a stable odd-key population through the optimistic read path and
+/// compare every lookup against the oracle. Same non-vacuity bar as
+/// `tests/differential.rs`: retries and deferred frees must be observed.
+#[test]
+fn drift_concurrent_read_hammer_fine_variant() {
+    use dytis_repro::dytis::ConcurrentDyTisFine;
+    use dytis_repro::index_traits::ConcurrentKvIndex;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    const READERS: usize = 3;
+    const STABLE: u64 = 4_000;
+
+    fn scramble(id: u64) -> u64 {
+        id.wrapping_mul(0x9E3779B97F4A7C15)
+    }
+
+    let compiled = Arc::new(compile(&builtin::mm_to_tx_drift(SCALE)));
+    let mut total_retries = 0u64;
+    for _round in 0..5 {
+        let idx = Arc::new(ConcurrentDyTisFine::with_params(Params::small()));
+        let mut stable: BTreeMap<Key, Value> = BTreeMap::new();
+        for i in 0..STABLE {
+            let k = scramble(i) | 1;
+            idx.insert(k, i);
+            stable.insert(k, i);
+        }
+        let stable = Arc::new(stable);
+        let done = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let idx = Arc::clone(&idx);
+            let done = Arc::clone(&done);
+            let compiled = Arc::clone(&compiled);
+            std::thread::spawn(move || {
+                // Keys forced even: disjoint from the stable population.
+                // No oracle on the writer side — the drift stream only
+                // exists to drive maintenance while readers verify.
+                for &op in &compiled.ops {
+                    match op {
+                        ScenarioOp::Insert(k, v) | ScenarioOp::Update(k, v) => {
+                            idx.insert(k & !1, v);
+                        }
+                        ScenarioOp::Delete(k) => {
+                            idx.remove(k & !1);
+                        }
+                        ScenarioOp::Read(k) => {
+                            idx.get(k & !1);
+                        }
+                        ScenarioOp::Scan(_) => {}
+                    }
+                }
+                done.store(true, Ordering::SeqCst);
+            })
+        };
+        let readers: Vec<_> = (0..READERS)
+            .map(|r| {
+                let idx = Arc::clone(&idx);
+                let stable = Arc::clone(&stable);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    let keys: Vec<Key> = stable.keys().copied().collect();
+                    let mut got = Vec::with_capacity(SCAN_COUNT);
+                    let mut i = r * 1_013;
+                    while !done.load(Ordering::SeqCst) {
+                        let k = keys[i % keys.len()];
+                        assert_eq!(
+                            idx.get(k),
+                            stable.get(&k).copied(),
+                            "reader {r}: stable key {k:#x} flickered"
+                        );
+                        if i % 64 == 0 {
+                            got.clear();
+                            idx.scan(k, SCAN_COUNT, &mut got);
+                            assert!(
+                                got.windows(2).all(|w| w[0].0 < w[1].0),
+                                "reader {r}: scan from {k:#x} unsorted"
+                            );
+                            for &(sk, sv) in &got {
+                                if sk & 1 == 1 {
+                                    assert_eq!(
+                                        stable.get(&sk).copied(),
+                                        Some(sv),
+                                        "reader {r}: scan returned corrupt stable pair"
+                                    );
+                                }
+                            }
+                        }
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+        writer.join().expect("writer");
+        for r in readers {
+            r.join().unwrap();
+        }
+        for (&k, &v) in stable.iter() {
+            assert_eq!(idx.get(k), Some(v), "stable key {k:#x} lost after hammer");
+        }
+        assert!(
+            idx.epoch_stats().deferred > 0,
+            "maintenance never retired a snapshot through the collector"
+        );
+        idx.audit().assert_clean();
+        total_retries += idx.read_stats().retries;
+        if total_retries > 0 {
+            break;
+        }
+    }
+    assert!(
+        total_retries > 0,
+        "optimistic readers never observed a concurrent structural op; \
+         the retry path is untested"
+    );
+}
+
 /// The drift acceptance bar, as a test: the MM→TX drift scenario must fire
 /// strictly more serve-phase remap activity on DyTIS than its
 /// shape-identical stationary control (same TX serve distribution, but the

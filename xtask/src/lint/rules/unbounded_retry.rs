@@ -5,6 +5,12 @@
 //! (`assert!` on an attempt counter), a blocking wait (condvar `.wait`),
 //! or a backoff (`sleep`/`yield_now`/`spin_loop`) — or carry a
 //! `// justified:` termination argument.
+//!
+//! Seqlock validate loops count as retry loops too: an optimistic read
+//! that re-loads a version counter or spins on `try_read`/`try_lock`
+//! until validation succeeds (DESIGN.md §14) livelocks just as readily
+//! when a writer keeps the version moving, so the same bound/fallback
+//! evidence is required.
 
 use crate::lint::guards::acquisitions;
 use crate::lint::strip::contains_word;
@@ -15,6 +21,12 @@ fn is_retry_op(code: &str) -> bool {
     !acquisitions(code).is_empty()
         || code.contains("compare_exchange")
         || code.contains("fetch_update")
+        // Seqlock validation: re-loading a version counter or retrying a
+        // non-blocking lock acquisition until it sticks.
+        || code.contains("version.load(")
+        || code.contains("try_read(")
+        || code.contains("try_write(")
+        || code.contains("try_lock(")
 }
 
 /// Body text accepted as a bound or backoff.

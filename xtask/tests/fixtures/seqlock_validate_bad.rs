@@ -1,0 +1,20 @@
+// Seeded violation: a seqlock validate loop with no attempt bound, no
+// backoff, and no locked fallback — a writer that keeps the version
+// moving livelocks this reader forever. Note it acquires no lock at all:
+// only the version re-load and the try_read mark it as a retry loop.
+fn get_optimistic(&self, key: u64) -> Option<u64> {
+    loop {
+        let v0 = self.version.load(Ordering::SeqCst);
+        if v0 & 1 == 1 {
+            continue;
+        }
+        let Some(seg) = self.seg.try_read() else {
+            continue;
+        };
+        let val = seg.probe(key);
+        drop(seg);
+        if self.version.load(Ordering::SeqCst) == v0 {
+            return val;
+        }
+    }
+}

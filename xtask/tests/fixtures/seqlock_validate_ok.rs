@@ -1,0 +1,37 @@
+// Clean: the same seqlock validate loops, made acceptable three ways —
+// an asserted attempt bound, a justified bounded-for shape, and a
+// justified loop with a locked fallback.
+fn get_optimistic(&self, key: u64) -> Option<u64> {
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        assert!(attempts <= 8, "optimistic read failed to converge");
+        let v0 = self.version.load(Ordering::SeqCst);
+        if v0 & 1 == 1 {
+            continue;
+        }
+        let Some(seg) = self.seg.try_read() else {
+            continue;
+        };
+        let val = seg.probe(key);
+        drop(seg);
+        if self.version.load(Ordering::SeqCst) == v0 {
+            return val;
+        }
+    }
+}
+
+fn get(&self, key: u64) -> Option<u64> {
+    // justified: bounded by READ_RETRIES, with the locked fallback below
+    // when the optimistic budget is exhausted.
+    loop {
+        let v0 = self.version.load(Ordering::SeqCst);
+        if let Some(v) = self.try_probe(key, v0) {
+            return v;
+        }
+        if self.give_up() {
+            break;
+        }
+    }
+    self.get_locked(key)
+}

@@ -134,6 +134,24 @@ fn unbounded_retry_fixtures() {
     );
 }
 
+/// The seqlock extension of `unbounded-retry`: a validate loop that
+/// re-loads a version counter / spins on `try_read` must show the same
+/// bound-or-fallback evidence as a lock/CAS retry loop.
+#[test]
+fn seqlock_validate_fixtures() {
+    let rule = UnboundedRetry;
+    assert_flags(
+        &rule,
+        "core",
+        include_str!("fixtures/seqlock_validate_bad.rs"),
+    );
+    assert_clean(
+        &rule,
+        "core",
+        include_str!("fixtures/seqlock_validate_ok.rs"),
+    );
+}
+
 #[test]
 fn dependency_policy_fixtures() {
     let rule = DependencyPolicy;
