@@ -6,30 +6,24 @@
 //! budget (2 KiB by default, §4.1), which at 8-byte keys and values yields
 //! 128 slots.
 
+use crate::simd;
 use index_traits::{Key, Value};
 
-/// Branchless lower bound over a sorted slice: index of the first element
-/// `>= key` (or `len` if none). Each halving step is a compare plus an
-/// unconditional arithmetic update, which compiles to a conditional move —
-/// no data-dependent branch to mispredict. Probe keys land at effectively
-/// random slots of the fixed 128-slot layout, so a branchy binary search
-/// mispredicts ~half its steps; this form trades those stalls for a fixed
-/// ceil(log2 len) dependent-load chain.
-#[inline]
-fn lower_bound_branchless(keys: &[Key], key: Key) -> usize {
-    let mut base = 0usize;
-    let mut len = keys.len();
-    if len == 0 {
-        return 0;
-    }
-    while len > 1 {
-        let half = len / 2;
-        // Answer lies in base..=base+len; step keeps it there: everything
-        // left of `base` is < key, everything from base+len on is >= key.
-        base += usize::from(keys[base + half - 1] < key) * half;
-        len -= half;
-    }
-    base + usize::from(keys[base] < key)
+// Compare counter for the hint fast-path regression test: counts the
+// *explicit* key compares `search_from_hint` performs before handing the
+// bracketed window to the lower-bound kernel, so a perfect remap hint is
+// observable as exactly one compare.
+#[cfg(test)]
+thread_local! {
+    pub(crate) static HINT_COMPARES: std::cell::Cell<u64> =
+        const { std::cell::Cell::new(0) };
+}
+
+/// Counts one explicit compare on the hint path (no-op outside tests).
+#[inline(always)]
+fn note_compare() {
+    #[cfg(test)]
+    HINT_COMPARES.with(|c| c.set(c.get() + 1));
 }
 
 /// A sorted, fixed-capacity container of key-value pairs.
@@ -87,18 +81,26 @@ impl Bucket {
     /// (the position predicted by the remapping function, §3.3).
     ///
     /// Returns `Ok(idx)` if the key is stored at `idx`, `Err(idx)` with the
-    /// insertion position otherwise. The doubling steps bracket `key` in a
-    /// window around the hint; the window itself is then resolved with the
-    /// branchless lower bound, so a good hint costs a couple of compares and
-    /// a bad one degrades to the plain branchless search.
+    /// insertion position otherwise. An exact hint returns after a single
+    /// equality compare; otherwise doubling steps bracket `key` in a window
+    /// around the hint, which the lower-bound kernel then resolves, so a
+    /// good hint costs a couple of compares and a bad one degrades to the
+    /// plain whole-bucket search.
     pub fn search_from_hint(&self, key: Key, hint: usize) -> Result<usize, usize> {
         let n = self.keys.len();
         if n == 0 {
             return Err(0);
         }
         let pos = hint.min(n - 1);
+        // Perfect prediction — the common case once the remap has learned
+        // the local distribution — is one compare.
+        note_compare();
+        if self.keys[pos] == key {
+            return Ok(pos);
+        }
         // Exponential search: widen a window around `pos` with doubling
         // steps until it brackets `key`.
+        note_compare();
         let (wlo, whi) = if self.keys[pos] < key {
             let mut step = 1usize;
             let mut hi = pos;
@@ -107,6 +109,7 @@ impl Bucket {
                     break (pos + 1, n);
                 }
                 hi = (hi + step).min(n - 1);
+                note_compare();
                 if self.keys[hi] >= key {
                     break (pos + 1, hi + 1);
                 }
@@ -120,6 +123,7 @@ impl Bucket {
                     break (0, pos + 1);
                 }
                 lo = lo.saturating_sub(step);
+                note_compare();
                 if self.keys[lo] <= key {
                     break (lo, pos + 1);
                 }
@@ -127,7 +131,7 @@ impl Bucket {
             }
         };
         let window = &self.keys[wlo..whi];
-        let i = wlo + lower_bound_branchless(window, key);
+        let i = wlo + simd::lower_bound(window, key);
         if i < n && self.keys[i] == key {
             Ok(i)
         } else {
@@ -135,10 +139,11 @@ impl Bucket {
         }
     }
 
-    /// Branchless binary search for `key` over the whole bucket.
+    /// Kernel-dispatched search for `key` over the whole bucket (see
+    /// [`crate::simd`] for the kernel selection).
     #[inline]
     pub fn search(&self, key: Key) -> Result<usize, usize> {
-        let i = lower_bound_branchless(&self.keys, key);
+        let i = simd::lower_bound(&self.keys, key);
         if i < self.keys.len() && self.keys[i] == key {
             Ok(i)
         } else {
@@ -213,7 +218,7 @@ impl Bucket {
     /// Index of the first key `>= start`, or `len()` if none.
     #[inline]
     pub fn lower_bound(&self, start: Key) -> usize {
-        lower_bound_branchless(&self.keys, start)
+        simd::lower_bound(&self.keys, start)
     }
 
     /// Bulk-appends pairs starting at `slot` into `out`, at most `max` of
@@ -283,6 +288,25 @@ mod tests {
             assert_eq!(b.search_from_hint(7, hint), Err(3));
             assert_eq!(b.search_from_hint(17, hint), Err(8));
         }
+    }
+
+    /// Explicit hint-path compares spent by one `search_from_hint` call.
+    fn compares_for(b: &Bucket, key: Key, hint: usize) -> u64 {
+        let before = HINT_COMPARES.with(|c| c.get());
+        let _ = b.search_from_hint(key, hint);
+        HINT_COMPARES.with(|c| c.get()) - before
+    }
+
+    #[test]
+    fn perfect_hint_costs_one_compare() {
+        let keys: Vec<Key> = (0..64u64).map(|k| k * 3 + 1).collect();
+        let b = filled(&keys);
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(compares_for(&b, k, i), 1, "exact hint at {i}");
+        }
+        // Non-vacuity: a far-off hint must pay the doubling loop.
+        assert!(compares_for(&b, keys[0], 63) > 1, "bad hint counted as 1");
+        assert!(compares_for(&b, keys[63], 0) > 1, "bad hint counted as 1");
     }
 
     #[test]

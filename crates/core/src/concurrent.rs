@@ -165,6 +165,10 @@ pub struct ReadStats {
     /// Reads that exhausted their retry budget (or found no epoch slot)
     /// and completed on the locked path instead.
     pub fallbacks: u64,
+    /// Reads (point or per-table scan legs) that executed under locks —
+    /// fallbacks plus everything served while `set_locked_reads(true)`.
+    /// Zero here proves the optimistic hit path took no lock at all.
+    pub locked: u64,
 }
 
 /// The multi-threaded DyTIS index (used by the Figure 12 evaluation).
@@ -183,6 +187,7 @@ pub struct ConcurrentDyTis {
     insert_retries: AtomicU64,
     read_retries: AtomicU64,
     read_fallbacks: AtomicU64,
+    read_locked: AtomicU64,
 }
 
 impl ConcurrentDyTis {
@@ -234,6 +239,7 @@ impl ConcurrentDyTis {
             insert_retries: AtomicU64::new(0),
             read_retries: AtomicU64::new(0),
             read_fallbacks: AtomicU64::new(0),
+            read_locked: AtomicU64::new(0),
         }
     }
 
@@ -273,6 +279,8 @@ impl ConcurrentDyTis {
             retries: self.read_retries.load(Ordering::Relaxed),
             // relaxed: see above.
             fallbacks: self.read_fallbacks.load(Ordering::Relaxed),
+            // relaxed: see above.
+            locked: self.read_locked.load(Ordering::Relaxed),
         }
     }
 
@@ -398,6 +406,8 @@ impl ConcurrentDyTis {
     /// Locked `get`: the original §3.4 two-lock path, kept as the
     /// fallback and as the read-scaling baseline.
     fn get_locked(&self, table: &CEh, sk: u64, key: Key) -> Option<Value> {
+        // relaxed: monotonic advisory counter.
+        self.read_locked.fetch_add(1, Ordering::Relaxed);
         let dir = table.dir.read();
         let seg = dir.entries[Self::dir_index(&dir, sk, self.m_total)]
             .data
@@ -643,6 +653,8 @@ impl ConcurrentDyTis {
         count: usize,
         out: &mut Vec<(Key, Value)>,
     ) -> bool {
+        // relaxed: monotonic advisory counter.
+        self.read_locked.fetch_add(1, Ordering::Relaxed);
         let dir = table.dir.read();
         // Acquire pairs with the Release increments so a table observed
         // non-empty has its inserts visible to the scan below.

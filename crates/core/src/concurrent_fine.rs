@@ -18,11 +18,14 @@
 //! they probe an epoch-published directory snapshot without the directory
 //! lock, validating a per-slot version counter around the probe. One
 //! difference from the coarse variant: bucket contents mutate under the
-//! segment *read* lock (plus the bucket mutex), so concurrent writers'
-//! version windows would interleave and break the odd/even parity. The
-//! version is therefore bumped only around the *structural* mutations that
-//! hold the segment write lock (in-place remap/expand swaps); bucket-level
-//! consistency comes from the bucket mutex, which readers also take.
+//! segment *read* lock, so the slot version is bumped only around the
+//! *structural* mutations that hold the segment write lock (in-place
+//! remap/expand swaps). Bucket-level consistency comes from a second,
+//! per-bucket seqlock ([`FineBucket`]): writers serialize on the bucket
+//! lock and bracket mutations with a per-bucket version bump, while
+//! optimistic readers probe the bucket's atomic arrays with no lock at
+//! all, discarding any probe whose version moved. The bucket lock is
+//! taken by readers only on the locked fallback/baseline path.
 
 use crate::bucket::Bucket;
 pub use crate::concurrent::ReadStats;
@@ -30,39 +33,349 @@ use crate::epoch::{Collector, EpochPtr, EpochStats, Guard};
 use crate::params::Params;
 use crate::remap::{mask64, RemapFn};
 use crate::segment::{RemapOutcome, Segment};
-use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use crate::sync::{Arc, Mutex, RwLock, RwLockWriteGuard};
+use crate::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockWriteGuard};
 use index_traits::{AuditReport, Auditable, ConcurrentKvIndex, Key, Value};
 
 /// Optimistic probe attempts per `get` before falling back to locks.
 const READ_RETRIES: usize = 8;
 /// Optimistic restarts per table in `scan` before falling back to locks.
 const SCAN_RESTARTS: usize = 4;
+/// Seqlock read attempts per bucket before the surrounding operation
+/// reports contention (retrying at its own level or falling back).
+const BUCKET_RETRIES: usize = 4;
 
-/// A segment whose buckets are individually locked.
+/// A fixed-capacity sorted bucket readable without its lock.
+///
+/// Storage is a pair of atomic arrays, so *every* shared access is atomic
+/// and racing reads are defined behavior: a reader can observe a stale or
+/// mid-shift pair, but never a torn word, and seqlock validation discards
+/// the whole probe in that case. Writers serialize on `lock` and bracket
+/// each mutation with `version` bumps (odd while mutating, via
+/// [`FineBucket::write`]); optimistic readers snapshot the version, read
+/// the arrays with `Relaxed` loads, and revalidate. The extra word per
+/// slot-array plus lock plus version is exactly the fine-grained memory
+/// overhead the paper's §3.4 analysis charges this design with.
+struct FineBucket {
+    /// Per-bucket seqlock version: odd while a writer mutates
+    /// `len`/`keys`/`vals`, even and monotone otherwise.
+    version: AtomicU64,
+    /// Live pairs (a prefix of `keys`/`vals`); never exceeds capacity.
+    len: AtomicUsize,
+    keys: Box<[AtomicU64]>,
+    vals: Box<[AtomicU64]>,
+    /// Writer mutual exclusion. Optimistic readers never touch it; the
+    /// locked read path takes it to make reads stable without validation.
+    lock: Mutex<()>,
+}
+
+impl FineBucket {
+    /// Builds from a plain bucket, reserving `cap` slots up front (the
+    /// paper's fixed bucket byte budget).
+    fn from_bucket(b: &Bucket, cap: usize) -> Self {
+        let cap = cap.max(b.len());
+        FineBucket {
+            version: AtomicU64::new(0),
+            len: AtomicUsize::new(b.len()),
+            keys: (0..cap)
+                .map(|i| AtomicU64::new(b.keys().get(i).copied().unwrap_or(0)))
+                .collect(),
+            vals: (0..cap)
+                .map(|i| AtomicU64::new(b.vals().get(i).copied().unwrap_or(0)))
+                .collect(),
+            lock: Mutex::new(()),
+        }
+    }
+
+    /// Consistent copy back to a plain bucket (takes the writer lock).
+    fn to_bucket(&self) -> Bucket {
+        let _g = self.lock.lock();
+        // relaxed: the writer lock excludes mutators, so the arrays and
+        // length are stable for the duration of the copy.
+        let n = self.len.load(Ordering::Relaxed);
+        let mut b = Bucket::with_capacity(self.keys.len());
+        for i in 0..n {
+            // relaxed: see above.
+            b.push_sorted(
+                self.keys[i].load(Ordering::Relaxed),
+                self.vals[i].load(Ordering::Relaxed),
+            );
+        }
+        b
+    }
+
+    /// Advisory live-pair count (no lock; pairs with the `Release` store
+    /// closing each mutation).
+    fn live_len(&self) -> usize {
+        self.len.load(Ordering::Acquire).min(self.keys.len())
+    }
+
+    /// Opens a mutation window: writer lock + odd version. The guard
+    /// closes the window (even again) before the lock is released.
+    fn write(&self) -> FineBucketWrite<'_> {
+        let guard = self.lock.lock();
+        // The SeqCst RMW keeps the mutation's Relaxed data stores from
+        // being ordered above the odd-version publication.
+        self.version.fetch_add(1, Ordering::SeqCst);
+        FineBucketWrite {
+            b: self,
+            _guard: guard,
+        }
+    }
+
+    /// Seqlock read validation: the data loads made since `v0` was read
+    /// are ordered before the re-load, and the probe only counts if no
+    /// writer opened a window in between.
+    fn validate(&self, v0: u64) -> bool {
+        fence(Ordering::Acquire);
+        self.version.load(Ordering::SeqCst) == v0
+    }
+
+    /// Branchless halving lower bound over the first `n` slots via
+    /// `Relaxed` loads. Callers either hold `lock` (stable data) or
+    /// validate a version around the call (torn results discarded).
+    fn lower_bound_relaxed(&self, key: Key, n: usize) -> usize {
+        let mut base = 0usize;
+        let mut len = n;
+        if len == 0 {
+            return 0;
+        }
+        while len > 1 {
+            let half = len / 2;
+            // relaxed: see fn doc — stability comes from the caller's
+            // lock or seqlock validation, not from this load.
+            base += usize::from(self.keys[base + half - 1].load(Ordering::Relaxed) < key) * half;
+            len -= half;
+        }
+        // relaxed: see above.
+        base + usize::from(self.keys[base].load(Ordering::Relaxed) < key)
+    }
+
+    /// Hint-first position of `key` among the first `n` slots (same
+    /// stability contract as [`FineBucket::lower_bound_relaxed`]).
+    fn find_relaxed(&self, key: Key, hint: usize, n: usize) -> Option<usize> {
+        if n == 0 {
+            return None;
+        }
+        let pos = hint.min(n - 1);
+        // relaxed: see lower_bound_relaxed.
+        if self.keys[pos].load(Ordering::Relaxed) == key {
+            return Some(pos);
+        }
+        let i = self.lower_bound_relaxed(key, n);
+        // relaxed: see lower_bound_relaxed.
+        (i < n && self.keys[i].load(Ordering::Relaxed) == key).then_some(i)
+    }
+
+    /// One lock-free probe for `key`. `Err(Contended)` when a writer's
+    /// mutation window overlapped the read.
+    fn probe_optimistic(&self, key: Key, hint: usize) -> Result<Option<Value>, Contended> {
+        let v0 = self.version.load(Ordering::SeqCst);
+        if v0 & 1 == 1 {
+            return Err(Contended);
+        }
+        // relaxed: bounded by capacity below; validated before use.
+        let n = self.len.load(Ordering::Relaxed).min(self.keys.len());
+        let found = self
+            .find_relaxed(key, hint, n)
+            // relaxed: validated below.
+            .map(|i| self.vals[i].load(Ordering::Relaxed));
+        if self.validate(v0) {
+            Ok(found)
+        } else {
+            Err(Contended)
+        }
+    }
+
+    /// Probe with the writer lock held (locked read path / fallback):
+    /// data is stable, no validation needed.
+    fn probe_locked(&self, key: Key, hint: usize) -> Option<Value> {
+        let _g = self.lock.lock();
+        // relaxed: the writer lock excludes mutators.
+        let n = self.len.load(Ordering::Relaxed);
+        self.find_relaxed(key, hint, n)
+            // relaxed: see above.
+            .map(|i| self.vals[i].load(Ordering::Relaxed))
+    }
+
+    /// One lock-free bulk read: appends up to `max` pairs (from the first
+    /// key `>= start`, or slot 0 when `start` is `None`) to `out`.
+    /// `Err(Contended)` rolls `out` back to its previous length.
+    fn read_range_optimistic(
+        &self,
+        start: Option<Key>,
+        max: usize,
+        out: &mut Vec<(Key, Value)>,
+    ) -> Result<(), Contended> {
+        let v0 = self.version.load(Ordering::SeqCst);
+        if v0 & 1 == 1 {
+            return Err(Contended);
+        }
+        let base = out.len();
+        // relaxed: bounded by capacity below; validated before use.
+        let n = self.len.load(Ordering::Relaxed).min(self.keys.len());
+        let i0 = match start {
+            Some(k) => self.lower_bound_relaxed(k, n),
+            None => 0,
+        };
+        for i in i0..n.min(i0 + max) {
+            // relaxed: validated below; a torn pair is truncated away.
+            out.push((
+                self.keys[i].load(Ordering::Relaxed),
+                self.vals[i].load(Ordering::Relaxed),
+            ));
+        }
+        if self.validate(v0) {
+            Ok(())
+        } else {
+            out.truncate(base);
+            Err(Contended)
+        }
+    }
+
+    /// Bulk read with the writer lock held (locked scan path).
+    fn read_range_locked(&self, start: Option<Key>, max: usize, out: &mut Vec<(Key, Value)>) {
+        let _g = self.lock.lock();
+        // relaxed: the writer lock excludes mutators.
+        let n = self.len.load(Ordering::Relaxed);
+        let i0 = match start {
+            Some(k) => self.lower_bound_relaxed(k, n),
+            None => 0,
+        };
+        for i in i0..n.min(i0 + max) {
+            // relaxed: see above.
+            out.push((
+                self.keys[i].load(Ordering::Relaxed),
+                self.vals[i].load(Ordering::Relaxed),
+            ));
+        }
+    }
+}
+
+/// Marker error: a bucket writer's mutation window overlapped the read.
+struct Contended;
+
+/// Write guard over one [`FineBucket`]: holds the bucket lock with the
+/// version odd; all mutation primitives live here so no path can mutate
+/// outside a version window.
+struct FineBucketWrite<'a> {
+    b: &'a FineBucket,
+    _guard: MutexGuard<'a, ()>,
+}
+
+impl Drop for FineBucketWrite<'_> {
+    fn drop(&mut self) {
+        // Back to even while the lock is still held; the SeqCst RMW keeps
+        // the mutation's stores from sinking below the window close.
+        self.b.version.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+impl FineBucketWrite<'_> {
+    fn len(&self) -> usize {
+        // relaxed: this guard's lock excludes other mutators.
+        self.b.len.load(Ordering::Relaxed)
+    }
+
+    /// Updates `key` in place; `false` if absent.
+    fn update(&mut self, key: Key, value: Value) -> bool {
+        let n = self.len();
+        let i = self.b.lower_bound_relaxed(key, n);
+        // relaxed: lock held, data stable.
+        if i < n && self.b.keys[i].load(Ordering::Relaxed) == key {
+            // relaxed: racing readers validate their version around loads.
+            self.b.vals[i].store(value, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// Inserts `(key, value)` preserving sorted order (updates in place on
+    /// an existing key). The caller must have checked the bucket is not
+    /// full.
+    fn insert(&mut self, key: Key, value: Value) {
+        let n = self.len();
+        debug_assert!(n < self.b.keys.len(), "insert into full FineBucket");
+        let i = self.b.lower_bound_relaxed(key, n);
+        // relaxed: lock held, data stable.
+        if i < n && self.b.keys[i].load(Ordering::Relaxed) == key {
+            // relaxed: racing readers validate their version around loads.
+            self.b.vals[i].store(value, Ordering::Relaxed);
+            return;
+        }
+        for j in (i..n).rev() {
+            // relaxed: the shift is invisible to optimistic readers — any
+            // probe overlapping it fails its version validation.
+            self.b.keys[j + 1].store(self.b.keys[j].load(Ordering::Relaxed), Ordering::Relaxed);
+            // relaxed: see above.
+            self.b.vals[j + 1].store(self.b.vals[j].load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        // relaxed: see above.
+        self.b.keys[i].store(key, Ordering::Relaxed);
+        // relaxed: see above.
+        self.b.vals[i].store(value, Ordering::Relaxed);
+        // Release pairs with the Acquire in `live_len` (advisory reads);
+        // probes order it via the seqlock instead.
+        self.b.len.store(n + 1, Ordering::Release);
+    }
+
+    /// Removes `key`, shifting larger pairs left; `None` if absent.
+    fn remove(&mut self, key: Key) -> Option<Value> {
+        let n = self.len();
+        let i = self.b.lower_bound_relaxed(key, n);
+        // relaxed: lock held, data stable.
+        if i >= n || self.b.keys[i].load(Ordering::Relaxed) != key {
+            return None;
+        }
+        // relaxed: see above.
+        let v = self.b.vals[i].load(Ordering::Relaxed);
+        for j in i..n - 1 {
+            // relaxed: shifts are covered by the seqlock window.
+            self.b.keys[j].store(
+                self.b.keys[j + 1].load(Ordering::Relaxed),
+                Ordering::Relaxed,
+            );
+            // relaxed: see above.
+            self.b.vals[j].store(
+                self.b.vals[j + 1].load(Ordering::Relaxed),
+                Ordering::Relaxed,
+            );
+        }
+        // Release pairs with the Acquire in `live_len`.
+        self.b.len.store(n - 1, Ordering::Release);
+        Some(v)
+    }
+}
+
+/// A segment whose buckets are individually seqlocked.
 struct FineSegment {
     local_depth: u32,
     remap: RemapFn,
-    buckets: Vec<Mutex<Bucket>>,
+    buckets: Vec<FineBucket>,
     num_keys: AtomicUsize,
     remap_streak: u32,
 }
 
 impl FineSegment {
-    fn from_segment(seg: Segment) -> Self {
+    /// Converts a plain segment, reserving `cap` slots per bucket.
+    fn from_segment(seg: Segment, cap: usize) -> Self {
         FineSegment {
             local_depth: seg.local_depth,
             remap_streak: seg.remap_streak,
-            remap: seg.remap,
             num_keys: AtomicUsize::new(seg.num_keys),
-            buckets: seg.buckets.into_iter().map(Mutex::new).collect(),
+            buckets: seg
+                .buckets
+                .iter()
+                .map(|b| FineBucket::from_bucket(b, cap))
+                .collect(),
+            remap: seg.remap,
         }
     }
 
     /// Converts back to a plain segment for structure operations (this copy
     /// is part of the overhead the paper measured).
     fn to_segment(&self) -> Segment {
-        let buckets: Vec<Bucket> = self.buckets.iter().map(|b| b.lock().clone()).collect();
+        let buckets: Vec<Bucket> = self.buckets.iter().map(|b| b.to_bucket()).collect();
         let occupancy = buckets.iter().map(|b| b.len() as u16).collect();
         Segment {
             local_depth: self.local_depth,
@@ -185,6 +498,7 @@ pub struct ConcurrentDyTisFine {
     insert_retries: AtomicU64,
     read_retries: AtomicU64,
     read_fallbacks: AtomicU64,
+    read_locked: AtomicU64,
     splits: AtomicU64,
     expansions: AtomicU64,
     remaps: AtomicU64,
@@ -208,7 +522,10 @@ impl ConcurrentDyTisFine {
         let m_total = 64 - r;
         let tables = (0..(1usize << r))
             .map(|_| {
-                let entries = vec![FineSlot::new(FineSegment::from_segment(Segment::new(0)))];
+                let entries = vec![FineSlot::new(FineSegment::from_segment(
+                    Segment::new(0),
+                    params.bucket_entries,
+                ))];
                 FineEh {
                     snap: EpochPtr::new(Box::new(FineSnapshot {
                         generation: 0,
@@ -233,6 +550,7 @@ impl ConcurrentDyTisFine {
             insert_retries: AtomicU64::new(0),
             read_retries: AtomicU64::new(0),
             read_fallbacks: AtomicU64::new(0),
+            read_locked: AtomicU64::new(0),
             splits: AtomicU64::new(0),
             expansions: AtomicU64::new(0),
             remaps: AtomicU64::new(0),
@@ -273,6 +591,8 @@ impl ConcurrentDyTisFine {
             retries: self.read_retries.load(Ordering::Relaxed),
             // relaxed: see above.
             fallbacks: self.read_fallbacks.load(Ordering::Relaxed),
+            // relaxed: see above.
+            locked: self.read_locked.load(Ordering::Relaxed),
         }
     }
 
@@ -316,17 +636,15 @@ impl ConcurrentDyTisFine {
         !self.locked_reads.load(Ordering::Relaxed)
     }
 
-    /// Probes one bucket of `seg` for `key` (shared by both read paths).
-    fn probe(&self, seg: &FineSegment, sk: u64, key: Key) -> Option<Value> {
+    /// Routes `sk` within `seg`: target bucket index plus the remap's
+    /// in-bucket slot hint (shared by both read paths).
+    #[inline]
+    fn route(&self, seg: &FineSegment, sk: u64) -> (usize, usize) {
         let m = self.m_total - seg.local_depth;
         let k = sk & mask64(m);
         let b = seg.bucket_of(k, self.m_total);
         let hint = seg.remap.slot_hint(k, m, self.params.bucket_entries);
-        let bucket = seg.buckets[b].lock();
-        match bucket.search_from_hint(key, hint) {
-            Ok(i) => Some(bucket.vals()[i]),
-            Err(_) => None,
-        }
+        (b, hint)
     }
 
     /// Optimistic `get`; `None` means "fall back to the locked path".
@@ -352,7 +670,23 @@ impl ConcurrentDyTisFine {
                 retries += 1; // Stale snapshot: reload and re-route.
                 continue;
             }
-            let v = self.probe(&seg, sk, key);
+            // Lock-free bucket probe under the per-bucket seqlock — the
+            // hit path of a fine-variant `get` acquires no lock at all.
+            let (b, hint) = self.route(&seg, sk);
+            let bucket = &seg.buckets[b];
+            let mut probed = None;
+            // justified: bounded by BUCKET_RETRIES; a persistently
+            // contended bucket charges an outer retry instead.
+            for _ in 0..BUCKET_RETRIES {
+                if let Ok(v) = bucket.probe_optimistic(key, hint) {
+                    probed = Some(v);
+                    break;
+                }
+            }
+            let Some(v) = probed else {
+                retries += 1; // Bucket writer kept the seqlock busy.
+                continue;
+            };
             drop(seg);
             if slot.version.load(Ordering::SeqCst) == v0 {
                 result = Some(v);
@@ -370,15 +704,18 @@ impl ConcurrentDyTisFine {
 
     /// Locked `get`: the original two-lock path (fallback + baseline).
     fn get_locked(&self, table: &FineEh, sk: u64, key: Key) -> Option<Value> {
+        // relaxed: monotonic advisory counter.
+        self.read_locked.fetch_add(1, Ordering::Relaxed);
         let dir = table.dir.read();
         let seg = dir.entries[Self::dir_index(&dir, sk, self.m_total)]
             .seg
             .read();
-        self.probe(&seg, sk, key)
+        let (b, hint) = self.route(&seg, sk);
+        seg.buckets[b].probe_locked(key, hint)
     }
 
-    /// Fast path: directory read lock, segment read lock, ONE bucket lock.
-    /// Returns false when maintenance is required.
+    /// Fast path: directory read lock, segment read lock, ONE bucket
+    /// write window. Returns false when maintenance is required.
     fn insert_fast(&self, table: &FineEh, sk: u64, key: Key, value: Value) -> bool {
         let p = &self.params;
         let dir = table.dir.read();
@@ -387,12 +724,13 @@ impl ConcurrentDyTisFine {
         let m = self.m_total - seg.local_depth;
         let k = sk & mask64(m);
         let b = seg.bucket_of(k, self.m_total);
-        let mut bucket = seg.buckets[b].lock();
+        let mut bucket = seg.buckets[b].write();
         if bucket.update(key, value) {
             return true;
         }
         if bucket.len() < p.bucket_entries {
             bucket.insert(key, value);
+            drop(bucket);
             // Release pairs with the Acquire loads in `len()`,
             // `to_segment`, and the audit.
             seg.num_keys.fetch_add(1, Ordering::Release);
@@ -414,7 +752,7 @@ impl ConcurrentDyTisFine {
         let m = self.m_total - ld;
         let k = sk & mask64(m);
         let b = fine.bucket_of(k, self.m_total);
-        if fine.buckets[b].lock().len() < p.bucket_entries {
+        if fine.buckets[b].live_len() < p.bucket_entries {
             return; // Another thread already fixed it.
         }
         let mut seg = fine.to_segment();
@@ -434,7 +772,7 @@ impl ConcurrentDyTisFine {
             // optimistic readers either lose the try_read or see the
             // version move and retry. Same slot Arc, so the published
             // snapshot stays valid.
-            *slot.write() = FineSegment::from_segment(seg);
+            *slot.write() = FineSegment::from_segment(seg, p.bucket_entries);
             // relaxed: monotonic stats counter, written under the directory
             // write lock.
             self.remaps.fetch_add(1, Ordering::Relaxed);
@@ -462,7 +800,7 @@ impl ConcurrentDyTisFine {
                 ok
             };
             if ok {
-                *slot.write() = FineSegment::from_segment(seg);
+                *slot.write() = FineSegment::from_segment(seg, p.bucket_entries);
                 return;
             }
         }
@@ -485,8 +823,8 @@ impl ConcurrentDyTisFine {
         let span = 1usize << (gd - (ld + 1));
         let idx = Self::dir_index(&dir, sk, self.m_total);
         let base = idx & !(span * 2 - 1);
-        let left = FineSlot::new(FineSegment::from_segment(left));
-        let right = FineSlot::new(FineSegment::from_segment(right));
+        let left = FineSlot::new(FineSegment::from_segment(left, p.bucket_entries));
+        let right = FineSlot::new(FineSegment::from_segment(right, p.bucket_entries));
         for e in &mut dir.entries[base..base + span] {
             *e = Arc::clone(&left);
         }
@@ -506,10 +844,70 @@ impl ConcurrentDyTisFine {
         obs::counter!("cdytis_fine.split").inc();
     }
 
-    /// Walks `seg`'s buckets appending pairs `>= start` until `count`;
-    /// returns true when the scan is complete.
-    #[allow(clippy::too_many_arguments)]
-    fn walk_segment(
+    /// First bucket of a segment walk and whether it needs a lower bound:
+    /// bucket indices are monotone in the key, so only the very first
+    /// bucket of the first segment can hold keys `< start`.
+    fn walk_start(&self, seg: &FineSegment, start_sk: u64, first_seg: bool) -> (usize, bool) {
+        if first_seg {
+            let m = self.m_total - seg.local_depth;
+            let k = start_sk & mask64(m);
+            (seg.bucket_of(k, self.m_total), true)
+        } else {
+            (0, false)
+        }
+    }
+
+    /// Walks `seg`'s buckets lock-free under the per-bucket seqlocks,
+    /// appending pairs `>= start` until `count`. `Some(done)` on success;
+    /// `None` when a bucket stayed contended past its retry budget (the
+    /// caller rolls back and restarts at the table level).
+    fn walk_segment_optimistic(
+        &self,
+        seg: &FineSegment,
+        start_sk: u64,
+        start: Key,
+        first_seg: bool,
+        count: usize,
+        out: &mut Vec<(Key, Value)>,
+    ) -> Option<bool> {
+        let (mut b, mut first_bucket) = self.walk_start(seg, start_sk, first_seg);
+        let nb = seg.buckets.len();
+        while b < nb {
+            if out.len() >= count {
+                return Some(true);
+            }
+            // Hint the next bucket's key array in while this one copies
+            // (same rationale as `Segment::walk_from`).
+            if b + 1 < nb {
+                crate::simd::prefetch_slice(&seg.buckets[b + 1].keys);
+            }
+            let bucket = &seg.buckets[b];
+            let start_key = first_bucket.then_some(start);
+            let mut ok = false;
+            // justified: bounded by BUCKET_RETRIES; the caller restarts
+            // or falls back to the locked walk.
+            for _ in 0..BUCKET_RETRIES {
+                if bucket
+                    .read_range_optimistic(start_key, count - out.len(), out)
+                    .is_ok()
+                {
+                    ok = true;
+                    break;
+                }
+            }
+            if !ok {
+                return None;
+            }
+            first_bucket = false;
+            b += 1;
+        }
+        Some(out.len() >= count)
+    }
+
+    /// Walks `seg`'s buckets under their writer locks (fallback +
+    /// baseline), appending pairs `>= start` until `count`; returns true
+    /// when the scan is complete.
+    fn walk_segment_locked(
         &self,
         seg: &FineSegment,
         start_sk: u64,
@@ -518,28 +916,18 @@ impl ConcurrentDyTisFine {
         count: usize,
         out: &mut Vec<(Key, Value)>,
     ) -> bool {
-        // Only the very first bucket needs a lower bound: bucket indices
-        // are monotone in the key, so every later bucket holds only keys
-        // `>= start`.
-        let (mut b, mut first_bucket) = if first_seg {
-            let m = self.m_total - seg.local_depth;
-            let k = start_sk & mask64(m);
-            (seg.bucket_of(k, self.m_total), true)
-        } else {
-            (0, false)
-        };
-        while b < seg.buckets.len() {
+        let (mut b, mut first_bucket) = self.walk_start(seg, start_sk, first_seg);
+        let nb = seg.buckets.len();
+        while b < nb {
             if out.len() >= count {
                 return true;
             }
-            let bucket = seg.buckets[b].lock();
-            let i0 = if first_bucket {
-                bucket.lower_bound(start)
-            } else {
-                0
-            };
+            if b + 1 < nb {
+                crate::simd::prefetch_slice(&seg.buckets[b + 1].keys);
+            }
+            let start_key = first_bucket.then_some(start);
+            seg.buckets[b].read_range_locked(start_key, count - out.len(), out);
             first_bucket = false;
-            bucket.append_range(i0, count - out.len(), out);
             b += 1;
         }
         out.len() >= count
@@ -589,7 +977,12 @@ impl ConcurrentDyTisFine {
                 return None;
             }
             let span = 1usize << (snap.global_depth - seg.local_depth);
-            let done = self.walk_segment(&seg, start_sk, start, first_seg, count, out);
+            let Some(done) =
+                self.walk_segment_optimistic(&seg, start_sk, start, first_seg, count, out)
+            else {
+                out.truncate(base_len);
+                return None;
+            };
             drop(seg);
             if slot.version.load(Ordering::SeqCst) != v0 {
                 out.truncate(base_len);
@@ -615,6 +1008,8 @@ impl ConcurrentDyTisFine {
         count: usize,
         out: &mut Vec<(Key, Value)>,
     ) -> bool {
+        // relaxed: monotonic advisory counter.
+        self.read_locked.fetch_add(1, Ordering::Relaxed);
         let dir = table.dir.read();
         // Acquire pairs with the Release increments so a table observed
         // non-empty has its inserts visible to the scan below.
@@ -630,7 +1025,7 @@ impl ConcurrentDyTisFine {
         while idx < dir.entries.len() {
             let seg = dir.entries[idx].seg.read();
             let span = 1usize << (dir.global_depth - seg.local_depth);
-            if self.walk_segment(&seg, start_sk, start, first_seg, count, out) {
+            if self.walk_segment_locked(&seg, start_sk, start, first_seg, count, out) {
                 return true;
             }
             first_seg = false;
@@ -729,7 +1124,7 @@ impl ConcurrentKvIndex for ConcurrentDyTisFine {
         let m = self.m_total - seg.local_depth;
         let k = sk & mask64(m);
         let b = seg.bucket_of(k, self.m_total);
-        let v = seg.buckets[b].lock().remove(key)?;
+        let v = seg.buckets[b].write().remove(key)?;
         // Release pairs with the Acquire loads in `len()`, `to_segment`,
         // and the audit.
         seg.num_keys.fetch_sub(1, Ordering::Release);

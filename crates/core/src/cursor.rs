@@ -113,6 +113,11 @@ impl DyTis {
         if cur.generation != self.generation() {
             return Err(CursorInvalidated);
         }
+        // A re-entered cursor starts cold: hint its resume bucket in while
+        // the walk below re-derives the structural position.
+        if let Some((seg_id, b, _)) = cur.pos {
+            self.tables[cur.table].prefetch_position(seg_id, b);
+        }
         let before = out.len();
         let more = loop {
             if out.len() >= count {

@@ -358,6 +358,18 @@ impl EhTable {
         (self.dir[0], 0, 0)
     }
 
+    /// Cache hint for a resume position: pulls the bucket the next
+    /// [`EhTable::cursor_walk`] will start from into cache ahead of the
+    /// walk's directory work (see `ScanCursor::scan_next`).
+    pub(crate) fn prefetch_position(&self, seg_id: SegId, b: usize) {
+        if let Some(Some(seg)) = self.segs.get(seg_id as usize) {
+            if let Some(bucket) = seg.buckets.get(b) {
+                crate::simd::prefetch_slice(bucket.keys());
+                crate::simd::prefetch_slice(bucket.vals());
+            }
+        }
+    }
+
     /// Walks key order structurally from `pos`, bulk-appending pairs until
     /// `out` holds `count` entries. Returns the position to resume from, or
     /// `None` once the table is exhausted.
@@ -369,6 +381,16 @@ impl EhTable {
     ) -> Option<(SegId, usize, usize)> {
         let (mut seg_id, mut b, mut slot) = pos;
         loop {
+            // Hint the next sibling segment in while this one is walked, so
+            // crossing a segment boundary does not stall on its first
+            // bucket (the cursor's dominant cache miss on long scans).
+            if let Some(n) = self.next[seg_id as usize] {
+                if let Some(ns) = self.segs[n as usize].as_ref() {
+                    if let Some(first) = ns.buckets.first() {
+                        crate::simd::prefetch_slice(first.keys());
+                    }
+                }
+            }
             if let Some((nb, ns)) = self.seg(seg_id).walk_from(b, slot, count, out) {
                 return Some((seg_id, nb, ns));
             }
@@ -438,6 +460,10 @@ impl EhTable {
         table.next.clear();
         for (i, &(ld, lo, hi)) in plan.iter().enumerate() {
             let block = &pairs[lo..hi];
+            // Hint the next block's input in while this one trains+fills.
+            if let Some(&(_, nlo, _)) = plan.get(i + 1) {
+                crate::simd::prefetch_slice(&pairs[nlo..]);
+            }
             let remap = trained_remap(block, ld, m_total, params);
             let seg = Segment::build(ld, remap, block, m_total, params);
             let id = i as SegId;

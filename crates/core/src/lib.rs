@@ -45,6 +45,7 @@ pub mod params;
 pub mod persist;
 pub mod remap;
 pub mod segment;
+pub mod simd;
 pub mod stats;
 pub mod sync;
 

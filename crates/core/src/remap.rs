@@ -144,6 +144,12 @@ impl RemapFn {
         loop {
             match &self.nodes[node as usize] {
                 Node::Inner { kids } => {
+                    // Hint both children in before the bit pick so the next
+                    // level's (data-dependent) node load overlaps the shift;
+                    // arena order is allocation order, not descent order, so
+                    // deep tries miss here without the hint.
+                    crate::simd::prefetch_read(&self.nodes[kids[0] as usize] as *const Node);
+                    crate::simd::prefetch_read(&self.nodes[kids[1] as usize] as *const Node);
                     let bit = (k >> (m - 1 - depth)) & 1;
                     node = kids[bit as usize];
                     depth += 1;

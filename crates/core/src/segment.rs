@@ -183,6 +183,14 @@ impl Segment {
             if out.len() >= count {
                 return Some((b, slot));
             }
+            // Hint the next bucket's arrays in while this one is copied:
+            // split key/value vectors mean the walk touches two unrelated
+            // cachelines per bucket, which the hardware stride prefetcher
+            // does not pick up across the Vec indirection.
+            if b + 1 < nb {
+                crate::simd::prefetch_slice(self.buckets[b + 1].keys());
+                crate::simd::prefetch_slice(self.buckets[b + 1].vals());
+            }
             let blen = self.bucket_len(b);
             if slot < blen {
                 slot += self.buckets[b].append_range(slot, count - out.len(), out);
@@ -253,6 +261,8 @@ impl Segment {
                     // first bucket (the last bucket at the tail), exactly as
                     // `bucket_index` resolves them.
                     let b = cum.min(total - 1) as usize;
+                    // Hint the next run's input in while this one copies.
+                    crate::simd::prefetch_slice(&pairs[leaf_end..]);
                     match fill_bucket(&mut buckets[b], &pairs[i..leaf_end], cap, maskm) {
                         Ok(()) => i = leaf_end,
                         Err((k_first, k_last)) => {
@@ -275,6 +285,8 @@ impl Segment {
                         i + pairs[i..leaf_end].partition_point(|&(key, _)| (key & maskm) < key_end)
                     };
                     let b = (cum + j) as usize;
+                    // Hint the next run's input in while this one copies.
+                    crate::simd::prefetch_slice(&pairs[hi..]);
                     match fill_bucket(&mut buckets[b], &pairs[i..hi], cap, maskm) {
                         Ok(()) => i = hi,
                         Err((k_first, k_last)) => {

@@ -841,6 +841,50 @@ mod tests {
         assert!(report.drained, "round-trip server failed to drain");
     }
 
+    /// Server-side SCAN over a real TCP connection must be served by the
+    /// optimistic read path, not a locked cursor: the store's `locked`
+    /// read counter stays flat across client scans and gets against a
+    /// quiescent server.  Non-vacuity: flipping the server store into
+    /// forced-locked mode makes the same client traffic move the counter.
+    #[test]
+    fn net_scan_uses_optimistic_reads() {
+        let server = Server::start("127.0.0.1:0").expect("bind");
+        let mut c = Client::connect(server.addr()).expect("connect");
+        let pairs: Vec<(Key, Value)> = (0..256u64).map(|i| (i * 3 + 1, i)).collect();
+        c.set_batch(&pairs).expect("seed");
+
+        let before = server.store().read_stats();
+        for start in (0..768u64).step_by(17) {
+            let got = c.scan(start, 32).expect("scan");
+            let want: Vec<(Key, Value)> = pairs
+                .iter()
+                .copied()
+                .filter(|&(k, _)| k >= start)
+                .take(32)
+                .collect();
+            assert_eq!(got, want, "net scan from {start} diverged");
+        }
+        assert_eq!(c.get(4).expect("get"), Some(1));
+        let after = server.store().read_stats();
+        assert_eq!(
+            after.locked, before.locked,
+            "server-side SCAN took the locked path on a quiescent store"
+        );
+
+        server.store().set_locked_reads(true);
+        c.scan(0, 32).expect("forced scan");
+        assert_eq!(c.get(4).expect("forced get"), Some(1));
+        assert!(
+            server.store().read_stats().locked > after.locked,
+            "locked counter never moved under forced-locked mode"
+        );
+        server.store().set_locked_reads(false);
+
+        c.quit().expect("quit");
+        let report = server.shutdown();
+        assert!(report.drained);
+    }
+
     #[test]
     fn multiple_clients_share_the_store() {
         let server = Server::start("127.0.0.1:0").expect("bind");

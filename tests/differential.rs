@@ -546,6 +546,110 @@ fn differential_concurrent_read_hammer() {
     );
 }
 
+/// The fine-grained variant's optimistic hit path must acquire no bucket
+/// mutex at all: every `get`/`scan` against a quiescent index is served
+/// from the per-bucket seqlocks, so `read_stats().locked` — which counts
+/// every read executed on the locked path — stays exactly zero.  The
+/// differential half checks the answers against a `BTreeMap` oracle;
+/// the non-vacuity half flips `set_locked_reads(true)` and proves the
+/// same counter does move when the locked path actually runs.
+#[test]
+fn differential_fine_optimistic_reads_take_no_lock() {
+    use dytis_repro::dytis::ConcurrentDyTisFine;
+    use dytis_repro::index_traits::ConcurrentKvIndex;
+
+    const KEYS: u64 = 6_000;
+    const SCAN_LEN: usize = 48;
+
+    let idx = ConcurrentDyTisFine::with_params(Params::small());
+    let mut oracle: BTreeMap<Key, Value> = BTreeMap::new();
+    for i in 0..KEYS {
+        let k = scramble(i);
+        idx.insert(k, i);
+        oracle.insert(k, i);
+    }
+    // Writers quiesced; reset nothing — the counters are cumulative, so
+    // record the watermark before the read storm.
+    let before = idx.read_stats();
+    let keys: Vec<Key> = oracle.keys().copied().collect();
+    let mut got = Vec::with_capacity(SCAN_LEN);
+    for (i, &k) in keys.iter().enumerate() {
+        assert_eq!(idx.get(k), oracle.get(&k).copied(), "get({k:#x}) diverged");
+        assert_eq!(idx.get(k | 1), oracle.get(&(k | 1)).copied());
+        if i % 97 == 0 {
+            got.clear();
+            idx.scan(k, SCAN_LEN, &mut got);
+            let want: Vec<(Key, Value)> = oracle
+                .range(k..)
+                .take(SCAN_LEN)
+                .map(|(&sk, &sv)| (sk, sv))
+                .collect();
+            assert_eq!(got, want, "scan from {k:#x} diverged");
+        }
+    }
+    let after = idx.read_stats();
+    assert_eq!(
+        after.locked,
+        before.locked,
+        "optimistic hit path executed {} reads on the locked (mutex) path",
+        after.locked - before.locked
+    );
+    assert_eq!(
+        after.fallbacks, before.fallbacks,
+        "quiescent reads should never exhaust their retry budget"
+    );
+
+    // Non-vacuity: the counter must actually count when the locked path
+    // is forced, otherwise the zero above proves nothing.
+    idx.set_locked_reads(true);
+    for &k in keys.iter().take(64) {
+        assert_eq!(idx.get(k), oracle.get(&k).copied());
+    }
+    got.clear();
+    idx.scan(keys[0], SCAN_LEN, &mut got);
+    let forced = idx.read_stats();
+    assert!(
+        forced.locked > after.locked,
+        "locked counter never moved even with set_locked_reads(true)"
+    );
+    idx.set_locked_reads(false);
+    assert_eq!(idx.read_stats().locked, forced.locked);
+    idx.audit().assert_clean();
+}
+
+/// Same zero-lock claim for the coarse [`ConcurrentDyTis`]: its locked
+/// counter (fallbacks + forced mode) must stay flat across a quiescent
+/// read storm and move under `set_locked_reads(true)`.
+#[test]
+fn differential_coarse_optimistic_reads_take_no_lock() {
+    use dytis_repro::dytis::ConcurrentDyTis;
+    use dytis_repro::index_traits::ConcurrentKvIndex;
+
+    let idx = ConcurrentDyTis::with_params(Params::small());
+    let mut oracle: BTreeMap<Key, Value> = BTreeMap::new();
+    for i in 0..4_000u64 {
+        let k = scramble(i);
+        idx.insert(k, i);
+        oracle.insert(k, i);
+    }
+    let before = idx.read_stats();
+    let mut got = Vec::new();
+    for (i, (&k, &v)) in oracle.iter().enumerate() {
+        assert_eq!(idx.get(k), Some(v));
+        if i % 131 == 0 {
+            got.clear();
+            idx.scan(k, 16, &mut got);
+        }
+    }
+    let after = idx.read_stats();
+    assert_eq!(after.locked, before.locked, "quiescent reads took the lock");
+    idx.set_locked_reads(true);
+    for (&k, &v) in oracle.iter().take(32) {
+        assert_eq!(idx.get(k), Some(v));
+    }
+    assert!(idx.read_stats().locked > after.locked);
+}
+
 /// A deliberately buggy index: silently drops every Nth insert. Used to
 /// prove the differential harness is not vacuous — it must detect the
 /// divergence, not pass everything.

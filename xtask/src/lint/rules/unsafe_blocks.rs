@@ -1,9 +1,11 @@
-//! `unsafe` is forbidden by default across the workspace. The planned
-//! SIMD probe kernels in `crates/core` (ROADMAP: vectorized bucket scan)
-//! are the one sanctioned exception: there, each site must still carry a
-//! `// justified:` comment stating the safety argument. Everywhere else
-//! the finding is unconditional — extend [`ALLOWLISTED_CRATE_DIRS`]
-//! deliberately, in review, rather than sprinkling comments.
+//! `unsafe` is forbidden by default across the workspace. `crates/core`
+//! is the one sanctioned exception, with two unsafe boundaries: the
+//! epoch collector (`epoch.rs`, deferred reclamation) and the SIMD probe
+//! kernels (`simd.rs`, CPU intrinsics behind runtime feature detection).
+//! There, each site must still carry a `// justified:` comment stating
+//! the safety argument. Everywhere else the finding is unconditional —
+//! extend [`ALLOWLISTED_CRATE_DIRS`] deliberately, in review, rather
+//! than sprinkling comments.
 
 use crate::lint::strip::contains_word;
 use crate::lint::{Rule, SourceFile};
