@@ -1,0 +1,365 @@
+//! `DYF1` — the length-prefixed binary frame of the KV service.
+//!
+//! The text protocol costs one round trip per op unless the client
+//! hand-rolls pipelining; the binary frame makes batching the wire's
+//! native shape. A session is negotiated by its **first byte**: `0xDF`
+//! (never a valid text command byte — the text protocol is ASCII) selects
+//! binary mode, anything else falls through to the line protocol. The
+//! client then completes the 4-byte preamble `[0xDF, b'Y', b'F', b'1']`
+//! and both directions speak frames:
+//!
+//! ```text
+//! [op: u8][reserved: u8 = 0][count: u32 LE][count x u64 LE][crc32: u32 LE]
+//! ```
+//!
+//! `count` is the number of **u64 payload words**, so every frame's length
+//! is derivable from its fixed 6-byte header: `6 + 8*count + 4`. The CRC32
+//! (IEEE, reflected 0xEDB88320) covers header + payload; a mismatch is a
+//! transport fault, not a request, so the server answers
+//! [`ERR_BAD_FRAME`] and closes — binary streams have no newline to
+//! resync at.
+//!
+//! Request ops and their payloads (`k`/`v` are u64 words):
+//!
+//! | op | name | payload |
+//! |----|------|---------|
+//! | 0x01 | SET   | `k v` per pair (count = 2n) |
+//! | 0x02 | GET   | `k` per key |
+//! | 0x03 | DEL   | `k` per key |
+//! | 0x04 | SCAN  | `start limit` (count = 2) |
+//! | 0x05 | LEN   | none |
+//! | 0x06 | QUIT  | none |
+//! | 0x07 | HELLO | none |
+//!
+//! Responses set the high bit of the request op:
+//!
+//! | op | name | payload |
+//! |----|------|---------|
+//! | 0x81 | SET_OK    | `applied` (count = 1) |
+//! | 0x82 | GET_RES   | `found v` per key (found is 0/1) |
+//! | 0x83 | DEL_RES   | `found prev` per key |
+//! | 0x84 | SCAN_RES  | `k v` per pair |
+//! | 0x85 | LEN_RES   | `len` |
+//! | 0x86 | BYE       | none |
+//! | 0x87 | HELLO_RES | `worker_id workers` |
+//! | 0xFF | ERR       | `code` (see the `ERR_*` constants) |
+
+use std::io::{self, Read, Write};
+
+/// First byte of a binary session; outside ASCII so the text parser can
+/// never be confused for it.
+pub const MAGIC_BYTE: u8 = 0xDF;
+
+/// The full session preamble a binary client sends once after connect.
+pub const PREAMBLE: [u8; 4] = [MAGIC_BYTE, b'Y', b'F', b'1'];
+
+/// Most payload words a single frame may carry (256 KiB of payload).
+/// Larger counts get [`ERR_TOO_LARGE`] and the connection closes; the cap
+/// bounds per-connection server memory exactly like `max_line_bytes` does
+/// for the text protocol.
+pub const MAX_FRAME_WORDS: u32 = 32_768;
+
+/// Request op tags.
+pub const OP_SET: u8 = 0x01;
+pub const OP_GET: u8 = 0x02;
+pub const OP_DEL: u8 = 0x03;
+pub const OP_SCAN: u8 = 0x04;
+pub const OP_LEN: u8 = 0x05;
+pub const OP_QUIT: u8 = 0x06;
+pub const OP_HELLO: u8 = 0x07;
+
+/// Response op tags (`request | 0x80`).
+pub const RESP_SET: u8 = OP_SET | 0x80;
+pub const RESP_GET: u8 = OP_GET | 0x80;
+pub const RESP_DEL: u8 = OP_DEL | 0x80;
+pub const RESP_SCAN: u8 = OP_SCAN | 0x80;
+pub const RESP_LEN: u8 = OP_LEN | 0x80;
+pub const RESP_BYE: u8 = OP_QUIT | 0x80;
+pub const RESP_HELLO: u8 = OP_HELLO | 0x80;
+pub const RESP_ERR: u8 = 0xFF;
+
+/// `ERR` payload codes.
+pub const ERR_BAD_FRAME: u64 = 1;
+pub const ERR_TOO_LARGE: u64 = 2;
+pub const ERR_UNKNOWN_OP: u64 = 3;
+pub const ERR_BUSY: u64 = 4;
+pub const ERR_IDLE: u64 = 5;
+pub const ERR_BAD_COUNT: u64 = 6;
+pub const ERR_SCAN_LIMIT: u64 = 7;
+
+/// Human-readable message for an [`RESP_ERR`] code.
+pub fn err_message(code: u64) -> &'static str {
+    match code {
+        ERR_BAD_FRAME => "bad frame (crc or header)",
+        ERR_TOO_LARGE => "frame exceeds max words",
+        ERR_UNKNOWN_OP => "unknown op",
+        ERR_BUSY => "busy",
+        ERR_IDLE => "idle timeout",
+        ERR_BAD_COUNT => "payload count does not match op",
+        ERR_SCAN_LIMIT => "count exceeds max",
+        _ => "unknown error",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320)
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------------
+// Encode / decode
+// ---------------------------------------------------------------------------
+
+/// Fixed header length: op byte, reserved byte, u32 word count.
+pub const HEADER_LEN: usize = 6;
+/// Trailer length: the CRC32.
+pub const TRAILER_LEN: usize = 4;
+
+/// Serializes one frame (header + payload words + CRC) into `out`.
+pub fn encode_frame(out: &mut Vec<u8>, op: u8, words: &[u64]) {
+    debug_assert!(words.len() <= MAX_FRAME_WORDS as usize);
+    let start = out.len();
+    out.push(op);
+    out.push(0);
+    out.extend_from_slice(&(words.len() as u32).to_le_bytes());
+    for &w in words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    let crc = crc32(&out[start..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// A parsed frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    pub op: u8,
+    pub count: u32,
+}
+
+/// Outcome of [`try_decode`] on a byte buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Decoded {
+    /// Not enough bytes yet for a complete frame.
+    Incomplete,
+    /// A complete, CRC-valid frame: its header, payload words, and total
+    /// encoded length (bytes to consume from the buffer).
+    Frame {
+        header: FrameHeader,
+        words: Vec<u64>,
+        consumed: usize,
+    },
+    /// The header announces more than [`MAX_FRAME_WORDS`] payload words.
+    TooLarge { count: u32 },
+    /// The CRC check failed; the stream cannot be trusted further.
+    BadCrc,
+}
+
+/// Attempts to decode one frame from the front of `buf`.
+pub fn try_decode(buf: &[u8]) -> Decoded {
+    if buf.len() < HEADER_LEN {
+        return Decoded::Incomplete;
+    }
+    let op = buf[0];
+    // invariant: length checked above; HEADER_LEN bytes are present.
+    let count = u32::from_le_bytes(buf[2..6].try_into().unwrap());
+    if count > MAX_FRAME_WORDS {
+        return Decoded::TooLarge { count };
+    }
+    let total = HEADER_LEN + 8 * count as usize + TRAILER_LEN;
+    if buf.len() < total {
+        return Decoded::Incomplete;
+    }
+    let body = &buf[..total - TRAILER_LEN];
+    // invariant: `total` bytes are present, so the 4 trailer bytes exist.
+    let wire_crc = u32::from_le_bytes(buf[total - TRAILER_LEN..total].try_into().unwrap());
+    if crc32(body) != wire_crc {
+        return Decoded::BadCrc;
+    }
+    let mut words = Vec::with_capacity(count as usize);
+    for chunk in buf[HEADER_LEN..total - TRAILER_LEN].chunks_exact(8) {
+        // invariant: chunks_exact(8) yields exactly 8-byte slices.
+        words.push(u64::from_le_bytes(chunk.try_into().unwrap()));
+    }
+    Decoded::Frame {
+        header: FrameHeader { op, count },
+        words,
+        consumed: total,
+    }
+}
+
+/// Blocking read of exactly one frame from `r` (client side).
+///
+/// # Errors
+///
+/// I/O errors pass through; a too-large or CRC-damaged frame surfaces as
+/// `InvalidData` because the stream cannot be re-synchronised.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<(FrameHeader, Vec<u64>)> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let op = header[0];
+    // invariant: header is exactly HEADER_LEN bytes; the slice is 4 bytes.
+    let count = u32::from_le_bytes(header[2..6].try_into().unwrap());
+    if count > MAX_FRAME_WORDS {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame announces {count} words (max {MAX_FRAME_WORDS})"),
+        ));
+    }
+    let mut rest = vec![0u8; 8 * count as usize + TRAILER_LEN];
+    r.read_exact(&mut rest)?;
+    let payload = &rest[..rest.len() - TRAILER_LEN];
+    let mut crc_input = Vec::with_capacity(HEADER_LEN + payload.len());
+    crc_input.extend_from_slice(&header);
+    crc_input.extend_from_slice(payload);
+    // invariant: rest holds at least the TRAILER_LEN CRC bytes.
+    let wire_crc = u32::from_le_bytes(rest[rest.len() - TRAILER_LEN..].try_into().unwrap());
+    if crc32(&crc_input) != wire_crc {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame CRC mismatch",
+        ));
+    }
+    let mut words = Vec::with_capacity(count as usize);
+    for chunk in payload.chunks_exact(8) {
+        // invariant: payload length is a multiple of 8 by construction.
+        words.push(u64::from_le_bytes(chunk.try_into().unwrap()));
+    }
+    Ok((FrameHeader { op, count }, words))
+}
+
+/// Writes one frame to `w` (client side).
+///
+/// # Errors
+///
+/// Returns any I/O error.
+pub fn write_frame<W: Write>(w: &mut W, op: u8, words: &[u64]) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + 8 * words.len() + TRAILER_LEN);
+    encode_frame(&mut buf, op, words);
+    w.write_all(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        for words in [vec![], vec![1u64], vec![u64::MAX, 0, 42, 7]] {
+            let mut buf = Vec::new();
+            encode_frame(&mut buf, OP_SET, &words);
+            match try_decode(&buf) {
+                Decoded::Frame {
+                    header,
+                    words: got,
+                    consumed,
+                } => {
+                    assert_eq!(header.op, OP_SET);
+                    assert_eq!(header.count as usize, words.len());
+                    assert_eq!(got, words);
+                    assert_eq!(consumed, buf.len());
+                }
+                other => panic!("expected frame, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn incomplete_frames_wait_for_more_bytes() {
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, OP_GET, &[1, 2, 3]);
+        for cut in 0..buf.len() {
+            assert_eq!(try_decode(&buf[..cut]), Decoded::Incomplete, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn every_damaged_byte_is_rejected() {
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, OP_SET, &[0xDEAD, 0xBEEF]);
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x40;
+            match try_decode(&bad) {
+                // Header damage may change op/count (shape), payload or CRC
+                // damage must trip the CRC; either way the original frame
+                // never decodes as valid with different content.
+                Decoded::Frame { header, words, .. } => {
+                    assert_eq!(header.op, buf[0] ^ if i == 0 { 0x40 } else { 0 });
+                    // A flipped op byte alone cannot produce a valid CRC:
+                    // the CRC covers the header.
+                    panic!(
+                        "damaged byte {i} decoded as valid frame op={:#x} words={words:?}",
+                        header.op
+                    );
+                }
+                Decoded::BadCrc | Decoded::Incomplete | Decoded::TooLarge { .. } => {}
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_count_is_flagged_before_allocation() {
+        let mut buf = vec![OP_SET, 0];
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            try_decode(&buf),
+            Decoded::TooLarge { count: u32::MAX },
+            "a hostile count must be rejected from the 6-byte header alone"
+        );
+    }
+
+    #[test]
+    fn blocking_io_roundtrip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, OP_SCAN, &[10, 32]).expect("write");
+        write_frame(&mut wire, OP_LEN, &[]).expect("write");
+        let mut r = std::io::Cursor::new(wire);
+        let (h1, w1) = read_frame(&mut r).expect("frame 1");
+        assert_eq!((h1.op, w1.as_slice()), (OP_SCAN, &[10u64, 32][..]));
+        let (h2, w2) = read_frame(&mut r).expect("frame 2");
+        assert_eq!((h2.op, w2.len()), (OP_LEN, 0));
+    }
+
+    #[test]
+    fn preamble_first_byte_is_not_ascii() {
+        assert!(PREAMBLE[0] >= 0x80, "magic must be outside ASCII text");
+    }
+}

@@ -40,14 +40,23 @@
 //! assert!(report.drained);
 //! ```
 
+pub mod binclient;
+pub mod frame;
 pub mod protocol;
+#[cfg(unix)]
+pub mod reactor;
 pub mod shard;
 pub mod sync;
+#[cfg(unix)]
+pub mod tpc;
 
+pub use binclient::{BinClient, RoutedClient};
 pub use protocol::{
     format_request, format_response, parse_request, parse_response, Request, Response,
 };
 pub use shard::{DurabilityOptions, DurableShardedStore, ShardedStore};
+#[cfg(unix)]
+pub use tpc::{shard_of, TpcOptions, TpcServer};
 
 use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use crate::sync::{Arc, Mutex};
@@ -148,6 +157,11 @@ struct Shared {
     /// accounting and for force-closing live sockets at drain time.
     conns: Mutex<HashMap<u64, TcpStream>>,
     live: AtomicUsize,
+    /// `JoinHandle`s currently retained by the accept loop. The loop reaps
+    /// finished handles before every accept, so this tracks live handlers,
+    /// not connections-ever-served — the churn regression test asserts it
+    /// stays bounded.
+    tracked_handles: AtomicUsize,
     opts: ServerOptions,
 }
 
@@ -204,6 +218,7 @@ impl Server {
             stop: AtomicBool::new(false),
             conns: Mutex::new(HashMap::new()),
             live: AtomicUsize::new(0),
+            tracked_handles: AtomicUsize::new(0),
             opts,
         });
         let accept_store = Arc::clone(&store);
@@ -226,6 +241,17 @@ impl Server {
     /// The shared store (for in-process inspection).
     pub fn store(&self) -> &Arc<ConcurrentDyTis> {
         &self.store
+    }
+
+    /// Number of handler `JoinHandle`s the accept loop currently retains.
+    ///
+    /// Finished handles are reaped before every accept, so after churn
+    /// (many short-lived connections) this stays proportional to *live*
+    /// handlers, never to connections-ever-served.
+    pub fn tracked_handles(&self) -> usize {
+        // relaxed: observability read of a standalone gauge, same contract
+        // as `live_connections`.
+        self.shared.tracked_handles.load(Ordering::Relaxed)
     }
 
     /// Number of currently admitted connections.
@@ -318,6 +344,11 @@ fn accept_loop(
                 i += 1;
             }
         }
+        // relaxed: observability gauge; see `Server::tracked_handles`.
+        shared
+            .tracked_handles
+            .store(handlers.len(), Ordering::Relaxed);
+        obs::gauge!("kv.tracked_handles").set(handlers.len() as i64);
         let mut stream = match conn {
             Ok(s) => s,
             Err(_) => break,
@@ -356,14 +387,18 @@ fn accept_loop(
         shared.live.fetch_add(1, Ordering::Relaxed);
         obs::gauge!("kv.live_connections").inc();
         let store = Arc::clone(store);
-        let shared = Arc::clone(shared);
+        let handler_shared = Arc::clone(shared);
         handlers.push(std::thread::spawn(move || {
-            let _ = handle_connection(stream, &store, &shared);
-            lock_conns(&shared).remove(&id);
+            let _ = handle_connection(stream, &store, &handler_shared);
+            lock_conns(&handler_shared).remove(&id);
             // relaxed: gauge decrement, see the increment above.
-            shared.live.fetch_sub(1, Ordering::Relaxed);
+            handler_shared.live.fetch_sub(1, Ordering::Relaxed);
             obs::gauge!("kv.live_connections").dec();
         }));
+        // relaxed: observability gauge; see `Server::tracked_handles`.
+        shared
+            .tracked_handles
+            .store(handlers.len(), Ordering::Relaxed);
     }
     handlers
 }
@@ -557,6 +592,51 @@ fn is_transient(e: &std::io::Error) -> bool {
     )
 }
 
+/// Per-op failures of a pipelined batch call.
+///
+/// Batch methods send a chunk of requests, then consume **exactly one
+/// reply per request** — even when a reply is an `ERR` — so the stream
+/// never desynchronises. Failures are collected here instead of aborting
+/// the read loop mid-pipeline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchReport {
+    /// `(index into the submitted slice, server error message)` for every
+    /// op whose reply was not the expected success shape.
+    pub failures: Vec<(usize, String)>,
+}
+
+impl BatchReport {
+    /// Every op in the batch succeeded.
+    pub fn all_ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Collapses the report into an `InvalidData` error naming the failed
+    /// ops (used by the `Result<()>`-shaped batch methods).
+    fn into_error(self) -> std::io::Error {
+        let shown: Vec<String> = self
+            .failures
+            .iter()
+            .take(4)
+            .map(|(i, e)| format!("op {i}: {e}"))
+            .collect();
+        let suffix = if self.failures.len() > shown.len() {
+            format!(" (+{} more)", self.failures.len() - shown.len())
+        } else {
+            String::new()
+        };
+        std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!(
+                "{} batch op(s) failed: {}{}",
+                self.failures.len(),
+                shown.join("; "),
+                suffix
+            ),
+        )
+    }
+}
+
 /// A blocking client for the KV service.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -657,27 +737,55 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Returns I/O or protocol errors; pairs before the failing one are
-    /// already applied.
+    /// Returns I/O errors, or `InvalidData` naming the failed ops if any
+    /// reply was not `OK`. Either way every pipelined reply has been
+    /// consumed, so the connection stays usable and in lockstep — use
+    /// [`Client::set_batch_report`] to keep going after partial failures.
     pub fn set_batch(&mut self, pairs: &[(Key, Value)]) -> Result<()> {
+        let report = self.set_batch_report(pairs)?;
+        if report.all_ok() {
+            Ok(())
+        } else {
+            Err(report.into_error())
+        }
+    }
+
+    /// [`Client::set_batch`] that reports per-op failures instead of
+    /// failing the whole call: the returned [`BatchReport`] lists the index
+    /// and server message of every op not answered `OK`.
+    ///
+    /// Exactly one reply is consumed per op sent — a mid-pipeline `ERR`
+    /// (oversized line, malformed request) therefore cannot shift later
+    /// replies onto the wrong ops, this call or the next.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors only (broken stream); protocol-level failures go
+    /// in the report.
+    pub fn set_batch_report(&mut self, pairs: &[(Key, Value)]) -> Result<BatchReport> {
+        let mut report = BatchReport::default();
         // Chunk so unread responses can never outgrow the kernel socket
         // buffer and deadlock the write side ("OK\n" is 3 bytes, so 1024
         // in flight is ~3 KiB of responses).
-        for chunk in pairs.chunks(1024) {
+        for (chunk_idx, chunk) in pairs.chunks(1024).enumerate() {
             let mut lines = String::with_capacity(chunk.len() * 24);
             for &(k, v) in chunk {
                 lines.push_str(&format_request(&Request::Set(k, v)));
                 lines.push('\n');
             }
             self.writer.write_all(lines.as_bytes())?;
-            for _ in chunk {
+            let base = chunk_idx * 1024;
+            for i in 0..chunk.len() {
                 match self.read_response()? {
                     Response::Ok => {}
-                    other => return Err(unexpected(other)),
+                    Response::Err(e) => report.failures.push((base + i, e)),
+                    other => report
+                        .failures
+                        .push((base + i, format!("unexpected reply {other:?}"))),
                 }
             }
         }
-        Ok(())
+        Ok(report)
     }
 
     /// Point lookup.
@@ -697,27 +805,59 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Returns I/O or protocol errors.
+    /// Returns I/O errors, or `InvalidData` naming the failed ops if any
+    /// reply was not `VALUE`/`MISS`. All pipelined replies are consumed
+    /// either way; use [`Client::get_batch_report`] for partial results.
     pub fn get_batch(&mut self, keys: &[Key]) -> Result<Vec<Option<Value>>> {
+        let (out, report) = self.get_batch_report(keys)?;
+        if report.all_ok() {
+            Ok(out)
+        } else {
+            Err(report.into_error())
+        }
+    }
+
+    /// [`Client::get_batch`] that reports per-op failures instead of
+    /// failing the whole call: failed keys come back `None` in the result
+    /// vector and are listed (index + server message) in the report.
+    ///
+    /// Exactly one reply is consumed per key sent, so a mid-pipeline `ERR`
+    /// cannot misalign later replies (see [`Client::set_batch_report`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors only (broken stream).
+    pub fn get_batch_report(&mut self, keys: &[Key]) -> Result<(Vec<Option<Value>>, BatchReport)> {
         let mut out = Vec::with_capacity(keys.len());
+        let mut report = BatchReport::default();
         // Chunked for the same socket-buffer reason as [`Self::set_batch`];
         // VALUE lines are ~27 bytes, so 1024 in flight is ~27 KiB.
-        for chunk in keys.chunks(1024) {
+        for (chunk_idx, chunk) in keys.chunks(1024).enumerate() {
             let mut lines = String::with_capacity(chunk.len() * 24);
             for &k in chunk {
                 lines.push_str(&format_request(&Request::Get(k)));
                 lines.push('\n');
             }
             self.writer.write_all(lines.as_bytes())?;
-            for _ in chunk {
+            let base = chunk_idx * 1024;
+            for i in 0..chunk.len() {
                 match self.read_response()? {
                     Response::Value(v) => out.push(Some(v)),
                     Response::Miss => out.push(None),
-                    other => return Err(unexpected(other)),
+                    Response::Err(e) => {
+                        out.push(None);
+                        report.failures.push((base + i, e));
+                    }
+                    other => {
+                        out.push(None);
+                        report
+                            .failures
+                            .push((base + i, format!("unexpected reply {other:?}")));
+                    }
                 }
             }
         }
-        Ok(out)
+        Ok((out, report))
     }
 
     /// Deletes a key, returning its value if present.
@@ -1027,5 +1167,77 @@ mod tests {
             read_line_capped(&mut r, &mut Vec::new(), 64).expect("read"),
             LineRead::Eof
         ));
+    }
+
+    /// The cap must hold under adversarial buffering: a 1-byte `BufRead`
+    /// feeds the line one byte per `fill_buf`, so every incremental
+    /// accumulation path in `read_line_capped` is exercised. A line of
+    /// exactly `cap` bytes (newline excluded) is accepted; `cap + 1` is
+    /// rejected with the buffer dropped.
+    #[test]
+    fn read_line_capped_boundary_under_trickled_reads() {
+        use std::io::Cursor;
+        let cap = 16usize;
+        // Exactly at the cap, one byte at a time: accepted, byte-exact.
+        let line: Vec<u8> = (0..cap).map(|i| b'a' + (i % 26) as u8).collect();
+        let mut wire = line.clone();
+        wire.push(b'\n');
+        let mut r = BufReader::with_capacity(1, Cursor::new(wire));
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_line_capped(&mut r, &mut buf, cap).expect("read"),
+            LineRead::Line
+        ));
+        assert_eq!(buf, line, "cap-length line must survive trickled reads");
+
+        // One past the cap, one byte at a time: rejected, buffer dropped,
+        // and the stream resyncs to serve the next line.
+        let mut wire: Vec<u8> = (0..cap + 1).map(|_| b'x').collect();
+        wire.extend_from_slice(b"\nLEN\n");
+        let mut r = BufReader::with_capacity(1, Cursor::new(wire));
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_line_capped(&mut r, &mut buf, cap).expect("read"),
+            LineRead::TooLong
+        ));
+        assert!(buf.is_empty(), "rejected bytes must not linger");
+        assert!(skip_to_newline(&mut r).expect("skip"));
+        buf.clear();
+        assert!(matches!(
+            read_line_capped(&mut r, &mut buf, cap).expect("read"),
+            LineRead::Line
+        ));
+        assert_eq!(buf, b"LEN");
+    }
+
+    /// End-to-end cap boundary over a real socket: a request line of
+    /// exactly `max_line_bytes` is served, one byte more gets
+    /// `ERR line too long` and the connection resyncs.
+    #[test]
+    fn line_cap_boundary_over_the_wire() {
+        let cap = 64usize;
+        let opts = ServerOptions {
+            max_line_bytes: cap,
+            ..ServerOptions::default()
+        };
+        let server = Server::with_options("127.0.0.1:0", Arc::new(ConcurrentDyTis::new()), opts)
+            .expect("bind");
+        let mut c = Client::connect(server.addr()).expect("connect");
+        // "GET 7" padded with trailing spaces to exactly `cap` bytes: the
+        // parser tolerates whitespace, so this is a well-formed request.
+        let at_cap = format!("GET 7{}", " ".repeat(cap - 5));
+        assert_eq!(at_cap.len(), cap);
+        assert_eq!(c.round_trip(&at_cap).expect("at-cap"), Response::Miss);
+        // One byte over: rejected, but the connection survives.
+        let over_cap = format!("GET 7{}", " ".repeat(cap - 4));
+        assert_eq!(over_cap.len(), cap + 1);
+        let resp = c.round_trip(&over_cap).expect("over-cap");
+        assert!(
+            matches!(&resp, Response::Err(e) if e.contains("line too long")),
+            "got {resp:?}"
+        );
+        c.set(7, 70).expect("set after resync");
+        assert_eq!(c.get(7).expect("get"), Some(70));
+        server.shutdown();
     }
 }

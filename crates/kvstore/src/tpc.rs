@@ -1,0 +1,1546 @@
+//! The thread-per-core data plane (DESIGN.md §16).
+//!
+//! The hardened [`crate::Server`] spends a thread per connection and a
+//! round trip per op; at scale it dies at the thread count, not the
+//! index. [`TpcServer`] is the shared-nothing replacement: N worker
+//! threads (default `available_parallelism`), each owning
+//!
+//! - its **own listener** (so a routing client can target a worker),
+//! - its **own single-threaded [`DyTis`] shard** — keys are partitioned
+//!   into contiguous ranges by [`shard_of`], so the data plane takes no
+//!   cross-thread lock at all, and
+//! - a **nonblocking connection set** driven by the `poll(2)` reactor
+//!   (`crate::reactor`), with reads, applies, and writes batched per
+//!   wakeup.
+//!
+//! Ops that arrive on one worker for a key another worker owns are
+//! forwarded over an mpsc channel and completed asynchronously; responses
+//! are released strictly in request order per connection, so a
+//! misrouted (or non-routing) client still sees exact pipelined
+//! semantics — just with one extra hop. A routing client
+//! ([`crate::RoutedClient`]) that partitions its batches by
+//! [`shard_of`] never pays the hop.
+//!
+//! Both protocols are served, negotiated by the first byte of the
+//! session: `0xDF` selects the `DYF1` binary frame (`crate::frame`),
+//! anything else the line protocol — over the *same* resource envelope
+//! the threaded server enforces ([`ServerOptions`]: connection budget
+//! with `ERR busy` admission, capped request lines, idle-timeout
+//! reaping, and a graceful deadline drain).
+//!
+//! Cross-shard reads (`LEN`, a `SCAN` spanning range boundaries) are
+//! gathered without stopping writers and are therefore not atomic across
+//! shards — the same contract [`crate::ShardedStore`] documents.
+
+#![cfg(unix)]
+
+use crate::frame::{self, Decoded};
+use crate::protocol::{self, format_response, parse_request, Request, Response};
+use crate::reactor::{poll_events, PollFd, WakePipe, POLL_IN, POLL_OUT};
+use crate::{DrainReport, ServerOptions};
+use dytis::DyTis;
+use index_traits::{Key, KvIndex, Value};
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Result, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning for a [`TpcServer`].
+#[derive(Debug, Clone, Default)]
+pub struct TpcOptions {
+    /// Worker (event-loop) threads; `0` (the default) means
+    /// `available_parallelism`.
+    pub workers: usize,
+    /// The resource envelope, shared with the threaded server: the
+    /// connection budget and `live_connections` gauge are global across
+    /// workers, timeouts and the line cap apply per connection.
+    pub server: ServerOptions,
+}
+
+/// The worker whose shard owns `key`, for `workers` workers: contiguous,
+/// monotone key ranges (`shard_of(a) <= shard_of(b)` for `a <= b`), so
+/// cross-shard scans visit workers in index order. Shared with the
+/// routing client so both sides compute the same partition.
+#[inline]
+pub fn shard_of(key: Key, workers: usize) -> usize {
+    ((u128::from(key) * workers as u128) >> 64) as usize
+}
+
+/// How many bytes one wakeup reads from one connection before moving on.
+const READ_CHUNK: usize = 64 * 1024;
+/// Outbound bytes above which a connection stops being read (pipelining
+/// backpressure: the peer must drain responses before sending more).
+const OUTBUF_HIGH_WATER: usize = 1 << 20;
+/// Most in-flight (parsed, unanswered) requests per connection.
+const MAX_PENDING_OPS: usize = 8192;
+/// Poll timeout: bounds how stale idle-deadline checks and the stop flag
+/// can get when no wakeup arrives.
+const POLL_TICK: Duration = Duration::from_millis(25);
+
+/// State shared by all workers and the handle.
+struct Shared {
+    stop: AtomicBool,
+    live: AtomicUsize,
+    opts: ServerOptions,
+    workers: usize,
+    wakes: Vec<WakePipe>,
+}
+
+/// A cross-worker message. `Apply` asks the shard owner to run one op;
+/// `Done` returns the result to the connection's owning worker.
+enum Msg {
+    Apply {
+        from: usize,
+        conn: u64,
+        seq: u64,
+        idx: u32,
+        op: RemoteOp,
+    },
+    Done {
+        conn: u64,
+        seq: u64,
+        idx: u32,
+        resp: RemoteResp,
+    },
+}
+
+enum RemoteOp {
+    Set(Key, Value),
+    Get(Key),
+    Del(Key),
+    Scan(Key, usize),
+    Len,
+}
+
+enum RemoteResp {
+    Set,
+    Get(Option<Value>),
+    Del(Option<Value>),
+    Scan(Vec<(Key, Value)>),
+    Len(usize),
+}
+
+/// A running thread-per-core server.
+pub struct TpcServer {
+    addrs: Vec<SocketAddr>,
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl TpcServer {
+    /// Binds one listener per worker on `addr`'s IP (use port 0 so each
+    /// worker gets its own ephemeral port) and starts the event loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns any bind or reactor-setup error.
+    pub fn start<A: ToSocketAddrs>(addr: A) -> Result<TpcServer> {
+        Self::with_options(addr, TpcOptions::default())
+    }
+
+    /// Starts with an explicit worker count and resource envelope.
+    ///
+    /// # Errors
+    ///
+    /// Returns any bind or reactor-setup error.
+    pub fn with_options<A: ToSocketAddrs>(addr: A, opts: TpcOptions) -> Result<TpcServer> {
+        let workers = if opts.workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            opts.workers
+        };
+        let base = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidInput, "no address"))?;
+        let mut listeners = Vec::with_capacity(workers);
+        let mut addrs = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let l = TcpListener::bind(SocketAddr::new(base.ip(), 0))?;
+            l.set_nonblocking(true)?;
+            addrs.push(l.local_addr()?);
+            listeners.push(l);
+        }
+        let mut wakes = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            wakes.push(WakePipe::new()?);
+        }
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            live: AtomicUsize::new(0),
+            opts: opts.server,
+            workers,
+            wakes,
+        });
+        let mut senders: Vec<Sender<Msg>> = Vec::with_capacity(workers);
+        let mut inboxes: Vec<Receiver<Msg>> = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = channel();
+            senders.push(tx);
+            inboxes.push(rx);
+        }
+        let mut handles = Vec::with_capacity(workers);
+        for (id, (listener, inbox)) in listeners.into_iter().zip(inboxes).enumerate() {
+            let peers: Vec<Sender<Msg>> = senders.iter().map(Sender::clone).collect();
+            let shared = Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || {
+                Worker::new(id, listener, inbox, peers, shared).run();
+            }));
+        }
+        Ok(TpcServer {
+            addrs,
+            shared,
+            handles,
+        })
+    }
+
+    /// Worker 0's address — a full-service endpoint for clients that do
+    /// not route (every op works; non-owned keys take the forwarding hop).
+    pub fn addr(&self) -> SocketAddr {
+        self.addrs[0]
+    }
+
+    /// All worker addresses, indexed by worker id, for routing clients.
+    pub fn worker_addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// Number of event-loop workers (= shards).
+    pub fn workers(&self) -> usize {
+        self.shared.workers
+    }
+
+    /// Currently admitted connections, across all workers.
+    pub fn live_connections(&self) -> usize {
+        // relaxed: observability read of a standalone gauge; callers that
+        // need an edge synchronise through a completed round trip.
+        self.shared.live.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, force-closes every connection, and joins workers
+    /// under [`ServerOptions::drain_deadline`].
+    pub fn shutdown(mut self) -> DrainReport {
+        self.stop_inner()
+    }
+
+    fn stop_inner(&mut self) -> DrainReport {
+        // relaxed: standalone stop flag; the wake below forces every
+        // worker to re-check it within one poll tick.
+        self.shared.stop.store(true, Ordering::Relaxed);
+        for w in &self.shared.wakes {
+            w.wake();
+        }
+        let deadline = Instant::now() + self.shared.opts.drain_deadline;
+        let mut handles: Vec<JoinHandle<()>> = self.handles.drain(..).collect();
+        loop {
+            let mut i = 0;
+            while i < handles.len() {
+                if handles[i].is_finished() {
+                    let _ = handles.swap_remove(i).join();
+                } else {
+                    i += 1;
+                }
+            }
+            if handles.is_empty() || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let abandoned = handles.len();
+        if abandoned > 0 {
+            obs::counter!("kv.drain_abandoned").add(abandoned as u64);
+        }
+        DrainReport {
+            drained: abandoned == 0,
+            abandoned,
+        }
+    }
+}
+
+impl Drop for TpcServer {
+    fn drop(&mut self) {
+        if !self.handles.is_empty() {
+            let _ = self.stop_inner();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-connection state
+// ---------------------------------------------------------------------------
+
+/// Protocol of a connection, fixed by its first byte.
+enum Mode {
+    /// Waiting for the first byte(s).
+    Detect,
+    Text,
+    Binary,
+}
+
+/// An in-order response slot. `Ready` holds serialized bytes; the others
+/// wait on remote completions and serialize when the last one lands.
+enum Slot {
+    Ready(Vec<u8>),
+    /// `Ready` whose flush also closes the connection (BYE, fatal ERR).
+    ReadyClose(Vec<u8>),
+    Set {
+        binary: bool,
+        applied: u64,
+        awaiting: u32,
+    },
+    Get {
+        binary: bool,
+        results: Vec<Option<(bool, Value)>>,
+        awaiting: u32,
+    },
+    Del {
+        binary: bool,
+        results: Vec<Option<(bool, Value)>>,
+        awaiting: u32,
+    },
+    Scan {
+        binary: bool,
+        acc: Vec<(Key, Value)>,
+        start: Key,
+        limit: usize,
+        next_shard: usize,
+    },
+    Len {
+        binary: bool,
+        total: u64,
+        awaiting: u32,
+    },
+}
+
+impl Slot {
+    fn is_complete(&self) -> bool {
+        match self {
+            Slot::Ready(_) | Slot::ReadyClose(_) => true,
+            Slot::Set { awaiting, .. }
+            | Slot::Get { awaiting, .. }
+            | Slot::Del { awaiting, .. }
+            | Slot::Len { awaiting, .. } => *awaiting == 0,
+            // Scan completion is driven by the chaining logic, which
+            // replaces the slot with Ready when the chain ends.
+            Slot::Scan { .. } => false,
+        }
+    }
+}
+
+struct Conn {
+    stream: TcpStream,
+    mode: Mode,
+    inbuf: Vec<u8>,
+    /// Text mode: discarding an oversized line until its newline.
+    skipping: bool,
+    outbuf: Vec<u8>,
+    out_pos: usize,
+    pending: std::collections::VecDeque<Slot>,
+    /// Sequence number of `pending.front()`.
+    head_seq: u64,
+    /// Sequence number the next parsed request will get.
+    next_seq: u64,
+    last_active: Instant,
+    /// Set once the response stream should end the connection after the
+    /// outbuf drains.
+    closing: bool,
+    /// Peer sent EOF; serve what is in flight, then close.
+    peer_eof: bool,
+    /// Outbuf has been non-empty without progress since this instant.
+    write_stalled: Option<Instant>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            mode: Mode::Detect,
+            inbuf: Vec::new(),
+            skipping: false,
+            outbuf: Vec::new(),
+            out_pos: 0,
+            pending: std::collections::VecDeque::new(),
+            head_seq: 0,
+            next_seq: 0,
+            last_active: Instant::now(),
+            closing: false,
+            peer_eof: false,
+            write_stalled: None,
+        }
+    }
+
+    fn has_backlog(&self) -> bool {
+        !self.pending.is_empty() || self.outbuf.len() > self.out_pos
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker event loop
+// ---------------------------------------------------------------------------
+
+struct Worker {
+    id: usize,
+    listener: TcpListener,
+    inbox: Receiver<Msg>,
+    peers: Vec<Sender<Msg>>,
+    shared: Arc<Shared>,
+    index: DyTis,
+    conns: HashMap<u64, Conn>,
+    next_conn_id: u64,
+}
+
+impl Worker {
+    fn new(
+        id: usize,
+        listener: TcpListener,
+        inbox: Receiver<Msg>,
+        peers: Vec<Sender<Msg>>,
+        shared: Arc<Shared>,
+    ) -> Worker {
+        Worker {
+            id,
+            listener,
+            inbox,
+            peers,
+            shared,
+            index: DyTis::new(),
+            conns: HashMap::new(),
+            next_conn_id: 0,
+        }
+    }
+
+    fn run(mut self) {
+        let mut entries: Vec<PollFd> = Vec::new();
+        let mut tokens: Vec<u64> = Vec::new();
+        loop {
+            // relaxed: standalone stop flag; shutdown wakes every worker's
+            // pipe, so the flag is observed within one poll round.
+            if self.shared.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            entries.clear();
+            tokens.clear();
+            entries.push(PollFd::new(self.shared.wakes[self.id].read_fd(), POLL_IN));
+            tokens.push(u64::MAX);
+            entries.push(PollFd::new(self.listener.as_raw_fd(), POLL_IN));
+            tokens.push(u64::MAX - 1);
+            for (&id, conn) in &self.conns {
+                let mut interest = 0i16;
+                // Backpressure: stop reading while this connection's
+                // responses are piling up faster than it drains them.
+                if conn.outbuf.len() - conn.out_pos < OUTBUF_HIGH_WATER
+                    && conn.pending.len() < MAX_PENDING_OPS
+                    && !conn.peer_eof
+                    && !conn.closing
+                {
+                    interest |= POLL_IN;
+                }
+                if conn.outbuf.len() > conn.out_pos {
+                    interest |= POLL_OUT;
+                }
+                entries.push(PollFd::new(conn.stream.as_raw_fd(), interest));
+                tokens.push(id);
+            }
+            let ready = match poll_events(&mut entries, Some(POLL_TICK)) {
+                Ok(n) => n,
+                Err(_) => continue,
+            };
+            if ready > 0 {
+                obs::counter!("kv.wakeups").inc();
+            }
+            self.shared.wakes[self.id].drain();
+
+            // 1. Peer messages: apply forwarded ops on the local shard and
+            //    deliver completions to waiting connections.
+            self.drain_inbox();
+
+            // 2. Accept any pending connections (admission-controlled).
+            if entries[1].readable() {
+                self.accept_ready();
+            }
+
+            // 3. Read every readable connection; parse and apply its ops
+            //    as one batch per wakeup.
+            let mut to_close: Vec<u64> = Vec::new();
+            for (entry, &token) in entries.iter().zip(&tokens).skip(2) {
+                if entry.readable() {
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        conn.last_active = Instant::now();
+                    }
+                    if !self.read_and_apply(token) {
+                        to_close.push(token);
+                        continue;
+                    }
+                }
+                if entry.writable() && !self.flush_conn(token) {
+                    to_close.push(token);
+                }
+            }
+
+            // 4. Timeout sweep (idle reap + stalled writes).
+            self.sweep_timeouts(&mut to_close);
+
+            for id in to_close {
+                self.close_conn(id);
+            }
+        }
+        // Drain: drop the listener and force-close every connection so
+        // peers observe EOF/RST immediately.
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            self.close_conn(id);
+        }
+    }
+
+    // -- accept --------------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        loop {
+            let (stream, _) = match self.listener.accept() {
+                Ok(pair) => pair,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            };
+            // Admission: one global budget across all workers.
+            // relaxed: the budget is advisory-exact like the threaded
+            // server's registry count; a transient over/under of one
+            // connection during a race is acceptable and self-corrects.
+            let live = self.shared.live.fetch_add(1, Ordering::Relaxed);
+            if live >= self.shared.opts.max_connections {
+                // relaxed: undoing the advisory increment above.
+                self.shared.live.fetch_sub(1, Ordering::Relaxed);
+                obs::counter!("kv.rejected").inc();
+                let mut s = stream;
+                let _ = s.set_nonblocking(true);
+                // Best effort: 9 bytes fit any fresh socket buffer. The
+                // reply is textual because the session has not negotiated
+                // a protocol yet.
+                let _ = s.write_all(b"ERR busy\n");
+                let _ = s.shutdown(std::net::Shutdown::Both);
+                continue;
+            }
+            obs::gauge!("kv.live_connections").inc();
+            let _ = stream.set_nodelay(true);
+            if stream.set_nonblocking(true).is_err() {
+                // relaxed: undoing the advisory increment above.
+                self.shared.live.fetch_sub(1, Ordering::Relaxed);
+                obs::gauge!("kv.live_connections").dec();
+                continue;
+            }
+            let id = self.next_conn_id;
+            self.next_conn_id += 1;
+            self.conns.insert(id, Conn::new(stream));
+        }
+    }
+
+    // -- reading and parsing -------------------------------------------
+
+    /// Reads what the socket has, parses complete requests, applies the
+    /// local ones, forwards the remote ones, and flushes. Returns `false`
+    /// when the connection should close now.
+    fn read_and_apply(&mut self, id: u64) -> bool {
+        let mut tmp = [0u8; READ_CHUNK];
+        let mut got_eof = false;
+        let mut applied = 0usize;
+        loop {
+            let read = {
+                let conn = match self.conns.get_mut(&id) {
+                    Some(c) => c,
+                    None => return true,
+                };
+                if conn.outbuf.len() - conn.out_pos >= OUTBUF_HIGH_WATER
+                    || conn.pending.len() >= MAX_PENDING_OPS
+                    || conn.closing
+                {
+                    break; // backpressure: poll will re-arm once drained
+                }
+                conn.stream.read(&mut tmp)
+            };
+            match read {
+                Ok(0) => {
+                    got_eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    let full = n == tmp.len();
+                    if let Some(conn) = self.conns.get_mut(&id) {
+                        conn.inbuf.extend_from_slice(&tmp[..n]);
+                    }
+                    // Parse after every chunk so an endless newline-free
+                    // (or frame-less) stream is discarded as it arrives
+                    // and `inbuf` stays O(line cap), not O(stream).
+                    if !self.parse_all(id, &mut applied) {
+                        return false;
+                    }
+                    if !full {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        if applied > 0 {
+            obs::counter!("kv.batch_apply").inc();
+            obs::counter!("kv.batch_ops").add(applied as u64);
+        }
+        if got_eof {
+            let conn = match self.conns.get_mut(&id) {
+                Some(c) => c,
+                None => return true,
+            };
+            conn.peer_eof = true;
+            if !conn.has_backlog() {
+                return false;
+            }
+        }
+        self.flush_conn(id)
+    }
+
+    /// Parses every complete request in the connection's input buffer.
+    /// Returns `false` when the connection must close (protocol fault).
+    fn parse_all(&mut self, id: u64, applied: &mut usize) -> bool {
+        loop {
+            let conn = match self.conns.get_mut(&id) {
+                Some(c) => c,
+                None => return true,
+            };
+            if conn.closing {
+                return true;
+            }
+            match conn.mode {
+                Mode::Detect => {
+                    if conn.inbuf.is_empty() {
+                        return true;
+                    }
+                    if conn.inbuf[0] == frame::MAGIC_BYTE {
+                        if conn.inbuf.len() < frame::PREAMBLE.len() {
+                            return true; // wait for the rest
+                        }
+                        if conn.inbuf[..4] != frame::PREAMBLE {
+                            return false; // garbled preamble: close
+                        }
+                        conn.inbuf.drain(..4);
+                        conn.mode = Mode::Binary;
+                    } else {
+                        conn.mode = Mode::Text;
+                    }
+                }
+                Mode::Text => {
+                    if !self.parse_text_line(id, applied) {
+                        return true; // need more bytes (or conn gone)
+                    }
+                }
+                Mode::Binary => match self.parse_binary_frame(id, applied) {
+                    BinaryParse::More => {}
+                    BinaryParse::NeedBytes => return true,
+                    BinaryParse::Fatal => return true, // error frame queued
+                },
+            }
+        }
+    }
+
+    /// Consumes one text line if complete. Returns `false` when more
+    /// bytes are needed.
+    fn parse_text_line(&mut self, id: u64, applied: &mut usize) -> bool {
+        let opts_cap = self.shared.opts.max_line_bytes;
+        let conn = match self.conns.get_mut(&id) {
+            Some(c) => c,
+            None => return false,
+        };
+        if conn.skipping {
+            match conn.inbuf.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    conn.inbuf.drain(..=i);
+                    conn.skipping = false;
+                }
+                None => {
+                    conn.inbuf.clear();
+                    return false;
+                }
+            }
+        }
+        let line_end = conn.inbuf.iter().position(|&b| b == b'\n');
+        let line = match line_end {
+            Some(i) => {
+                if i > opts_cap {
+                    obs::counter!("kv.oversized").inc();
+                    conn.inbuf.drain(..=i);
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    let msg = format!("ERR line too long (max {opts_cap} bytes)\n");
+                    Self::push_slot(conn, seq, Slot::Ready(msg.into_bytes()));
+                    return true;
+                }
+                let line: Vec<u8> = conn.inbuf.drain(..=i).collect();
+                line
+            }
+            None => {
+                // No newline yet: enforce the cap on the partial line so a
+                // newline-free stream stays O(cap) in memory.
+                if conn.inbuf.len() > opts_cap {
+                    obs::counter!("kv.oversized").inc();
+                    conn.inbuf.clear();
+                    conn.skipping = true;
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    let msg = format!("ERR line too long (max {opts_cap} bytes)\n");
+                    Self::push_slot(conn, seq, Slot::Ready(msg.into_bytes()));
+                }
+                return false;
+            }
+        };
+        let text = String::from_utf8_lossy(&line);
+        let text = text.trim_matches(|c: char| c == '\r' || c == '\n');
+        if text.trim().is_empty() {
+            return true;
+        }
+        match parse_request(text) {
+            Ok(req) => self.dispatch_text(id, req, applied),
+            Err(e) => {
+                obs::counter!("kv.malformed").inc();
+                let conn = match self.conns.get_mut(&id) {
+                    Some(c) => c,
+                    None => return false,
+                };
+                let seq = conn.next_seq;
+                conn.next_seq += 1;
+                let line = format!("{}\n", format_response(&Response::Err(e)));
+                Self::push_slot(conn, seq, Slot::Ready(line.into_bytes()));
+            }
+        }
+        true
+    }
+
+    fn dispatch_text(&mut self, id: u64, req: Request, applied: &mut usize) {
+        *applied += 1;
+        match req {
+            Request::Set(k, v) => self.op_set(id, false, &[(k, v)]),
+            Request::Get(k) => self.op_get(id, false, &[k]),
+            Request::Del(k) => self.op_del(id, false, &[k]),
+            Request::Scan(start, count) => self.op_scan(id, false, start, count),
+            Request::Len => self.op_len(id, false),
+            Request::Quit => {
+                if let Some(conn) = self.conns.get_mut(&id) {
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    Self::push_slot(conn, seq, Slot::ReadyClose(b"BYE\n".to_vec()));
+                }
+            }
+        }
+    }
+
+    fn parse_binary_frame(&mut self, id: u64, applied: &mut usize) -> BinaryParse {
+        let decoded = {
+            let conn = match self.conns.get_mut(&id) {
+                Some(c) => c,
+                None => return BinaryParse::NeedBytes,
+            };
+            frame::try_decode(&conn.inbuf)
+        };
+        match decoded {
+            Decoded::Incomplete => BinaryParse::NeedBytes,
+            Decoded::TooLarge { .. } => {
+                self.queue_fatal_err(id, frame::ERR_TOO_LARGE);
+                BinaryParse::Fatal
+            }
+            Decoded::BadCrc => {
+                self.queue_fatal_err(id, frame::ERR_BAD_FRAME);
+                BinaryParse::Fatal
+            }
+            Decoded::Frame {
+                header,
+                words,
+                consumed,
+            } => {
+                if let Some(conn) = self.conns.get_mut(&id) {
+                    conn.inbuf.drain(..consumed);
+                }
+                *applied += 1;
+                self.dispatch_binary(id, header.op, words);
+                BinaryParse::More
+            }
+        }
+    }
+
+    fn dispatch_binary(&mut self, id: u64, op: u8, words: Vec<u64>) {
+        match op {
+            frame::OP_SET => {
+                if !words.len().is_multiple_of(2) {
+                    return self.queue_fatal_err(id, frame::ERR_BAD_COUNT);
+                }
+                let pairs: Vec<(Key, Value)> =
+                    words.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+                self.op_set(id, true, &pairs);
+            }
+            frame::OP_GET => self.op_get(id, true, &words),
+            frame::OP_DEL => self.op_del(id, true, &words),
+            frame::OP_SCAN => {
+                if words.len() != 2 {
+                    return self.queue_fatal_err(id, frame::ERR_BAD_COUNT);
+                }
+                let limit = words[1] as usize;
+                if limit > protocol::MAX_SCAN_COUNT {
+                    if let Some(conn) = self.conns.get_mut(&id) {
+                        let seq = conn.next_seq;
+                        conn.next_seq += 1;
+                        let mut buf = Vec::new();
+                        frame::encode_frame(&mut buf, frame::RESP_ERR, &[frame::ERR_SCAN_LIMIT]);
+                        Self::push_slot(conn, seq, Slot::Ready(buf));
+                    }
+                    return;
+                }
+                self.op_scan(id, true, words[0], limit);
+            }
+            frame::OP_LEN => {
+                if !words.is_empty() {
+                    return self.queue_fatal_err(id, frame::ERR_BAD_COUNT);
+                }
+                self.op_len(id, true);
+            }
+            frame::OP_QUIT => {
+                if let Some(conn) = self.conns.get_mut(&id) {
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    let mut buf = Vec::new();
+                    frame::encode_frame(&mut buf, frame::RESP_BYE, &[]);
+                    Self::push_slot(conn, seq, Slot::ReadyClose(buf));
+                }
+            }
+            frame::OP_HELLO => {
+                let me = self.id as u64;
+                let n = self.shared.workers as u64;
+                if let Some(conn) = self.conns.get_mut(&id) {
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    let mut buf = Vec::new();
+                    frame::encode_frame(&mut buf, frame::RESP_HELLO, &[me, n]);
+                    Self::push_slot(conn, seq, Slot::Ready(buf));
+                }
+            }
+            _ => self.queue_fatal_err(id, frame::ERR_UNKNOWN_OP),
+        }
+    }
+
+    fn queue_fatal_err(&mut self, id: u64, code: u64) {
+        if let Some(conn) = self.conns.get_mut(&id) {
+            let seq = conn.next_seq;
+            conn.next_seq += 1;
+            let mut buf = Vec::new();
+            frame::encode_frame(&mut buf, frame::RESP_ERR, &[code]);
+            Self::push_slot(conn, seq, Slot::ReadyClose(buf));
+            conn.inbuf.clear();
+        }
+    }
+
+    // -- op execution ---------------------------------------------------
+
+    fn push_slot(conn: &mut Conn, seq: u64, slot: Slot) {
+        debug_assert_eq!(seq, conn.head_seq + conn.pending.len() as u64);
+        let _ = seq;
+        conn.pending.push_back(slot);
+    }
+
+    fn forward(&self, target: usize, conn: u64, seq: u64, idx: u32, op: RemoteOp) {
+        let msg = Msg::Apply {
+            from: self.id,
+            conn,
+            seq,
+            idx,
+            op,
+        };
+        // A send only fails when the peer worker already exited, which
+        // only happens during shutdown — the slot is then abandoned and
+        // the connection force-closed by the drain anyway.
+        if self.peers[target].send(msg).is_ok() {
+            self.shared.wakes[target].wake();
+        }
+    }
+
+    fn op_set(&mut self, id: u64, binary: bool, pairs: &[(Key, Value)]) {
+        let workers = self.shared.workers;
+        let me = self.id;
+        let mut applied = 0u64;
+        let mut remote: Vec<(usize, Key, Value)> = Vec::new();
+        for &(k, v) in pairs {
+            let s = shard_of(k, workers);
+            if s == me {
+                self.index.insert(k, v);
+                applied += 1;
+            } else {
+                remote.push((s, k, v));
+            }
+        }
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        if remote.is_empty() {
+            let bytes = serialize_set(binary, applied);
+            Self::push_slot(conn, seq, Slot::Ready(bytes));
+        } else {
+            let awaiting = remote.len() as u32;
+            Self::push_slot(
+                conn,
+                seq,
+                Slot::Set {
+                    binary,
+                    applied,
+                    awaiting,
+                },
+            );
+            for (i, (s, k, v)) in remote.into_iter().enumerate() {
+                self.forward(s, id, seq, i as u32, RemoteOp::Set(k, v));
+            }
+        }
+    }
+
+    fn op_get(&mut self, id: u64, binary: bool, keys: &[Key]) {
+        let workers = self.shared.workers;
+        let me = self.id;
+        let mut results: Vec<Option<(bool, Value)>> = Vec::with_capacity(keys.len());
+        let mut remote: Vec<(usize, usize, Key)> = Vec::new();
+        for (i, &k) in keys.iter().enumerate() {
+            if shard_of(k, workers) == me {
+                match self.index.get(k) {
+                    Some(v) => results.push(Some((true, v))),
+                    None => results.push(Some((false, 0))),
+                }
+            } else {
+                results.push(None);
+                remote.push((shard_of(k, workers), i, k));
+            }
+        }
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        if remote.is_empty() {
+            let bytes = serialize_get(binary, &results);
+            Self::push_slot(conn, seq, Slot::Ready(bytes));
+        } else {
+            let awaiting = remote.len() as u32;
+            Self::push_slot(
+                conn,
+                seq,
+                Slot::Get {
+                    binary,
+                    results,
+                    awaiting,
+                },
+            );
+            for (s, i, k) in remote {
+                self.forward(s, id, seq, i as u32, RemoteOp::Get(k));
+            }
+        }
+    }
+
+    fn op_del(&mut self, id: u64, binary: bool, keys: &[Key]) {
+        let workers = self.shared.workers;
+        let me = self.id;
+        let mut results: Vec<Option<(bool, Value)>> = Vec::with_capacity(keys.len());
+        let mut remote: Vec<(usize, usize, Key)> = Vec::new();
+        for (i, &k) in keys.iter().enumerate() {
+            if shard_of(k, workers) == me {
+                match self.index.remove(k) {
+                    Some(v) => results.push(Some((true, v))),
+                    None => results.push(Some((false, 0))),
+                }
+            } else {
+                results.push(None);
+                remote.push((shard_of(k, workers), i, k));
+            }
+        }
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        if remote.is_empty() {
+            let bytes = serialize_del(binary, &results);
+            Self::push_slot(conn, seq, Slot::Ready(bytes));
+        } else {
+            let awaiting = remote.len() as u32;
+            Self::push_slot(
+                conn,
+                seq,
+                Slot::Del {
+                    binary,
+                    results,
+                    awaiting,
+                },
+            );
+            for (s, i, k) in remote {
+                self.forward(s, id, seq, i as u32, RemoteOp::Del(k));
+            }
+        }
+    }
+
+    fn op_scan(&mut self, id: u64, binary: bool, start: Key, limit: usize) {
+        let workers = self.shared.workers;
+        let me = self.id;
+        let first = shard_of(start, workers);
+        let mut acc: Vec<(Key, Value)> = Vec::new();
+        let mut next_shard = first;
+        if first == me {
+            self.index.scan(start, limit, &mut acc);
+            next_shard = me + 1;
+        }
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        if acc.len() >= limit || next_shard >= workers {
+            let bytes = serialize_scan(binary, &acc);
+            Self::push_slot(conn, seq, Slot::Ready(bytes));
+        } else {
+            Self::push_slot(
+                conn,
+                seq,
+                Slot::Scan {
+                    binary,
+                    acc,
+                    start,
+                    limit,
+                    next_shard,
+                },
+            );
+            let remaining = limit; // recomputed per hop from acc.len()
+            let _ = remaining;
+            self.forward_scan_hop(id, seq);
+        }
+    }
+
+    /// Sends the next `Scan` hop for a pending scan slot (the slot must
+    /// be `Slot::Scan`); called at creation and on each completion.
+    fn forward_scan_hop(&mut self, id: u64, seq: u64) {
+        let (target, start, remaining) = {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return;
+            };
+            let Some(off) = seq.checked_sub(conn.head_seq) else {
+                return;
+            };
+            let Some(Slot::Scan {
+                acc,
+                start,
+                limit,
+                next_shard,
+                ..
+            }) = conn.pending.get_mut(off as usize)
+            else {
+                return;
+            };
+            let target = *next_shard;
+            *next_shard += 1;
+            (target, *start, *limit - acc.len())
+        };
+        self.forward(target, id, seq, 0, RemoteOp::Scan(start, remaining));
+    }
+
+    fn op_len(&mut self, id: u64, binary: bool) {
+        let local = self.index.len() as u64;
+        let workers = self.shared.workers;
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        if workers == 1 {
+            let bytes = serialize_len(binary, local);
+            Self::push_slot(conn, seq, Slot::Ready(bytes));
+        } else {
+            Self::push_slot(
+                conn,
+                seq,
+                Slot::Len {
+                    binary,
+                    total: local,
+                    awaiting: (workers - 1) as u32,
+                },
+            );
+            let me = self.id;
+            for s in 0..workers {
+                if s != me {
+                    self.forward(s, id, seq, 0, RemoteOp::Len);
+                }
+            }
+        }
+    }
+
+    // -- peer messages --------------------------------------------------
+
+    fn drain_inbox(&mut self) {
+        let mut flush_ids: Vec<u64> = Vec::new();
+        while let Ok(msg) = self.inbox.try_recv() {
+            match msg {
+                Msg::Apply {
+                    from,
+                    conn,
+                    seq,
+                    idx,
+                    op,
+                } => {
+                    let resp = match op {
+                        RemoteOp::Set(k, v) => {
+                            self.index.insert(k, v);
+                            RemoteResp::Set
+                        }
+                        RemoteOp::Get(k) => RemoteResp::Get(self.index.get(k)),
+                        RemoteOp::Del(k) => RemoteResp::Del(self.index.remove(k)),
+                        RemoteOp::Scan(start, limit) => {
+                            let mut out = Vec::with_capacity(limit.min(1024));
+                            self.index.scan(start, limit, &mut out);
+                            RemoteResp::Scan(out)
+                        }
+                        RemoteOp::Len => RemoteResp::Len(self.index.len()),
+                    };
+                    let done = Msg::Done {
+                        conn,
+                        seq,
+                        idx,
+                        resp,
+                    };
+                    if self.peers[from].send(done).is_ok() {
+                        self.shared.wakes[from].wake();
+                    }
+                }
+                Msg::Done {
+                    conn,
+                    seq,
+                    idx,
+                    resp,
+                } => {
+                    self.complete(conn, seq, idx, resp);
+                    flush_ids.push(conn);
+                }
+            }
+        }
+        flush_ids.sort_unstable();
+        flush_ids.dedup();
+        for id in flush_ids {
+            if !self.flush_conn(id) {
+                self.close_conn(id);
+            }
+        }
+    }
+
+    /// Applies one remote completion to its pending slot.
+    fn complete(&mut self, id: u64, seq: u64, idx: u32, resp: RemoteResp) {
+        let mut scan_continue = false;
+        {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return; // connection died while the op was in flight
+            };
+            let Some(off) = seq.checked_sub(conn.head_seq) else {
+                return;
+            };
+            let Some(slot) = conn.pending.get_mut(off as usize) else {
+                return;
+            };
+            match (slot, resp) {
+                (
+                    Slot::Set {
+                        applied, awaiting, ..
+                    },
+                    RemoteResp::Set,
+                ) => {
+                    *applied += 1;
+                    *awaiting -= 1;
+                }
+                (
+                    Slot::Get {
+                        results, awaiting, ..
+                    },
+                    RemoteResp::Get(v),
+                ) => {
+                    if let Some(r) = results.get_mut(idx as usize) {
+                        *r = Some(match v {
+                            Some(v) => (true, v),
+                            None => (false, 0),
+                        });
+                    }
+                    *awaiting -= 1;
+                }
+                (
+                    Slot::Del {
+                        results, awaiting, ..
+                    },
+                    RemoteResp::Del(v),
+                ) => {
+                    if let Some(r) = results.get_mut(idx as usize) {
+                        *r = Some(match v {
+                            Some(v) => (true, v),
+                            None => (false, 0),
+                        });
+                    }
+                    *awaiting -= 1;
+                }
+                (
+                    Slot::Len {
+                        total, awaiting, ..
+                    },
+                    RemoteResp::Len(n),
+                ) => {
+                    *total += n as u64;
+                    *awaiting -= 1;
+                }
+                (
+                    Slot::Scan {
+                        binary,
+                        acc,
+                        limit,
+                        next_shard,
+                        ..
+                    },
+                    RemoteResp::Scan(pairs),
+                ) => {
+                    acc.extend(pairs);
+                    let workers = self.shared.workers;
+                    if acc.len() >= *limit || *next_shard >= workers {
+                        let bytes = serialize_scan(*binary, acc);
+                        let off = off as usize;
+                        conn.pending[off] = Slot::Ready(bytes);
+                    } else {
+                        scan_continue = true;
+                    }
+                }
+                // A mismatched completion can only come from memory
+                // corruption or a logic bug; drop it rather than panic the
+                // worker.
+                _ => {}
+            }
+        }
+        if scan_continue {
+            self.forward_scan_hop(id, seq);
+        }
+    }
+
+    // -- flushing -------------------------------------------------------
+
+    /// Moves completed responses into the outbuf (in request order) and
+    /// writes what the socket accepts. Returns `false` when the
+    /// connection should close.
+    fn flush_conn(&mut self, id: u64) -> bool {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return true;
+        };
+        // Release completed slots strictly in order.
+        while let Some(front) = conn.pending.front() {
+            if !front.is_complete() {
+                break;
+            }
+            // invariant: the front exists and is complete per the loop test.
+            let slot = conn.pending.pop_front().unwrap();
+            conn.head_seq += 1;
+            match slot {
+                Slot::Ready(bytes) => conn.outbuf.extend_from_slice(&bytes),
+                Slot::ReadyClose(bytes) => {
+                    conn.outbuf.extend_from_slice(&bytes);
+                    conn.closing = true;
+                    conn.pending.clear();
+                    break;
+                }
+                Slot::Set {
+                    binary, applied, ..
+                } => conn
+                    .outbuf
+                    .extend_from_slice(&serialize_set(binary, applied)),
+                Slot::Get {
+                    binary, results, ..
+                } => conn
+                    .outbuf
+                    .extend_from_slice(&serialize_get(binary, &results)),
+                Slot::Del {
+                    binary, results, ..
+                } => conn
+                    .outbuf
+                    .extend_from_slice(&serialize_del(binary, &results)),
+                Slot::Len { binary, total, .. } => {
+                    conn.outbuf.extend_from_slice(&serialize_len(binary, total))
+                }
+                // invariant: Scan slots are replaced by Ready on
+                // completion and is_complete() is false until then.
+                Slot::Scan { .. } => unreachable!("scan slot flushed before completion"),
+            }
+        }
+        // One write per wakeup: the whole batch goes out together.
+        while conn.out_pos < conn.outbuf.len() {
+            match conn.stream.write(&conn.outbuf[conn.out_pos..]) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    conn.out_pos += n;
+                    conn.write_stalled = None;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    if conn.write_stalled.is_none() {
+                        conn.write_stalled = Some(Instant::now());
+                    }
+                    break;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        if conn.out_pos >= conn.outbuf.len() {
+            conn.outbuf.clear();
+            conn.out_pos = 0;
+            if conn.closing || (conn.peer_eof && conn.pending.is_empty()) {
+                return false;
+            }
+        }
+        true
+    }
+
+    // -- timeouts and teardown -----------------------------------------
+
+    fn sweep_timeouts(&mut self, to_close: &mut Vec<u64>) {
+        let now = Instant::now();
+        let read_timeout = self.shared.opts.read_timeout;
+        let write_timeout = self.shared.opts.write_timeout;
+        let mut reap: Vec<(u64, bool)> = Vec::new();
+        for (&id, conn) in &self.conns {
+            if let Some(stalled) = conn.write_stalled {
+                if let Some(wt) = write_timeout {
+                    if now.duration_since(stalled) > wt {
+                        to_close.push(id);
+                        continue;
+                    }
+                }
+            }
+            if conn.closing || conn.has_backlog() {
+                continue;
+            }
+            if let Some(rt) = read_timeout {
+                if now.duration_since(conn.last_active) > rt {
+                    let binary = matches!(conn.mode, Mode::Binary);
+                    reap.push((id, binary));
+                }
+            }
+        }
+        for (id, binary) in reap {
+            obs::counter!("kv.timeouts").inc();
+            if let Some(conn) = self.conns.get_mut(&id) {
+                let bytes = if binary {
+                    let mut buf = Vec::new();
+                    frame::encode_frame(&mut buf, frame::RESP_ERR, &[frame::ERR_IDLE]);
+                    buf
+                } else {
+                    b"ERR idle timeout\n".to_vec()
+                };
+                let seq = conn.next_seq;
+                conn.next_seq += 1;
+                Self::push_slot(conn, seq, Slot::ReadyClose(bytes));
+            }
+            if !self.flush_conn(id) {
+                to_close.push(id);
+            }
+        }
+    }
+
+    fn close_conn(&mut self, id: u64) {
+        if let Some(conn) = self.conns.remove(&id) {
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            // relaxed: gauge decrement; see the admission increment.
+            self.shared.live.fetch_sub(1, Ordering::Relaxed);
+            obs::gauge!("kv.live_connections").dec();
+        }
+    }
+}
+
+enum BinaryParse {
+    /// A frame was consumed; try for another.
+    More,
+    /// The buffer holds no complete frame yet.
+    NeedBytes,
+    /// A fatal error frame was queued; stop parsing this connection.
+    Fatal,
+}
+
+// ---------------------------------------------------------------------------
+// Response serialization (text and binary share the op execution above)
+// ---------------------------------------------------------------------------
+
+fn serialize_set(binary: bool, applied: u64) -> Vec<u8> {
+    if binary {
+        let mut buf = Vec::new();
+        frame::encode_frame(&mut buf, frame::RESP_SET, &[applied]);
+        buf
+    } else {
+        b"OK\n".to_vec()
+    }
+}
+
+fn serialize_get(binary: bool, results: &[Option<(bool, Value)>]) -> Vec<u8> {
+    if binary {
+        let mut words = Vec::with_capacity(results.len() * 2);
+        for r in results {
+            // invariant: flush only runs when awaiting == 0, so every
+            // result has been filled in.
+            let (found, v) = r.expect("get result complete");
+            words.push(u64::from(found));
+            words.push(v);
+        }
+        let mut buf = Vec::new();
+        frame::encode_frame(&mut buf, frame::RESP_GET, &words);
+        buf
+    } else {
+        // invariant: text GET carries exactly one key.
+        let (found, v) = results[0].expect("get result complete");
+        let resp = if found {
+            Response::Value(v)
+        } else {
+            Response::Miss
+        };
+        format!("{}\n", format_response(&resp)).into_bytes()
+    }
+}
+
+fn serialize_del(binary: bool, results: &[Option<(bool, Value)>]) -> Vec<u8> {
+    if binary {
+        let mut words = Vec::with_capacity(results.len() * 2);
+        for r in results {
+            // invariant: flush only runs when awaiting == 0.
+            let (found, v) = r.expect("del result complete");
+            words.push(u64::from(found));
+            words.push(v);
+        }
+        let mut buf = Vec::new();
+        frame::encode_frame(&mut buf, frame::RESP_DEL, &words);
+        buf
+    } else {
+        // invariant: text DEL carries exactly one key.
+        let (found, v) = results[0].expect("del result complete");
+        let resp = if found {
+            Response::Deleted(v)
+        } else {
+            Response::Miss
+        };
+        format!("{}\n", format_response(&resp)).into_bytes()
+    }
+}
+
+fn serialize_scan(binary: bool, pairs: &[(Key, Value)]) -> Vec<u8> {
+    if binary {
+        let mut words = Vec::with_capacity(pairs.len() * 2);
+        for &(k, v) in pairs {
+            words.push(k);
+            words.push(v);
+        }
+        let mut buf = Vec::new();
+        frame::encode_frame(&mut buf, frame::RESP_SCAN, &words);
+        buf
+    } else {
+        format!("{}\n", format_response(&Response::Range(pairs.to_vec()))).into_bytes()
+    }
+}
+
+fn serialize_len(binary: bool, total: u64) -> Vec<u8> {
+    if binary {
+        let mut buf = Vec::new();
+        frame::encode_frame(&mut buf, frame::RESP_LEN, &[total]);
+        buf
+    } else {
+        format!("{}\n", format_response(&Response::Len(total as usize))).into_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_of_is_monotone_and_total() {
+        for workers in [1usize, 2, 3, 4, 7, 16] {
+            assert_eq!(shard_of(0, workers), 0);
+            assert_eq!(shard_of(u64::MAX, workers), workers - 1);
+            let mut prev = 0;
+            for i in 0..1000u64 {
+                let k = i.wrapping_mul(0x0018_4A73_9F2E_11D3);
+                let _ = k;
+                let key = i * (u64::MAX / 1000);
+                let s = shard_of(key, workers);
+                assert!(s >= prev, "shard_of must be monotone");
+                assert!(s < workers);
+                prev = s;
+            }
+        }
+    }
+
+    #[test]
+    fn text_round_trip_over_tpc() {
+        let server = TpcServer::with_options(
+            "127.0.0.1:0",
+            TpcOptions {
+                workers: 2,
+                server: ServerOptions::default(),
+            },
+        )
+        .expect("start");
+        let mut c = crate::Client::connect(server.addr()).expect("connect");
+        // Keys on both sides of the 2-worker split.
+        let lo = 1u64;
+        let hi = u64::MAX - 1;
+        c.set(lo, 100).expect("set lo");
+        c.set(hi, 200).expect("set hi");
+        assert_eq!(c.get(lo).expect("get lo"), Some(100));
+        assert_eq!(c.get(hi).expect("get hi"), Some(200));
+        assert_eq!(c.get(12345).expect("get miss"), None);
+        assert_eq!(c.len().expect("len"), 2);
+        assert_eq!(
+            c.scan(0, 10).expect("scan"),
+            vec![(lo, 100), (hi, 200)],
+            "cross-shard scan must be globally ordered"
+        );
+        assert_eq!(c.del(lo).expect("del"), Some(100));
+        assert_eq!(c.len().expect("len"), 1);
+        c.quit().expect("quit");
+        let report = server.shutdown();
+        assert!(report.drained, "tpc server failed to drain");
+    }
+
+    #[test]
+    fn pipelined_text_burst_keeps_order() {
+        let server = TpcServer::with_options(
+            "127.0.0.1:0",
+            TpcOptions {
+                workers: 3,
+                server: ServerOptions::default(),
+            },
+        )
+        .expect("start");
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        let mut burst = String::new();
+        let n = 500u64;
+        for i in 0..n {
+            let k = i * (u64::MAX / n); // spread across all shards
+            burst.push_str(&format!("SET {k} {i}\n"));
+        }
+        burst.push_str("LEN\n");
+        stream.write_all(burst.as_bytes()).expect("write burst");
+        let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+        use std::io::BufRead;
+        for i in 0..n {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read");
+            assert_eq!(line.trim_end(), "OK", "reply {i} out of order");
+        }
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read len");
+        assert_eq!(line.trim_end(), format!("LEN {n}"));
+        drop(reader);
+        let report = server.shutdown();
+        assert!(report.drained);
+    }
+}

@@ -277,6 +277,95 @@ fn shutdown_drains_live_connections() {
     }
 }
 
+/// Satellite: connection churn must not accumulate handler `JoinHandle`s.
+/// The accept loop reaps finished handles before every accept, so after
+/// hundreds of short-lived connections the tracked-handle count stays
+/// proportional to *live* handlers, never to connections-ever-served.
+#[test]
+fn connection_churn_keeps_handle_count_bounded() {
+    let server = Server::start("127.0.0.1:0").expect("bind");
+    let churn = 200usize;
+    for i in 0..churn {
+        let mut c = Client::connect(server.addr()).expect("connect");
+        c.set(i as u64, i as u64).expect("set");
+        c.quit().expect("quit");
+    }
+    // One more accept triggers the reap that observes the churned
+    // handlers' exits; a live round trip orders it before the assertion.
+    let mut c = Client::connect(server.addr()).expect("connect");
+    assert_eq!(c.len().expect("len"), churn);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut tracked = usize::MAX;
+    while Instant::now() < deadline {
+        tracked = server.tracked_handles();
+        if tracked <= 8 {
+            break;
+        }
+        // Churned handlers may still be exiting; each new accept reaps.
+        let mut probe = Client::connect(server.addr()).expect("probe connect");
+        let _ = probe.len();
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        tracked <= 8,
+        "{tracked} handles tracked after {churn} churned connections — the accept loop is leaking JoinHandles"
+    );
+    server.shutdown();
+}
+
+/// Satellite: a mid-pipeline `ERR` must not misalign batch replies. The
+/// server's line cap rejects exactly one op of the batch (`ERR line too
+/// long`); the client must consume one reply per op, report which op
+/// failed, and leave the connection in lockstep for subsequent calls.
+#[test]
+fn mid_pipeline_err_does_not_misalign_batches() {
+    // Cap of 20 bytes: "SET <20-digit-key> <v>" exceeds it, "SET 1 10"
+    // does not — so one specific op of the batch draws the error.
+    let opts = ServerOptions {
+        max_line_bytes: 20,
+        ..ServerOptions::default()
+    };
+    let server = Server::with_options("127.0.0.1:0", Arc::new(dytis::ConcurrentDyTis::new()), opts)
+        .expect("bind");
+    let mut c = Client::connect(server.addr()).expect("connect");
+
+    let long_key = u64::MAX; // 20 decimal digits
+    let pairs = [(1u64, 10u64), (long_key, 20), (3, 30)];
+    let report = c.set_batch_report(&pairs).expect("set_batch_report");
+    assert_eq!(report.failures.len(), 1, "exactly one op must fail");
+    assert_eq!(report.failures[0].0, 1, "the oversized op is index 1");
+    assert!(
+        report.failures[0].1.contains("line too long"),
+        "failure must carry the server message, got {:?}",
+        report.failures[0].1
+    );
+
+    // The stream is still aligned: plain ops and further batches see
+    // exactly the state the successful ops created. (The long key cannot
+    // be GETted — its request line also exceeds the cap — so its absence
+    // shows up as LEN 2 and a 2-row scan.)
+    assert_eq!(c.get(1).expect("get"), Some(10));
+    assert_eq!(c.get(3).expect("get"), Some(30));
+    assert_eq!(c.len().expect("len"), 2);
+    assert_eq!(c.scan(0, 10).expect("scan"), vec![(1, 10), (3, 30)]);
+
+    // get_batch over the same hazard: failed key comes back None + report.
+    let (vals, report) = c
+        .get_batch_report(&[1, long_key, 3])
+        .expect("get_batch_report");
+    assert_eq!(vals, vec![Some(10), None, Some(30)]);
+    assert_eq!(report.failures.len(), 1);
+    assert_eq!(report.failures[0].0, 1);
+
+    // The Result-shaped wrappers surface the failure as an error but
+    // still drain the pipeline: the connection survives.
+    let err = c.set_batch(&pairs).expect_err("set_batch must error");
+    assert!(err.to_string().contains("op 1"), "got {err}");
+    assert_eq!(c.len().expect("len after err"), 2);
+    c.quit().expect("quit");
+    server.shutdown();
+}
+
 /// New connections after shutdown are refused — the listener is gone.
 #[test]
 fn no_admission_after_shutdown() {

@@ -8,7 +8,9 @@ use crate::lint::guards::{acquisitions, GuardTracker};
 use crate::lint::{FileClass, Rule, SourceFile};
 
 /// Calls that hit the kernel: durability syncs, bulk reads/writes,
-/// metadata ops, socket teardown.
+/// metadata ops, socket teardown, and the reactor's blocking waits
+/// (`poll_events` parks the thread for up to the poll tick; `.wake(`
+/// writes the self-pipe — see kvstore/src/reactor.rs).
 const IO_PATTERNS: &[&str] = &[
     ".sync_all(",
     ".sync_data(",
@@ -22,6 +24,8 @@ const IO_PATTERNS: &[&str] = &[
     ".accept(",
     ".shutdown(",
     ".fill_buf(",
+    "poll_events(",
+    ".wake(",
 ];
 
 pub struct LockAcrossIo;

@@ -88,12 +88,14 @@ fn unsafe_blocks_fixtures() {
     assert_flags(&rule, "core", include_str!("fixtures/unsafe_blocks_bad.rs"));
     // The justified variant passes only where the allowlist permits it …
     assert_clean(&rule, "core", include_str!("fixtures/unsafe_blocks_ok.rs"));
-    // … and stays flagged everywhere else, justification or not.
-    assert_flags(
+    // … in kvstore too (the reactor's sanctioned FFI boundary) …
+    assert_clean(
         &rule,
         "kvstore",
         include_str!("fixtures/unsafe_blocks_ok.rs"),
     );
+    // … and stays flagged everywhere else, justification or not.
+    assert_flags(&rule, "bench", include_str!("fixtures/unsafe_blocks_ok.rs"));
 }
 
 #[test]
