@@ -47,8 +47,21 @@ pub struct BinClient {
 
 /// Most key/value pairs per SET frame (payload is 2 words per pair).
 const SET_CHUNK: usize = (frame::MAX_FRAME_WORDS as usize) / 2;
-/// Most keys per GET/DEL frame.
-const KEY_CHUNK: usize = frame::MAX_FRAME_WORDS as usize;
+/// Most keys per GET/DEL frame and rows per SCAN request: *responses*
+/// carry 2 words per key, so a request above `MAX_KEYS_PER_FRAME` would
+/// make the server's reply an illegal over-`MAX_FRAME_WORDS` frame.
+const KEY_CHUNK: usize = frame::MAX_KEYS_PER_FRAME as usize;
+/// Most unanswered GET/DEL frames in flight per connection. Each reply
+/// can be ~256 KiB and the server stops *reading* a connection once
+/// ~1 MiB of unsent responses queue up (its write-side high water), so a
+/// client that writes an unbounded pipeline without draining replies
+/// deadlocks against its own responses. Two frames (~512 KiB of replies)
+/// keep the pipe full while staying safely under that limit — the same
+/// rationale as the text client's 1024-op chunks.
+const KEYED_WINDOW: usize = 2;
+/// Most unanswered SET frames in flight per connection; acks are 18
+/// bytes, so this bounds unread replies to ~18 KiB.
+const SET_WINDOW: usize = 1024;
 
 impl BinClient {
     /// Connects and sends the 4-byte session preamble that switches the
@@ -82,6 +95,30 @@ impl BinClient {
         frame::read_frame(&mut self.reader)
     }
 
+    /// Reads one SET ack and returns how many pairs it reports applied.
+    fn read_set_ack(&mut self) -> Result<u64> {
+        let (h, w) = frame::read_frame(&mut self.reader)?;
+        check_op(h, &w, frame::RESP_SET)?;
+        Ok(w.first().copied().unwrap_or(0))
+    }
+
+    /// Reads one GET/DEL response frame and appends its `(found, value)`
+    /// pairs to `out`.
+    fn read_keyed_reply(&mut self, resp_op: u8, out: &mut Vec<Option<u64>>) -> Result<()> {
+        let (h, w) = frame::read_frame(&mut self.reader)?;
+        check_op(h, &w, resp_op)?;
+        if w.len() % 2 != 0 {
+            return Err(protocol_err(format!(
+                "odd response payload ({} words)",
+                w.len()
+            )));
+        }
+        for pair in w.chunks_exact(2) {
+            out.push(if pair[0] != 0 { Some(pair[1]) } else { None });
+        }
+        Ok(())
+    }
+
     /// Asks the server who it is: `(worker_id, workers)`.
     ///
     /// # Errors
@@ -106,29 +143,33 @@ impl BinClient {
     }
 
     /// Inserts or updates many pairs; frames carry up to [`SET_CHUNK`]
-    /// pairs each, pipelined (all frames written, then all acks read).
-    /// Returns how many pairs the server reports applied.
+    /// pairs each, pipelined with at most [`SET_WINDOW`] unanswered
+    /// frames in flight. Returns how many pairs the server reports
+    /// applied.
     ///
     /// # Errors
     ///
     /// Returns I/O or protocol errors.
     pub fn set_batch(&mut self, pairs: &[(u64, u64)]) -> Result<u64> {
-        let mut frames = 0usize;
+        let mut applied = 0u64;
+        let mut inflight = 0usize;
         for chunk in pairs.chunks(SET_CHUNK) {
+            if inflight == SET_WINDOW {
+                self.writer.flush()?;
+                applied += self.read_set_ack()?;
+                inflight -= 1;
+            }
             let mut words = Vec::with_capacity(chunk.len() * 2);
             for &(k, v) in chunk {
                 words.push(k);
                 words.push(v);
             }
             frame::write_frame(&mut self.writer, frame::OP_SET, &words)?;
-            frames += 1;
+            inflight += 1;
         }
         self.writer.flush()?;
-        let mut applied = 0u64;
-        for _ in 0..frames {
-            let (h, w) = frame::read_frame(&mut self.reader)?;
-            check_op(h, &w, frame::RESP_SET)?;
-            applied += w.first().copied().unwrap_or(0);
+        for _ in 0..inflight {
+            applied += self.read_set_ack()?;
         }
         Ok(applied)
     }
@@ -169,28 +210,24 @@ impl BinClient {
         self.keyed_batch(keys, frame::OP_DEL, frame::RESP_DEL)
     }
 
-    /// Shared shape of GET/DEL: request frames of keys, response frames of
-    /// `(found, value)` word pairs.
+    /// Shared shape of GET/DEL: request frames of keys, response frames
+    /// of `(found, value)` word pairs, at most [`KEYED_WINDOW`] frames in
+    /// flight so the reply volume never deadlocks the connection.
     fn keyed_batch(&mut self, keys: &[u64], op: u8, resp_op: u8) -> Result<Vec<Option<u64>>> {
-        let mut frames = 0usize;
+        let mut out = Vec::with_capacity(keys.len());
+        let mut inflight = 0usize;
         for chunk in keys.chunks(KEY_CHUNK) {
+            if inflight == KEYED_WINDOW {
+                self.writer.flush()?;
+                self.read_keyed_reply(resp_op, &mut out)?;
+                inflight -= 1;
+            }
             frame::write_frame(&mut self.writer, op, chunk)?;
-            frames += 1;
+            inflight += 1;
         }
         self.writer.flush()?;
-        let mut out = Vec::with_capacity(keys.len());
-        for _ in 0..frames {
-            let (h, w) = frame::read_frame(&mut self.reader)?;
-            check_op(h, &w, resp_op)?;
-            if w.len() % 2 != 0 {
-                return Err(protocol_err(format!(
-                    "odd response payload ({} words)",
-                    w.len()
-                )));
-            }
-            for pair in w.chunks_exact(2) {
-                out.push(if pair[0] != 0 { Some(pair[1]) } else { None });
-            }
+        for _ in 0..inflight {
+            self.read_keyed_reply(resp_op, &mut out)?;
         }
         if out.len() != keys.len() {
             return Err(protocol_err(format!(
@@ -204,19 +241,38 @@ impl BinClient {
 
     /// Ordered scan from `start`, up to `count` pairs.
     ///
+    /// The wire caps one SCAN at [`frame::MAX_KEYS_PER_FRAME`] rows (its
+    /// response carries 2 words per row), so larger counts are served as
+    /// a chain of requests, each resuming after the last returned key.
+    ///
     /// # Errors
     ///
     /// Returns I/O or protocol errors.
     pub fn scan(&mut self, start: u64, count: usize) -> Result<Vec<(u64, u64)>> {
-        let (h, w) = self.round_trip(frame::OP_SCAN, &[start, count as u64])?;
-        check_op(h, &w, frame::RESP_SCAN)?;
-        if w.len() % 2 != 0 {
-            return Err(protocol_err(format!(
-                "odd scan payload ({} words)",
-                w.len()
-            )));
+        let mut out: Vec<(u64, u64)> = Vec::new();
+        let mut next = start;
+        while out.len() < count {
+            let ask = (count - out.len()).min(KEY_CHUNK);
+            let (h, w) = self.round_trip(frame::OP_SCAN, &[next, ask as u64])?;
+            check_op(h, &w, frame::RESP_SCAN)?;
+            if w.len() % 2 != 0 {
+                return Err(protocol_err(format!(
+                    "odd scan payload ({} words)",
+                    w.len()
+                )));
+            }
+            let got = w.len() / 2;
+            out.extend(w.chunks_exact(2).map(|c| (c[0], c[1])));
+            if got < ask {
+                break; // key space exhausted
+            }
+            // invariant: got == ask >= 1, so out is non-empty here.
+            match out.last().unwrap().0.checked_add(1) {
+                Some(n) => next = n,
+                None => break, // last row held u64::MAX
+            }
         }
-        Ok(w.chunks_exact(2).map(|c| (c[0], c[1])).collect())
+        Ok(out)
     }
 
     /// Number of stored keys (summed across shards).
@@ -313,7 +369,8 @@ impl RoutedClient {
     }
 
     /// Partitioned bulk set: each worker receives exactly the pairs its
-    /// shard owns, all partitions pipeline concurrently.
+    /// shard owns, all partitions pipeline concurrently (with at most
+    /// [`SET_WINDOW`] unanswered frames per connection).
     ///
     /// # Errors
     ///
@@ -323,27 +380,32 @@ impl RoutedClient {
         for &(k, v) in pairs {
             parts[self.shard(k)].push((k, v));
         }
-        // Write everything first so every worker crunches in parallel …
-        let mut frames: Vec<usize> = vec![0; self.conns.len()];
+        // Write everything first so every worker crunches in parallel,
+        // draining acks whenever a connection's window fills …
+        let mut applied = 0u64;
+        let mut inflight: Vec<usize> = vec![0; self.conns.len()];
         for (w, part) in parts.iter().enumerate() {
+            let conn = &mut self.conns[w];
             for chunk in part.chunks(SET_CHUNK) {
+                if inflight[w] == SET_WINDOW {
+                    conn.writer.flush()?;
+                    applied += conn.read_set_ack()?;
+                    inflight[w] -= 1;
+                }
                 let mut words = Vec::with_capacity(chunk.len() * 2);
                 for &(k, v) in chunk {
                     words.push(k);
                     words.push(v);
                 }
-                frame::write_frame(&mut self.conns[w].writer, frame::OP_SET, &words)?;
-                frames[w] += 1;
+                frame::write_frame(&mut conn.writer, frame::OP_SET, &words)?;
+                inflight[w] += 1;
             }
-            self.conns[w].writer.flush()?;
+            conn.writer.flush()?;
         }
-        // … then collect the acks.
-        let mut applied = 0u64;
-        for (w, n) in frames.into_iter().enumerate() {
+        // … then collect the remaining acks.
+        for (w, n) in inflight.into_iter().enumerate() {
             for _ in 0..n {
-                let (h, words) = frame::read_frame(&mut self.conns[w].reader)?;
-                check_op(h, &words, frame::RESP_SET)?;
-                applied += words.first().copied().unwrap_or(0);
+                applied += self.conns[w].read_set_ack()?;
             }
         }
         Ok(applied)
@@ -373,32 +435,42 @@ impl RoutedClient {
             part_keys[s].push(k);
             part_idx[s].push(i);
         }
-        let mut frames: Vec<usize> = vec![0; workers];
+        // At most KEYED_WINDOW unanswered frames per connection: replies
+        // are 16 bytes per key, and an unbounded pipeline would deadlock
+        // against the server's write-side high water (see BinClient).
+        let mut got: Vec<Vec<Option<u64>>> = part_keys
+            .iter()
+            .map(|p| Vec::with_capacity(p.len()))
+            .collect();
+        let mut inflight: Vec<usize> = vec![0; workers];
         for (w, part) in part_keys.iter().enumerate() {
+            let conn = &mut self.conns[w];
             for chunk in part.chunks(KEY_CHUNK) {
-                frame::write_frame(&mut self.conns[w].writer, frame::OP_GET, chunk)?;
-                frames[w] += 1;
+                if inflight[w] == KEYED_WINDOW {
+                    conn.writer.flush()?;
+                    conn.read_keyed_reply(frame::RESP_GET, &mut got[w])?;
+                    inflight[w] -= 1;
+                }
+                frame::write_frame(&mut conn.writer, frame::OP_GET, chunk)?;
+                inflight[w] += 1;
             }
-            self.conns[w].writer.flush()?;
+            conn.writer.flush()?;
+        }
+        for (w, n) in inflight.into_iter().enumerate() {
+            for _ in 0..n {
+                self.conns[w].read_keyed_reply(frame::RESP_GET, &mut got[w])?;
+            }
         }
         let mut out: Vec<Option<u64>> = vec![None; keys.len()];
-        for (w, n) in frames.into_iter().enumerate() {
-            let mut got = Vec::with_capacity(part_keys[w].len());
-            for _ in 0..n {
-                let (h, words) = frame::read_frame(&mut self.conns[w].reader)?;
-                check_op(h, &words, frame::RESP_GET)?;
-                for pair in words.chunks_exact(2) {
-                    got.push(if pair[0] != 0 { Some(pair[1]) } else { None });
-                }
-            }
-            if got.len() != part_keys[w].len() {
+        for w in 0..workers {
+            if got[w].len() != part_keys[w].len() {
                 return Err(protocol_err(format!(
                     "worker {w}: {} results for {} keys",
-                    got.len(),
+                    got[w].len(),
                     part_keys[w].len()
                 )));
             }
-            for (slot, v) in part_idx[w].iter().zip(got) {
+            for (slot, v) in part_idx[w].iter().zip(got[w].drain(..)) {
                 out[*slot] = v;
             }
         }

@@ -19,7 +19,11 @@
 //! [`ERR_BAD_FRAME`] and closes — binary streams have no newline to
 //! resync at.
 //!
-//! Request ops and their payloads (`k`/`v` are u64 words):
+//! Request ops and their payloads (`k`/`v` are u64 words). GET/DEL key
+//! lists and SCAN limits are additionally capped at
+//! [`MAX_KEYS_PER_FRAME`] because their responses carry two words per
+//! key/row — a larger request would make the server's only truthful reply
+//! an over-[`MAX_FRAME_WORDS`] frame:
 //!
 //! | op | name | payload |
 //! |----|------|---------|
@@ -59,6 +63,14 @@ pub const PREAMBLE: [u8; 4] = [MAGIC_BYTE, b'Y', b'F', b'1'];
 /// for the text protocol.
 pub const MAX_FRAME_WORDS: u32 = 32_768;
 
+/// Most keys one GET/DEL request frame may carry, and the most rows one
+/// SCAN may request. Responses carry **two** words per key/row, so a
+/// request above this cap would force the server to answer with a frame
+/// over [`MAX_FRAME_WORDS`] — an illegal reply to a legal request. The
+/// server rejects over-cap key lists with [`ERR_KEY_COUNT`] and over-cap
+/// scan limits with [`ERR_SCAN_LIMIT`]; clients chunk to stay below it.
+pub const MAX_KEYS_PER_FRAME: u32 = MAX_FRAME_WORDS / 2;
+
 /// Request op tags.
 pub const OP_SET: u8 = 0x01;
 pub const OP_GET: u8 = 0x02;
@@ -86,6 +98,7 @@ pub const ERR_BUSY: u64 = 4;
 pub const ERR_IDLE: u64 = 5;
 pub const ERR_BAD_COUNT: u64 = 6;
 pub const ERR_SCAN_LIMIT: u64 = 7;
+pub const ERR_KEY_COUNT: u64 = 8;
 
 /// Human-readable message for an [`RESP_ERR`] code.
 pub fn err_message(code: u64) -> &'static str {
@@ -97,6 +110,7 @@ pub fn err_message(code: u64) -> &'static str {
         ERR_IDLE => "idle timeout",
         ERR_BAD_COUNT => "payload count does not match op",
         ERR_SCAN_LIMIT => "count exceeds max",
+        ERR_KEY_COUNT => "too many keys for one response frame",
         _ => "unknown error",
     }
 }
@@ -146,8 +160,20 @@ pub const HEADER_LEN: usize = 6;
 pub const TRAILER_LEN: usize = 4;
 
 /// Serializes one frame (header + payload words + CRC) into `out`.
+///
+/// # Panics
+///
+/// Panics (release builds included) when `words` exceeds
+/// [`MAX_FRAME_WORDS`]: an oversized frame would be rejected by every
+/// conforming reader, so emitting one silently corrupts the session. The
+/// request-side caps ([`MAX_KEYS_PER_FRAME`], the scan limit) make this
+/// unreachable for well-formed traffic; tripping it means a logic bug.
 pub fn encode_frame(out: &mut Vec<u8>, op: u8, words: &[u64]) {
-    debug_assert!(words.len() <= MAX_FRAME_WORDS as usize);
+    assert!(
+        words.len() <= MAX_FRAME_WORDS as usize,
+        "frame payload of {} words exceeds MAX_FRAME_WORDS ({MAX_FRAME_WORDS})",
+        words.len()
+    );
     let start = out.len();
     out.push(op);
     out.push(0);

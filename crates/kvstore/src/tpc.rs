@@ -133,8 +133,10 @@ pub struct TpcServer {
 }
 
 impl TpcServer {
-    /// Binds one listener per worker on `addr`'s IP (use port 0 so each
-    /// worker gets its own ephemeral port) and starts the event loops.
+    /// Binds one listener per worker on `addr`'s IP and starts the event
+    /// loops. Port 0 gives every worker its own ephemeral port; an
+    /// explicit port `p` puts worker `i` on `p + i`, so `addr()` (worker
+    /// 0) listens exactly where the caller asked.
     ///
     /// # Errors
     ///
@@ -147,7 +149,8 @@ impl TpcServer {
     ///
     /// # Errors
     ///
-    /// Returns any bind or reactor-setup error.
+    /// Returns any bind or reactor-setup error, or `InvalidInput` when an
+    /// explicit port plus the worker count would overflow the port space.
     pub fn with_options<A: ToSocketAddrs>(addr: A, opts: TpcOptions) -> Result<TpcServer> {
         let workers = if opts.workers == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -160,8 +163,24 @@ impl TpcServer {
             .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidInput, "no address"))?;
         let mut listeners = Vec::with_capacity(workers);
         let mut addrs = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let l = TcpListener::bind(SocketAddr::new(base.ip(), 0))?;
+        for i in 0..workers {
+            // Port 0: every worker takes its own ephemeral port. Explicit
+            // port p: worker i binds p + i, so the requested port is
+            // honored (worker 0) instead of silently discarded.
+            let port = if base.port() == 0 {
+                0
+            } else {
+                u16::try_from(i)
+                    .ok()
+                    .and_then(|off| base.port().checked_add(off))
+                    .ok_or_else(|| {
+                        std::io::Error::new(
+                            ErrorKind::InvalidInput,
+                            format!("port {} + {workers} workers overflows u16", base.port()),
+                        )
+                    })?
+            };
+            let l = TcpListener::bind(SocketAddr::new(base.ip(), port))?;
             l.set_nonblocking(true)?;
             addrs.push(l.local_addr()?);
             listeners.push(l);
@@ -780,22 +799,28 @@ impl Worker {
                     words.chunks_exact(2).map(|c| (c[0], c[1])).collect();
                 self.op_set(id, true, &pairs);
             }
-            frame::OP_GET => self.op_get(id, true, &words),
-            frame::OP_DEL => self.op_del(id, true, &words),
+            frame::OP_GET => {
+                if words.len() > frame::MAX_KEYS_PER_FRAME as usize {
+                    return self.queue_err(id, frame::ERR_KEY_COUNT);
+                }
+                self.op_get(id, true, &words);
+            }
+            frame::OP_DEL => {
+                if words.len() > frame::MAX_KEYS_PER_FRAME as usize {
+                    return self.queue_err(id, frame::ERR_KEY_COUNT);
+                }
+                self.op_del(id, true, &words);
+            }
             frame::OP_SCAN => {
                 if words.len() != 2 {
                     return self.queue_fatal_err(id, frame::ERR_BAD_COUNT);
                 }
                 let limit = words[1] as usize;
-                if limit > protocol::MAX_SCAN_COUNT {
-                    if let Some(conn) = self.conns.get_mut(&id) {
-                        let seq = conn.next_seq;
-                        conn.next_seq += 1;
-                        let mut buf = Vec::new();
-                        frame::encode_frame(&mut buf, frame::RESP_ERR, &[frame::ERR_SCAN_LIMIT]);
-                        Self::push_slot(conn, seq, Slot::Ready(buf));
-                    }
-                    return;
+                // The response carries 2 words per row, so the binary
+                // limit is the tighter of the protocol cap and what one
+                // response frame can hold.
+                if limit > protocol::MAX_SCAN_COUNT.min(frame::MAX_KEYS_PER_FRAME as usize) {
+                    return self.queue_err(id, frame::ERR_SCAN_LIMIT);
                 }
                 self.op_scan(id, true, words[0], limit);
             }
@@ -829,6 +854,19 @@ impl Worker {
         }
     }
 
+    /// Queues a non-fatal `ERR` frame: the request was malformed at the
+    /// op level but the frame itself was well-formed, so the stream is
+    /// still in sync and the 1-response-per-request framing holds.
+    fn queue_err(&mut self, id: u64, code: u64) {
+        if let Some(conn) = self.conns.get_mut(&id) {
+            let seq = conn.next_seq;
+            conn.next_seq += 1;
+            let mut buf = Vec::new();
+            frame::encode_frame(&mut buf, frame::RESP_ERR, &[code]);
+            Self::push_slot(conn, seq, Slot::Ready(buf));
+        }
+    }
+
     fn queue_fatal_err(&mut self, id: u64, code: u64) {
         if let Some(conn) = self.conns.get_mut(&id) {
             let seq = conn.next_seq;
@@ -837,6 +875,13 @@ impl Worker {
             frame::encode_frame(&mut buf, frame::RESP_ERR, &[code]);
             Self::push_slot(conn, seq, Slot::ReadyClose(buf));
             conn.inbuf.clear();
+            // Poison the connection immediately: the stream is
+            // untrustworthy past this point, so no further bytes may be
+            // read or parsed even within the same wakeup. Pending
+            // responses (including this ERR) still drain before the
+            // socket closes — flush_conn only closes a poisoned
+            // connection once its slot queue is empty.
+            conn.closing = true;
         }
     }
 
@@ -1295,7 +1340,10 @@ impl Worker {
         if conn.out_pos >= conn.outbuf.len() {
             conn.outbuf.clear();
             conn.out_pos = 0;
-            if conn.closing || (conn.peer_eof && conn.pending.is_empty()) {
+            // A closing (or EOF'd) connection ends only once every queued
+            // slot has been serialized and written: a poisoned connection
+            // sets `closing` before its ERR slot reaches the outbuf.
+            if (conn.closing || conn.peer_eof) && conn.pending.is_empty() {
                 return false;
             }
         }
@@ -1475,6 +1523,53 @@ mod tests {
                 prev = s;
             }
         }
+    }
+
+    /// An explicit port must actually be listened on (worker 0), with
+    /// workers 1..N on the next sequential ports. Regression: every
+    /// worker used to bind port 0, silently discarding the request.
+    #[test]
+    fn explicit_port_is_honored_for_worker_zero() {
+        // Find a candidate base by taking (and releasing) an ephemeral
+        // port; retry in case a neighbor port is occupied meanwhile.
+        for _ in 0..10 {
+            let probe = TcpListener::bind("127.0.0.1:0").expect("probe bind");
+            let port = probe.local_addr().expect("probe addr").port();
+            drop(probe);
+            if port >= u16::MAX - 1 {
+                continue;
+            }
+            let started = TpcServer::with_options(
+                ("127.0.0.1", port),
+                TpcOptions {
+                    workers: 2,
+                    server: ServerOptions::default(),
+                },
+            );
+            let Ok(server) = started else { continue };
+            assert_eq!(server.addr().port(), port, "requested port discarded");
+            assert_eq!(server.worker_addrs()[1].port(), port + 1);
+            let mut c = crate::Client::connect(server.addr()).expect("connect");
+            c.set(9, 90).expect("set");
+            assert_eq!(c.get(9).expect("get"), Some(90));
+            c.quit().expect("quit");
+            server.shutdown();
+            return;
+        }
+        panic!("no two consecutive free ports found in 10 attempts");
+    }
+
+    /// Worker ports past 65535 cannot silently wrap.
+    #[test]
+    fn explicit_port_overflow_is_rejected() {
+        let res = TpcServer::with_options(
+            ("127.0.0.1", u16::MAX),
+            TpcOptions {
+                workers: 2,
+                server: ServerOptions::default(),
+            },
+        );
+        assert!(res.is_err(), "port 65535 + 2 workers must fail, not wrap");
     }
 
     #[test]

@@ -202,6 +202,121 @@ fn routed_client_round_trip() {
     server.shutdown();
 }
 
+/// Batches above one frame's worth of *responses* (GET/DEL replies carry
+/// 2 words per key) must chunk so the server's replies stay legal frames,
+/// and the client must bound its in-flight frames so a reply volume past
+/// the server's write-side high water cannot deadlock the connection.
+/// Regression: `KEY_CHUNK == MAX_FRAME_WORDS` used to make every batch
+/// over 16384 keys fail against the server's own valid reply, and
+/// unwindowed pipelining deadlocked multi-hundred-thousand-key batches.
+#[test]
+fn large_batches_and_scans_chunk_below_frame_limits() {
+    let server = tpc(2);
+    // >9 request frames, ~2.4 MiB of GET replies — past the server's
+    // 1 MiB outbuf high water, so this deadlocks without windowing.
+    let n: u64 = 150_000;
+    let pairs: Vec<(u64, u64)> = (0..n).map(|i| (i * (u64::MAX / n), i)).collect();
+    let keys: Vec<u64> = pairs.iter().map(|&(k, _)| k).collect();
+
+    let mut bin = BinClient::connect(server.addr()).expect("bin connect");
+    assert_eq!(bin.set_batch(&pairs).expect("set_batch"), n);
+    let got = bin.get_batch(&keys).expect("get_batch");
+    assert_eq!(got.len(), keys.len());
+    assert!(got.iter().enumerate().all(|(i, v)| *v == Some(i as u64)));
+
+    // A scan bigger than one response frame chains requests client-side.
+    let scan_n = frame::MAX_KEYS_PER_FRAME as usize + 3_000;
+    let scanned = bin.scan(0, scan_n).expect("scan");
+    assert_eq!(scanned.len(), scan_n);
+    assert!(scanned.windows(2).all(|w| w[0].0 < w[1].0));
+    assert_eq!(scanned[0], pairs[0]);
+
+    // Deletes answer 2 words per key too and must chunk the same way.
+    let deleted = bin.del_batch(&keys).expect("del_batch");
+    assert!(deleted.iter().enumerate().all(|(i, v)| *v == Some(i as u64)));
+    assert_eq!(bin.len().expect("len"), 0);
+    bin.quit().expect("quit");
+
+    // The routed client windows per connection as well.
+    let mut r = RoutedClient::connect(server.worker_addrs()).expect("routed connect");
+    assert_eq!(r.set_batch(&pairs).expect("routed set_batch"), n);
+    let got = r.get_batch(&keys).expect("routed get_batch");
+    assert!(got.iter().enumerate().all(|(i, v)| *v == Some(i as u64)));
+    r.quit().expect("routed quit");
+    server.shutdown();
+}
+
+/// Over-cap key lists and scan limits get a typed, *non-fatal* `ERR`: the
+/// frame itself was well-formed, so the stream is still in sync and the
+/// one-response-per-request alignment (which pipelined clients count on)
+/// holds.
+#[test]
+fn over_cap_requests_get_typed_err_without_closing() {
+    let server = tpc(1);
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream.write_all(&frame::PREAMBLE).expect("preamble");
+
+    // One key too many for the reply to fit a frame.
+    let too_many = vec![0u64; frame::MAX_KEYS_PER_FRAME as usize + 1];
+    frame::write_frame(&mut stream, frame::OP_GET, &too_many).expect("get frame");
+    let (h, w) = frame::read_frame(&mut stream).expect("err frame");
+    assert_eq!(
+        (h.op, w.as_slice()),
+        (frame::RESP_ERR, &[frame::ERR_KEY_COUNT][..])
+    );
+
+    // Same for a scan whose rows could not fit one response frame.
+    let limit = u64::from(frame::MAX_KEYS_PER_FRAME) + 1;
+    frame::write_frame(&mut stream, frame::OP_SCAN, &[0, limit]).expect("scan frame");
+    let (h, w) = frame::read_frame(&mut stream).expect("err frame");
+    assert_eq!(
+        (h.op, w.as_slice()),
+        (frame::RESP_ERR, &[frame::ERR_SCAN_LIMIT][..])
+    );
+
+    // The session survived both rejections: a normal op still works.
+    frame::write_frame(&mut stream, frame::OP_SET, &[5, 50]).expect("set frame");
+    let (h, w) = frame::read_frame(&mut stream).expect("set ack");
+    assert_eq!((h.op, w.as_slice()), (frame::RESP_SET, &[1u64][..]));
+    server.shutdown();
+}
+
+/// After a fatal frame error the connection is poisoned immediately: a
+/// well-formed frame sent *behind* the damage in the same burst is never
+/// parsed or applied. Regression: the read loop used to keep decoding
+/// post-fault bytes until the queued ERR happened to flush.
+#[test]
+fn no_bytes_are_applied_after_a_fatal_frame_error() {
+    let server = tpc(1);
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+
+    let mut wire = frame::PREAMBLE.to_vec();
+    frame::encode_frame(&mut wire, frame::OP_SET, &[1, 10]);
+    let damaged_at = wire.len();
+    frame::encode_frame(&mut wire, frame::OP_SET, &[2, 20]);
+    wire[damaged_at + frame::HEADER_LEN] ^= 0x01; // corrupt frame 2's payload
+    frame::encode_frame(&mut wire, frame::OP_SET, &[3, 30]); // valid, post-fault
+    stream.write_all(&wire).expect("burst");
+
+    let (h, w) = frame::read_frame(&mut stream).expect("set ack");
+    assert_eq!((h.op, w.as_slice()), (frame::RESP_SET, &[1u64][..]));
+    let (h, w) = frame::read_frame(&mut stream).expect("err frame");
+    assert_eq!(
+        (h.op, w.as_slice()),
+        (frame::RESP_ERR, &[frame::ERR_BAD_FRAME][..])
+    );
+    let mut rest = Vec::new();
+    assert_eq!(stream.read_to_end(&mut rest).unwrap_or(0), 0, "no EOF after fault");
+
+    let mut c = Client::connect(server.addr()).expect("connect");
+    assert_eq!(c.get(1).expect("get"), Some(10), "pre-fault set lost");
+    assert_eq!(c.get(2).expect("get"), None, "damaged frame was applied");
+    assert_eq!(c.get(3).expect("get"), None, "post-fault frame was applied");
+    server.shutdown();
+}
+
 /// CRC damage is a transport fault: the server answers `ERR` with
 /// [`frame::ERR_BAD_FRAME`] and closes — it never executes the damaged
 /// frame or tries to resync.
